@@ -1,0 +1,48 @@
+"""Figure 4: accuracy vs inference-time trade-off of the NAI settings.
+
+Paper reference (Figure 4): the three NAI operating points trace a curve from
+"fast, slightly less accurate" to "as accurate as (or better than) the
+vanilla model at similar cost"; all of them dominate TinyGNN, GLNN and
+NOSMOG in accuracy.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure4_series, run_tradeoff
+
+
+def _print_series(dataset_name, series):
+    print(f"\nFigure 4 — {dataset_name}: accuracy vs time per node")
+    print(f"{'setting':<14} {'ms/node':>10} {'ACC%':>8}")
+    for label, (time_ms, accuracy) in sorted(series.items()):
+        print(f"{label:<14} {time_ms:>10.3f} {accuracy * 100:>8.2f}")
+
+
+def test_figure4_flickr(benchmark, flickr_context, profile):
+    points = run_once(benchmark, run_tradeoff, "flickr-sim", profile=profile)
+    series = figure4_series(points)
+    _print_series("flickr-sim", series)
+    for label, (time_ms, accuracy) in series.items():
+        benchmark.extra_info[f"{label}_acc"] = round(accuracy, 4)
+    # Accuracy-first settings should not be less accurate than speed-first ones.
+    assert series["NAI3_d"][1] >= series["NAI1_d"][1] - 0.02
+    # Every NAI setting beats the MLP-only students in accuracy.
+    assert min(series["NAI1_d"][1], series["NAI1_g"][1]) > series["GLNN"][1]
+
+
+def test_figure4_arxiv(benchmark, arxiv_context, profile):
+    points = run_once(benchmark, run_tradeoff, "arxiv-sim", profile=profile)
+    series = figure4_series(points)
+    _print_series("arxiv-sim", series)
+    assert series["NAI3_d"][1] >= series["NAI1_d"][1] - 0.02
+    assert series["NAI3_d"][0] >= series["NAI1_d"][0]
+
+
+def test_figure4_products(benchmark, products_context, profile):
+    points = run_once(benchmark, run_tradeoff, "products-sim", profile=profile)
+    series = figure4_series(points)
+    _print_series("products-sim", series)
+    assert series["NAI3_d"][1] >= series["NAI1_d"][1] - 0.02
+    assert min(series["NAI1_d"][1], series["NAI1_g"][1]) > series["GLNN"][1]

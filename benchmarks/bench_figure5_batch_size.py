@@ -1,0 +1,43 @@
+"""Figure 5: MACs and inference time as the batch size grows (Flickr).
+
+Paper reference (Figure 5): the vanilla model's per-node cost stays on the
+same order as the batch size grows, TinyGNN's attention makes it blow up,
+the MLP students stay flat, and NAI's extra stationary-state / gate work
+grows mildly while its wall-clock time stays stable.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_batch_size_study, series_by_method
+
+BATCH_SIZES = (100, 250, 500, 1000, 2000)
+
+
+def test_figure5_batch_size(benchmark, flickr_context, profile):
+    points = run_once(
+        benchmark,
+        run_batch_size_study,
+        "flickr-sim",
+        batch_sizes=BATCH_SIZES,
+        profile=profile,
+    )
+    series = series_by_method(points)
+
+    print("\nFigure 5 — flickr-sim: per-node MACs / time vs batch size")
+    print(f"{'method':<14}" + "".join(f"{size:>12}" for size in BATCH_SIZES))
+    for method, values in sorted(series.items()):
+        macs_row = f"{method:<14}" + "".join(f"{macs / 1e3:>11.1f}k" for _, macs, _ in values)
+        print(macs_row)
+
+    # GLNN's per-node MACs are batch-size independent (pure MLP).
+    glnn = [macs for _, macs, _ in series["GLNN"]]
+    assert max(glnn) - min(glnn) < 1e-6
+    # The vanilla backbone touches at least as many feature-processing MACs as
+    # NAI's speed-first setting at every batch size.
+    sgc = {size: macs for size, macs, _ in series[flickr_context.backbone_name]}
+    nai = {size: macs for size, macs, _ in series["NAI_d"]}
+    assert all(nai[size] <= sgc[size] for size in BATCH_SIZES)
+    for method, values in series.items():
+        benchmark.extra_info[f"{method}_macs_at_largest_batch"] = round(values[-1][1], 1)

@@ -1,0 +1,42 @@
+"""Figure 6: sensitivity of Inception Distillation to λ, T and r (Flickr).
+
+Paper reference (Figure 6): the distillation weight λ matters most (for the
+multi-scale stage it should stay high), temperature has a milder effect, and
+growing the ensemble r helps until low-quality shallow classifiers join the
+teacher.  Every sweep point retrains the classifier stack, so this is the
+slowest benchmark in the suite.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_sensitivity_study
+
+LAMBDAS = (0.1, 0.5, 0.9)
+TEMPERATURES = (1.0, 1.5, 2.0)
+ENSEMBLE_SIZES = (1, 2, 3)
+
+
+def test_figure6_sensitivity(benchmark, profile):
+    study = run_once(
+        benchmark,
+        run_sensitivity_study,
+        "flickr-sim",
+        profile=profile,
+        lambdas=LAMBDAS,
+        temperatures=TEMPERATURES,
+        ensemble_sizes=ENSEMBLE_SIZES,
+    )
+    print("\nFigure 6 — flickr-sim: f^(1) accuracy under hyper-parameter sweeps")
+    for parameter, points in study.items():
+        values = ", ".join(f"{p.value:g}:{p.accuracy * 100:.2f}%" for p in points)
+        print(f"{parameter:<20} {values}")
+        for point in points:
+            benchmark.extra_info[f"{parameter}@{point.value:g}"] = round(point.accuracy, 4)
+
+    for parameter, points in study.items():
+        accuracies = [p.accuracy for p in points]
+        # Sweeps stay within a sane band — no configuration collapses to chance.
+        assert max(accuracies) - min(accuracies) < 0.5
+        assert min(accuracies) > 0.2

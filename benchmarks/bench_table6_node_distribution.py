@@ -1,0 +1,54 @@
+"""Table VI: node distributions over personalised propagation depths.
+
+Paper reference (Table VI): under the speed-first setting most nodes exit at
+the shallowest allowed depths; under the accuracy-first setting the nodes
+spread across all depths, and the fixed depth of classic scalable GNNs shows
+up as the degenerate case where a single depth holds every node.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_tradeoff, table6_distributions
+
+
+def _print_distributions(dataset_name, distributions):
+    print(f"\nTable VI — {dataset_name}: node counts per personalised depth (1..k)")
+    for label, counts in distributions.items():
+        print(f"{label:<10} {list(counts)}")
+
+
+def _check(distributions, num_test):
+    for label, counts in distributions.items():
+        assert sum(counts) == num_test, f"{label} does not cover every test node"
+    # Speed-first settings concentrate mass at shallow depths.
+    speedy = distributions["NAI1_d"]
+    assert sum(speedy[:2]) > 0.8 * num_test
+
+
+def test_table6_flickr(benchmark, flickr_context, profile):
+    points = run_once(
+        benchmark, run_tradeoff, "flickr-sim", profile=profile, include_baselines=False
+    )
+    distributions = table6_distributions(points)
+    _print_distributions("flickr-sim", distributions)
+    _check(distributions, flickr_context.dataset.split.num_test)
+
+
+def test_table6_arxiv(benchmark, arxiv_context, profile):
+    points = run_once(
+        benchmark, run_tradeoff, "arxiv-sim", profile=profile, include_baselines=False
+    )
+    distributions = table6_distributions(points)
+    _print_distributions("arxiv-sim", distributions)
+    _check(distributions, arxiv_context.dataset.split.num_test)
+
+
+def test_table6_products(benchmark, products_context, profile):
+    points = run_once(
+        benchmark, run_tradeoff, "products-sim", profile=profile, include_baselines=False
+    )
+    distributions = table6_distributions(points)
+    _print_distributions("products-sim", distributions)
+    _check(distributions, products_context.dataset.split.num_test)

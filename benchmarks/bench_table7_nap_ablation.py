@@ -1,0 +1,56 @@
+"""Table VII: ablation of Node-Adaptive Propagation across T_max.
+
+Paper reference (Table VII): for every maximum depth, replacing fixed-depth
+inference ("NAI w/o NAP") with the adaptive variants keeps (or improves)
+accuracy while lowering latency, and inference cost grows steeply with
+T_max for the fixed-depth variant.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_nap_ablation
+
+
+def _print_rows(dataset_name, rows):
+    print(f"\nTable VII — {dataset_name}")
+    print(f"{'T_max':>5} {'method':<14} {'ACC%':>8} {'ms/node':>10}  node distribution")
+    for row in rows:
+        print(
+            f"{row.t_max:>5} {row.method:<14} {row.accuracy * 100:>8.2f} "
+            f"{row.time_ms_per_node:>10.3f}  {list(row.depth_distribution)}"
+        )
+
+
+def _check_shape(rows):
+    by_key = {(row.t_max, row.method): row for row in rows}
+    t_values = sorted({row.t_max for row in rows})
+    for t_max in t_values:
+        fixed = by_key[(t_max, "NAI w/o NAP")]
+        adaptive = by_key[(t_max, "NAI_d")]
+        # Adaptive inference never assigns a deeper average depth than the
+        # fixed-depth variant and therefore never costs more propagation.
+        assert sum(
+            depth * count for depth, count in enumerate(adaptive.depth_distribution, start=1)
+        ) <= sum(
+            depth * count for depth, count in enumerate(fixed.depth_distribution, start=1)
+        )
+    # Fixed-depth cost grows with T_max (neighbour explosion).
+    shallow = by_key[(t_values[0], "NAI w/o NAP")]
+    deep = by_key[(t_values[-1], "NAI w/o NAP")]
+    assert deep.time_ms_per_node >= shallow.time_ms_per_node * 0.8
+
+
+def test_table7_arxiv(benchmark, arxiv_context, profile):
+    rows = run_once(benchmark, run_nap_ablation, "arxiv-sim", profile=profile)
+    _print_rows("arxiv-sim", rows)
+    _check_shape(rows)
+    for row in rows:
+        benchmark.extra_info[f"{row.method}@{row.t_max}_acc"] = round(row.accuracy, 4)
+
+
+def test_table7_products(benchmark, products_context, profile):
+    rows = run_once(benchmark, run_nap_ablation, "products-sim", profile=profile)
+    _print_rows("products-sim", rows)
+    _check_shape(rows)

@@ -1,0 +1,34 @@
+"""Table VIII: ablation of Inception Distillation on the shallowest classifier.
+
+Paper reference (Table VIII): the accuracy of f^(1) (the classifier every
+aggressive early exit relies on) drops when either Single-Scale or
+Multi-Scale Distillation is removed, and drops the most when both are
+removed ("NAI w/o ID").
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import PAPER_DATASETS, run_distillation_ablation
+
+
+def test_table8_distillation_ablation(benchmark, profile):
+    table = run_once(
+        benchmark, run_distillation_ablation, PAPER_DATASETS, profile=profile
+    )
+    print("\nTable VIII — accuracy of f^(1) under distillation ablations")
+    header = f"{'variant':<14}" + "".join(f"{name:>16}" for name in PAPER_DATASETS)
+    print(header)
+    for variant, per_dataset in table.items():
+        row = f"{variant:<14}" + "".join(
+            f"{per_dataset[name] * 100:>16.2f}" for name in PAPER_DATASETS
+        )
+        print(row)
+        for name, accuracy in per_dataset.items():
+            benchmark.extra_info[f"{variant}@{name}"] = round(accuracy, 4)
+
+    # Full Inception Distillation should not be worse than no distillation on
+    # average across datasets (the paper reports consistent gains).
+    mean = lambda variant: sum(table[variant].values()) / len(table[variant])
+    assert mean("NAI") >= mean("NAI w/o ID") - 0.01

@@ -1,0 +1,45 @@
+"""Shared fixtures and profile for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Model training
+happens inside session-scoped fixtures (or the process-level experiment
+cache), so the numbers produced by ``--benchmark-only`` measure inference /
+experiment execution, not training.  Results are printed to stdout (run with
+``-s`` to see them live) and the headline numbers are attached to the
+pytest-benchmark JSON via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BENCHMARK_PROFILE, ExperimentProfile, get_context
+
+#: Profile used by all benchmarks.  Scale 1.0 keeps the three datasets at
+#: their default sizes (1.8k / 2.4k / 4k nodes) so the full suite finishes in
+#: minutes on a laptop CPU while preserving the paper's relative ordering.
+PROFILE: ExperimentProfile = BENCHMARK_PROFILE
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentProfile:
+    return PROFILE
+
+
+@pytest.fixture(scope="session")
+def flickr_context(profile):
+    return get_context("flickr-sim", profile=profile)
+
+
+@pytest.fixture(scope="session")
+def arxiv_context(profile):
+    return get_context("arxiv-sim", profile=profile)
+
+
+@pytest.fixture(scope="session")
+def products_context(profile):
+    return get_context("products-sim", profile=profile)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

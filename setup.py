@@ -1,0 +1,5 @@
+"""Setup shim kept for editable installs in offline environments without the
+``wheel`` package (PEP 660 editable builds require it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Reproduction of "Accelerating Scalable Graph Neural Network Inference with
+Node-Adaptive Propagation" (ICDE 2024).
+
+The top-level namespace re-exports the pieces most users need: the synthetic
+dataset loader, the scalable-GNN backbones, and the :class:`~repro.core.NAI`
+pipeline with its configuration objects.
+"""
+
+from .core import (
+    NAI,
+    load_pipeline,
+    save_pipeline,
+    DistanceNAP,
+    DistillationConfig,
+    GateNAP,
+    GateTrainingConfig,
+    InferenceResult,
+    NAIConfig,
+    NAIPredictor,
+    TrainingConfig,
+)
+from .datasets import NodeClassificationDataset, available_datasets, load_dataset
+from .graph import CSRGraph
+from .models import GAMLP, S2GC, SGC, SIGN, available_backbones, make_backbone
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "DistanceNAP",
+    "DistillationConfig",
+    "GAMLP",
+    "GateNAP",
+    "GateTrainingConfig",
+    "InferenceResult",
+    "NAI",
+    "NAIConfig",
+    "NAIPredictor",
+    "NodeClassificationDataset",
+    "S2GC",
+    "SGC",
+    "SIGN",
+    "TrainingConfig",
+    "available_backbones",
+    "available_datasets",
+    "load_dataset",
+    "load_pipeline",
+    "make_backbone",
+    "save_pipeline",
+]

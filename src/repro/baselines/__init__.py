@@ -1,0 +1,20 @@
+"""Inference-acceleration baselines: GLNN, NOSMOG, TinyGNN and Quantization."""
+
+from .base import DistillationTarget, InferenceBaseline, train_student_mlp
+from .glnn import GLNN
+from .nosmog import NOSMOG, structural_embeddings
+from .quantized import QuantizedInference, quantize_depthwise_classifier
+from .tinygnn import PeerAwareStudent, TinyGNN
+
+__all__ = [
+    "DistillationTarget",
+    "GLNN",
+    "InferenceBaseline",
+    "NOSMOG",
+    "PeerAwareStudent",
+    "QuantizedInference",
+    "TinyGNN",
+    "quantize_depthwise_classifier",
+    "structural_embeddings",
+    "train_student_mlp",
+]

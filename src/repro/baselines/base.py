@@ -1,0 +1,179 @@
+"""Shared infrastructure for the inference-acceleration baselines.
+
+Every baseline implements the same two-phase protocol as the NAI pipeline —
+``fit(dataset, teacher_probs)`` on the training graph followed by
+``predict(dataset, node_ids)`` on unseen nodes — and reports its predictions
+through the same :class:`~repro.core.inference.InferenceResult` structure so
+that the experiment drivers can drop every method into one comparison table.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.inference import InferenceResult, MACBreakdown, TimingBreakdown
+from ..datasets.base import NodeClassificationDataset
+from ..exceptions import NotFittedError
+from ..nn import functional as F
+from ..nn.modules import MLP, Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class DistillationTarget:
+    """Soft teacher predictions used to distil a baseline student.
+
+    Attributes
+    ----------
+    probabilities:
+        ``(n_observed, c)`` teacher class probabilities over the observed
+        (training-graph) nodes, in training-graph node order.
+    temperature:
+        Softmax temperature the probabilities were produced with.
+    """
+
+    probabilities: np.ndarray
+    temperature: float = 1.0
+
+
+class InferenceBaseline(ABC):
+    """Base class for GLNN / NOSMOG / TinyGNN / Quantization baselines."""
+
+    #: short name used in result tables
+    name: str = "baseline"
+
+    def __init__(self) -> None:
+        self.fitted = False
+
+    @abstractmethod
+    def fit(
+        self,
+        dataset: NodeClassificationDataset,
+        teacher: DistillationTarget | None = None,
+    ) -> "InferenceBaseline":
+        """Train the baseline on the dataset's observed nodes."""
+
+    @abstractmethod
+    def predict(
+        self,
+        dataset: NodeClassificationDataset,
+        node_ids: np.ndarray,
+    ) -> InferenceResult:
+        """Classify (unseen) nodes and account MACs and wall-clock time."""
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise NotFittedError(f"{type(self).__name__}.fit must be called before predict")
+
+    def evaluate(self, dataset: NodeClassificationDataset) -> InferenceResult:
+        """Convenience wrapper: predict the dataset's unseen test nodes."""
+        return self.predict(dataset, dataset.split.test_idx)
+
+
+def train_student_mlp(
+    student: Module,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    labeled_idx: np.ndarray,
+    distill_idx: np.ndarray,
+    val_idx: np.ndarray,
+    *,
+    teacher: DistillationTarget | None,
+    epochs: int,
+    lr: float,
+    weight_decay: float,
+    distill_weight: float,
+    patience: int = 30,
+    noise_scale: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> dict[str, list[float]]:
+    """Train an MLP student with optional knowledge distillation.
+
+    Used by GLNN, NOSMOG and TinyGNN: the loss is a mixture of hard-label
+    cross entropy (on ``labeled_idx``) and soft cross entropy against the
+    teacher probabilities (on ``distill_idx``).  ``noise_scale`` adds Gaussian
+    feature augmentation at training time (NOSMOG's noise-robust training).
+    """
+    generator = rng if rng is not None else np.random.default_rng()
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    optimizer = Adam(student.parameters(), lr=lr, weight_decay=weight_decay)
+    history: dict[str, list[float]] = {"loss": [], "val_accuracy": []}
+    best_val = -1.0
+    best_state = None
+    stale = 0
+
+    for _ in range(epochs):
+        student.train()
+        optimizer.zero_grad()
+        features = inputs
+        if noise_scale > 0:
+            features = inputs + generator.normal(0.0, noise_scale, size=inputs.shape)
+        labeled_logits = student(Tensor(features[labeled_idx]))
+        loss = F.cross_entropy(labeled_logits, labels[labeled_idx]) * (1.0 - distill_weight)
+        if teacher is not None and distill_weight > 0:
+            distill_logits = student(Tensor(features[distill_idx]))
+            temperature = teacher.temperature
+            soft = F.soft_cross_entropy(
+                distill_logits * (1.0 / temperature), teacher.probabilities[distill_idx]
+            )
+            loss = loss + soft * (distill_weight * temperature ** 2)
+        loss.backward()
+        optimizer.step()
+        history["loss"].append(float(loss.data))
+
+        student.eval()
+        if val_idx.size:
+            val_logits = student(Tensor(inputs[val_idx]))
+            val_acc = F.accuracy_from_logits(val_logits, labels[val_idx])
+        else:
+            val_acc = float("nan")
+        history["val_accuracy"].append(val_acc)
+        if np.isnan(val_acc) or val_acc > best_val:
+            best_val = 0.0 if np.isnan(val_acc) else val_acc
+            best_state = student.state_dict()
+            stale = 0
+        else:
+            stale += 1
+        if stale >= patience:
+            break
+
+    if best_state is not None:
+        student.load_state_dict(best_state)
+    student.eval()
+    return history
+
+
+def single_depth_result(
+    node_ids: np.ndarray,
+    predictions: np.ndarray,
+    *,
+    macs: MACBreakdown,
+    timings: TimingBreakdown,
+    depth: int = 1,
+) -> InferenceResult:
+    """Wrap baseline predictions in an :class:`InferenceResult` at a fixed depth."""
+    node_ids = np.asarray(node_ids, dtype=np.int64)
+    return InferenceResult(
+        node_ids=node_ids,
+        predictions=np.asarray(predictions, dtype=np.int64),
+        depths=np.full(node_ids.shape[0], depth, dtype=np.int64),
+        macs=macs,
+        timings=timings,
+        max_depth=depth,
+    )
+
+
+def mlp_student(
+    in_features: int,
+    num_classes: int,
+    hidden_dims: tuple[int, ...],
+    dropout: float,
+    rng: np.random.Generator,
+) -> MLP:
+    """Factory for baseline student MLPs (keeps the constructors uniform)."""
+    return MLP(in_features, num_classes, hidden_dims, dropout=dropout, rng=rng)

@@ -1,0 +1,123 @@
+"""GLNN baseline (Zhang et al., ICLR 2022): graph-less neural network.
+
+GLNN distils a trained GNN teacher into a plain MLP that consumes raw node
+features only.  Inference therefore needs no neighbour fetching or feature
+propagation at all — it is the fastest baseline in the paper's tables — but
+it ignores topology entirely, which hurts accuracy on unseen (inductive)
+nodes.  Following the paper's protocol the student MLP may be made wider
+than the teacher (``hidden_multiplier``) to partially compensate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.inference import InferenceResult, MACBreakdown, TimingBreakdown
+from ..datasets.base import NodeClassificationDataset
+from ..models.base import mlp_macs_per_node
+from ..nn.tensor import Tensor
+from .base import (
+    DistillationTarget,
+    InferenceBaseline,
+    mlp_student,
+    single_depth_result,
+    train_student_mlp,
+)
+
+
+class GLNN(InferenceBaseline):
+    """MLP student distilled from a scalable-GNN teacher.
+
+    Parameters
+    ----------
+    hidden_dims:
+        Hidden layer sizes of the student (before the width multiplier).
+    hidden_multiplier:
+        Width multiplier applied to every hidden layer (the paper uses 4x /
+        8x on the larger datasets).
+    distill_weight / temperature:
+        Knowledge-distillation mixing weight ``λ`` and softmax temperature.
+    """
+
+    name = "GLNN"
+
+    def __init__(
+        self,
+        *,
+        hidden_dims: tuple[int, ...] = (64,),
+        hidden_multiplier: int = 1,
+        dropout: float = 0.1,
+        distill_weight: float = 0.7,
+        temperature: float = 1.0,
+        epochs: int = 150,
+        lr: float = 0.01,
+        weight_decay: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.hidden_dims = tuple(int(h * hidden_multiplier) for h in hidden_dims)
+        self.dropout = dropout
+        self.distill_weight = distill_weight
+        self.temperature = temperature
+        self.epochs = epochs
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.rng = np.random.default_rng(rng)
+        self.student = None
+        self.history: dict[str, list[float]] | None = None
+
+    def fit(
+        self,
+        dataset: NodeClassificationDataset,
+        teacher: DistillationTarget | None = None,
+    ) -> "GLNN":
+        partition = dataset.partition()
+        features = dataset.observed_features()
+        labels = dataset.observed_labels()
+        labeled_local = partition.train_local(dataset.split.train_idx)
+        val_local = partition.train_local(dataset.split.val_idx)
+        distill_local = np.arange(partition.train_graph.num_nodes)
+
+        self.student = mlp_student(
+            dataset.num_features, dataset.num_classes, self.hidden_dims, self.dropout, self.rng
+        )
+        if teacher is not None and teacher.temperature != self.temperature:
+            teacher = DistillationTarget(teacher.probabilities, self.temperature)
+        self.history = train_student_mlp(
+            self.student,
+            features,
+            labels,
+            labeled_local,
+            distill_local,
+            val_local,
+            teacher=teacher,
+            epochs=self.epochs,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            distill_weight=self.distill_weight if teacher is not None else 0.0,
+            rng=self.rng,
+        )
+        self.fitted = True
+        return self
+
+    def predict(
+        self,
+        dataset: NodeClassificationDataset,
+        node_ids: np.ndarray,
+    ) -> InferenceResult:
+        self._require_fitted()
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        macs = MACBreakdown()
+        timings = TimingBreakdown()
+
+        start = time.perf_counter()
+        logits = self.student(Tensor(dataset.features[node_ids]))
+        timings.classification += time.perf_counter() - start
+        macs.classification += (
+            mlp_macs_per_node(dataset.num_features, self.hidden_dims, dataset.num_classes)
+            * node_ids.shape[0]
+        )
+        predictions = logits.data.argmax(axis=1)
+        return single_depth_result(node_ids, predictions, macs=macs, timings=timings, depth=1)

@@ -1,0 +1,47 @@
+"""NAI core: node-adaptive propagation, Inception Distillation, inference engine."""
+
+from .config import DistillationConfig, GateTrainingConfig, NAIConfig, TrainingConfig
+from .distance_nap import DistanceNAP
+from .distillation import DistillationResult, InceptionDistillation
+from .gate_nap import GateNAP, GateTrainingHistory
+from .inference import (
+    InferenceResult,
+    MACBreakdown,
+    NAIPredictor,
+    TimingBreakdown,
+)
+from .pipeline import NAI, FitReport
+from .serialization import load_pipeline, save_pipeline
+from .stationary import StationaryState, compute_stationary_state
+from .training import (
+    TrainingHistory,
+    evaluate_classifier,
+    predict_logits,
+    train_classifier,
+)
+
+__all__ = [
+    "DistanceNAP",
+    "DistillationConfig",
+    "DistillationResult",
+    "FitReport",
+    "GateNAP",
+    "GateTrainingConfig",
+    "GateTrainingHistory",
+    "InceptionDistillation",
+    "InferenceResult",
+    "MACBreakdown",
+    "NAI",
+    "NAIConfig",
+    "NAIPredictor",
+    "load_pipeline",
+    "StationaryState",
+    "TimingBreakdown",
+    "TrainingConfig",
+    "TrainingHistory",
+    "compute_stationary_state",
+    "evaluate_classifier",
+    "predict_logits",
+    "save_pipeline",
+    "train_classifier",
+]

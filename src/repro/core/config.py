@@ -1,0 +1,151 @@
+"""Configuration dataclasses for training, distillation and NAI inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters for training one classifier (or the gate stack).
+
+    Mirrors Table III / IV of the paper: learning rate, weight decay and the
+    number of optimisation epochs.
+    """
+
+    epochs: int = 150
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    patience: int = 30
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be positive, got {self.epochs}")
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {self.lr}")
+        if self.weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {self.weight_decay}")
+        if self.patience < 1:
+            raise ConfigurationError(f"patience must be positive, got {self.patience}")
+
+    def with_updates(self, **kwargs) -> "TrainingConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class DistillationConfig:
+    """Hyper-parameters of Inception Distillation (Section III-C).
+
+    Attributes
+    ----------
+    temperature_single / lambda_single:
+        ``T`` and ``λ`` of the Single-Scale Distillation loss (Eq. 17).
+    temperature_multi / lambda_multi:
+        ``T`` and ``λ`` of the Multi-Scale Distillation loss (Eq. 19).
+    ensemble_size:
+        ``r`` — how many of the deepest classifiers vote in the ensemble
+        teacher (Eq. 18).
+    enable_single_scale / enable_multi_scale:
+        Ablation switches used by Table VIII.
+    """
+
+    temperature_single: float = 1.2
+    lambda_single: float = 0.6
+    temperature_multi: float = 1.9
+    lambda_multi: float = 0.8
+    ensemble_size: int = 3
+    enable_single_scale: bool = True
+    enable_multi_scale: bool = True
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+
+    def __post_init__(self) -> None:
+        for name in ("temperature_single", "temperature_multi"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        for name in ("lambda_single", "lambda_multi"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if self.ensemble_size < 1:
+            raise ConfigurationError(f"ensemble_size must be positive, got {self.ensemble_size}")
+
+    def with_updates(self, **kwargs) -> "DistillationConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class NAIConfig:
+    """Inference-time hyper-parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    t_min / t_max:
+        Minimum and maximum propagation depth (``1 ≤ T_min ≤ T_max ≤ k``).
+    distance_threshold:
+        ``T_s`` — the smoothness threshold of the distance-based NAP.  Nodes
+        whose distance to the stationary state drops below it are classified
+        immediately.  Ignored by the gate-based NAP.
+    batch_size:
+        Inference batch size (the paper's default is 500).
+    """
+
+    t_min: int = 1
+    t_max: int = 1
+    distance_threshold: float = 0.0
+    batch_size: int = 500
+
+    def __post_init__(self) -> None:
+        if self.t_min < 1:
+            raise ConfigurationError(f"t_min must be at least 1, got {self.t_min}")
+        if self.t_max < self.t_min:
+            raise ConfigurationError(
+                f"t_max ({self.t_max}) must be >= t_min ({self.t_min})"
+            )
+        if self.distance_threshold < 0:
+            raise ConfigurationError("distance_threshold must be non-negative")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+
+    def validated_against_depth(self, depth: int) -> "NAIConfig":
+        """Check the config against a backbone of maximum depth ``depth``."""
+        if self.t_max > depth:
+            raise ConfigurationError(
+                f"t_max ({self.t_max}) exceeds the backbone propagation depth ({depth})"
+            )
+        return self
+
+    def with_updates(self, **kwargs) -> "NAIConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class GateTrainingConfig:
+    """Hyper-parameters for training the NAP gates (Section III-A2)."""
+
+    epochs: int = 60
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    gumbel_temperature: float = 1.0
+    penalty_mu: float = 1000.0
+    penalty_phi: float = 1000.0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be positive, got {self.epochs}")
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {self.lr}")
+        if self.gumbel_temperature <= 0:
+            raise ConfigurationError("gumbel_temperature must be positive")
+        if self.penalty_mu <= 0 or self.penalty_phi <= 0:
+            raise ConfigurationError("penalty constants must be positive")
+
+    def with_updates(self, **kwargs) -> "GateTrainingConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,99 @@
+"""Distance-based Node-Adaptive Propagation (NAP_d, Section III-A1).
+
+NAP_d measures the smoothness of a node's propagated feature *explicitly*: the
+l2 distance between ``X^(l)_i`` and the stationary feature ``X^(∞)_i``
+(Eq. 8).  Once the distance drops below the global threshold ``T_s`` the node
+is considered smooth enough, its propagation stops, and the depth-``l``
+classifier predicts it (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..graph.propagation import smoothness_distance
+
+
+@dataclass(frozen=True)
+class DistanceNAP:
+    """Early-exit policy based on the distance to the stationary state.
+
+    Parameters
+    ----------
+    threshold:
+        The global smoothness threshold ``T_s``.  Larger thresholds terminate
+        propagation earlier (faster, potentially less accurate); ``0`` never
+        terminates early.
+    """
+
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ConfigurationError(
+                f"distance threshold must be non-negative, got {self.threshold}"
+            )
+
+    def should_exit(
+        self,
+        propagated: np.ndarray,
+        stationary: np.ndarray,
+        depth: int,
+    ) -> np.ndarray:
+        """Boolean mask of nodes whose propagation terminates at ``depth``.
+
+        Parameters
+        ----------
+        propagated:
+            ``(b, f)`` propagated features ``X^(l)`` of the *remaining* batch
+            nodes.
+        stationary:
+            ``(b, f)`` stationary features ``X^(∞)`` of the same nodes.
+        depth:
+            Current propagation depth (unused by the distance rule but part
+            of the shared policy interface).
+        """
+        if propagated.shape != stationary.shape:
+            raise ShapeError(
+                f"propagated {propagated.shape} and stationary {stationary.shape} shapes differ"
+            )
+        distances = smoothness_distance(propagated, stationary)
+        return distances < self.threshold
+
+    def distances(self, propagated: np.ndarray, stationary: np.ndarray) -> np.ndarray:
+        """Return the raw per-node distances ``Δ^(l)_i`` (useful for analysis)."""
+        return smoothness_distance(propagated, stationary)
+
+    def decision_macs_per_node(self, num_features: int) -> float:
+        """MACs of one distance evaluation for a single node (≈ f)."""
+        return float(num_features)
+
+    def personalised_depths(
+        self,
+        propagated_per_depth: list[np.ndarray],
+        stationary: np.ndarray,
+        *,
+        t_min: int = 1,
+        t_max: int | None = None,
+    ) -> np.ndarray:
+        """Offline helper: the personalised depth ``L(v_i, T_s)`` for every node.
+
+        ``propagated_per_depth`` is ``[X^(0), X^(1), ...]`` restricted to the
+        nodes of interest.  Depths below ``t_min`` are never selected and
+        nodes that never cross the threshold receive ``t_max``.
+        """
+        max_depth = len(propagated_per_depth) - 1 if t_max is None else t_max
+        if max_depth < t_min:
+            raise ConfigurationError("t_max must be >= t_min")
+        num_nodes = stationary.shape[0]
+        depths = np.full(num_nodes, max_depth, dtype=np.int64)
+        undecided = np.ones(num_nodes, dtype=bool)
+        for depth in range(t_min, max_depth):
+            exits = self.should_exit(propagated_per_depth[depth], stationary, depth)
+            newly = undecided & exits
+            depths[newly] = depth
+            undecided &= ~newly
+        return depths

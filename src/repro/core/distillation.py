@@ -1,0 +1,326 @@
+"""Inception Distillation (Section III-C of the paper).
+
+The per-depth classifiers ``f^(1) .. f^(k)`` that the NAI framework relies on
+are trained in three stages:
+
+1. **Base training** — the deepest classifier ``f^(k)`` is trained with plain
+   cross entropy on the labelled nodes.
+2. **Single-Scale Distillation** (Eq. 14-17) — every shallower classifier
+   ``f^(l)`` is trained with a mixture of hard-label cross entropy and a
+   soft-target distillation term whose teacher is ``f^(k)``.
+3. **Multi-Scale Distillation** (Eq. 18-21) — an ensemble teacher is built by
+   attention-weighted voting over the ``r`` deepest (already enhanced)
+   classifiers, and every shallower classifier is refined against it.  The
+   attention vectors of the ensemble are trained jointly with each student,
+   acting as a learned regulariser.
+
+The ablation switches in :class:`~repro.core.config.DistillationConfig`
+reproduce the "w/o ID", "w/o SS" and "w/o MS" rows of Table VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..models.base import DepthwiseClassifier, ScalableGNN
+from ..nn import functional as F
+from ..nn.init import normal
+from ..nn.modules import Parameter
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, concatenate
+from .config import DistillationConfig, TrainingConfig
+from .training import TrainingHistory, predict_logits, train_classifier
+
+
+@dataclass
+class DistillationResult:
+    """Everything produced by :meth:`InceptionDistillation.train`.
+
+    Attributes
+    ----------
+    classifiers:
+        ``[f^(1), ..., f^(k)]`` — index ``l-1`` holds the classifier for
+        propagation depth ``l``.
+    histories:
+        Training history per stage and depth, keyed by ``"base"``,
+        ``"single:<depth>"`` and ``"multi:<depth>"``.
+    """
+
+    classifiers: list[DepthwiseClassifier]
+    histories: dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def classifier_at(self, depth: int) -> DepthwiseClassifier:
+        """Return ``f^(depth)`` (1-indexed, as in the paper)."""
+        if not 1 <= depth <= len(self.classifiers):
+            raise ConfigurationError(
+                f"depth must lie in [1, {len(self.classifiers)}], got {depth}"
+            )
+        return self.classifiers[depth - 1]
+
+
+class InceptionDistillation:
+    """Trainer for the per-depth classifiers of a scalable-GNN backbone."""
+
+    def __init__(
+        self,
+        backbone: ScalableGNN,
+        *,
+        config: DistillationConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.backbone = backbone
+        self.config = config if config is not None else DistillationConfig()
+        self.rng = np.random.default_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        propagated: Sequence[np.ndarray],
+        labels: np.ndarray,
+        labeled_idx: np.ndarray,
+        distill_idx: np.ndarray,
+        val_idx: np.ndarray,
+    ) -> DistillationResult:
+        """Train ``f^(1) .. f^(k)`` with Inception Distillation.
+
+        Parameters
+        ----------
+        propagated:
+            Precomputed ``[X^(0), ..., X^(k)]`` on the training graph.
+        labels:
+            Integer labels for every training-graph node (only the rows in
+            ``labeled_idx`` and ``val_idx`` are ever read).
+        labeled_idx:
+            Labelled node set ``V_l`` (hard-label supervision).
+        distill_idx:
+            Distillation node set ``V_train`` (labelled + unlabelled observed
+            nodes) over which soft targets are matched.
+        val_idx:
+            Validation nodes for early stopping / model selection.
+        """
+        depth = self.backbone.depth
+        if len(propagated) < depth + 1:
+            raise ConfigurationError(
+                f"expected {depth + 1} propagated matrices, got {len(propagated)}"
+            )
+        labels = np.asarray(labels, dtype=np.int64)
+        labeled_idx = np.asarray(labeled_idx, dtype=np.int64)
+        distill_idx = np.asarray(distill_idx, dtype=np.int64)
+        val_idx = np.asarray(val_idx, dtype=np.int64)
+
+        classifiers = self.backbone.make_all_classifiers()
+        result = DistillationResult(classifiers=classifiers)
+        train_cfg = self.config.training
+
+        # Stage 1: base training of the deepest classifier with cross entropy.
+        history = train_classifier(
+            classifiers[depth - 1], propagated, labels, labeled_idx, val_idx, config=train_cfg
+        )
+        result.histories["base"] = history
+
+        # Stage 2: single-scale distillation (or plain CE when disabled).
+        teacher_logits = predict_logits(classifiers[depth - 1], propagated, distill_idx)
+        for student_depth in range(1, depth):
+            key = f"single:{student_depth}"
+            student = classifiers[student_depth - 1]
+            if self.config.enable_single_scale:
+                result.histories[key] = self._train_single_scale(
+                    student, propagated, labels, labeled_idx, distill_idx, val_idx,
+                    teacher_logits=teacher_logits, config=train_cfg,
+                )
+            else:
+                result.histories[key] = train_classifier(
+                    student, propagated, labels, labeled_idx, val_idx, config=train_cfg
+                )
+
+        # Stage 3: multi-scale distillation against the ensemble teacher.
+        if self.config.enable_multi_scale and depth >= 2:
+            ensemble_depths = self._ensemble_depths()
+            member_probs = {
+                member: F.softmax(Tensor(predict_logits(classifiers[member - 1], propagated)), axis=1).data
+                for member in ensemble_depths
+            }
+            attention = {
+                member: Parameter(
+                    normal(self.backbone.num_classes, 1, scale=0.05, rng=self.rng),
+                    name=f"ensemble_s_{member}",
+                )
+                for member in ensemble_depths
+            }
+            for student_depth in range(1, depth):
+                key = f"multi:{student_depth}"
+                result.histories[key] = self._train_multi_scale(
+                    classifiers[student_depth - 1],
+                    propagated,
+                    labels,
+                    labeled_idx,
+                    distill_idx,
+                    val_idx,
+                    member_probs=member_probs,
+                    attention=attention,
+                    config=train_cfg,
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: single-scale distillation
+    # ------------------------------------------------------------------ #
+    def _train_single_scale(
+        self,
+        student: DepthwiseClassifier,
+        propagated: Sequence[np.ndarray],
+        labels: np.ndarray,
+        labeled_idx: np.ndarray,
+        distill_idx: np.ndarray,
+        val_idx: np.ndarray,
+        *,
+        teacher_logits: np.ndarray,
+        config: TrainingConfig,
+    ) -> TrainingHistory:
+        temperature = self.config.temperature_single
+        lam = self.config.lambda_single
+        teacher_soft = F.softmax(Tensor(teacher_logits), axis=1, temperature=temperature).data
+
+        optimizer = Adam(student.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+        history = TrainingHistory(train_loss=[], val_accuracy=[], best_epoch=-1, best_val_accuracy=-1.0)
+        best_state = None
+        stale = 0
+        for epoch in range(config.epochs):
+            student.train()
+            optimizer.zero_grad()
+            distill_logits = student([Tensor(m[distill_idx]) for m in propagated])
+            labeled_logits = student([Tensor(m[labeled_idx]) for m in propagated])
+            hard_loss = F.cross_entropy(labeled_logits, labels[labeled_idx])
+            soft_loss = F.soft_cross_entropy(
+                distill_logits * (1.0 / temperature), teacher_soft
+            )
+            loss = hard_loss * (1.0 - lam) + soft_loss * (lam * temperature ** 2)
+            loss.backward()
+            optimizer.step()
+            history.train_loss.append(float(loss.data))
+
+            student.eval()
+            val_acc = self._validation_accuracy(student, propagated, labels, val_idx)
+            history.val_accuracy.append(val_acc)
+            if np.isnan(val_acc) or val_acc > history.best_val_accuracy:
+                history.best_val_accuracy = 0.0 if np.isnan(val_acc) else val_acc
+                history.best_epoch = epoch
+                best_state = student.state_dict()
+                stale = 0
+            else:
+                stale += 1
+            if stale >= config.patience:
+                break
+        if best_state is not None:
+            student.load_state_dict(best_state)
+        student.eval()
+        return history
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: multi-scale distillation
+    # ------------------------------------------------------------------ #
+    def _ensemble_depths(self) -> list[int]:
+        """Depths ``k-r+1 .. k`` voting in the ensemble teacher (Eq. 18)."""
+        depth = self.backbone.depth
+        size = min(self.config.ensemble_size, depth)
+        return list(range(depth - size + 1, depth + 1))
+
+    def _ensemble_prediction(
+        self,
+        member_probs: dict[int, np.ndarray],
+        attention: dict[int, Parameter],
+        node_idx: np.ndarray,
+    ) -> Tensor:
+        """Attention-weighted ensemble prediction ``z̄`` for ``node_idx`` (Eq. 18)."""
+        members = sorted(member_probs)
+        scores = []
+        for member in members:
+            probs = Tensor(member_probs[member][node_idx])
+            scores.append((probs @ attention[member]).sigmoid())
+        stacked = concatenate(scores, axis=1)
+        shifted = stacked - Tensor(stacked.data.max(axis=1, keepdims=True))
+        exponentials = shifted.exp()
+        weights = exponentials / exponentials.sum(axis=1, keepdims=True)
+        combined = None
+        for position, member in enumerate(members):
+            contribution = Tensor(member_probs[member][node_idx]) * weights[:, position:position + 1]
+            combined = contribution if combined is None else combined + contribution
+        return F.softmax(combined, axis=1)
+
+    def _train_multi_scale(
+        self,
+        student: DepthwiseClassifier,
+        propagated: Sequence[np.ndarray],
+        labels: np.ndarray,
+        labeled_idx: np.ndarray,
+        distill_idx: np.ndarray,
+        val_idx: np.ndarray,
+        *,
+        member_probs: dict[int, np.ndarray],
+        attention: dict[int, Parameter],
+        config: TrainingConfig,
+    ) -> TrainingHistory:
+        temperature = self.config.temperature_multi
+        lam = self.config.lambda_multi
+        label_targets = F.one_hot(labels[labeled_idx], self.backbone.num_classes)
+
+        parameters = list(student.parameters()) + list(attention.values())
+        optimizer = Adam(parameters, lr=config.lr, weight_decay=config.weight_decay)
+        history = TrainingHistory(train_loss=[], val_accuracy=[], best_epoch=-1, best_val_accuracy=-1.0)
+        best_state = None
+        stale = 0
+        for epoch in range(config.epochs):
+            student.train()
+            optimizer.zero_grad()
+            # Ensemble teacher (Eq. 18) and its hard-label constraint (Eq. 20).
+            teacher_labeled = self._ensemble_prediction(member_probs, attention, labeled_idx)
+            teacher_loss = F.soft_target_cross_entropy(teacher_labeled, label_targets)
+            # Student losses (Eq. 16 and Eq. 21).
+            labeled_logits = student([Tensor(m[labeled_idx]) for m in propagated])
+            distill_logits = student([Tensor(m[distill_idx]) for m in propagated])
+            hard_loss = F.cross_entropy(labeled_logits, labels[labeled_idx])
+            teacher_distill = self._ensemble_prediction(member_probs, attention, distill_idx)
+            soft_targets = F.softmax(teacher_distill, axis=1, temperature=temperature)
+            soft_loss = F.soft_cross_entropy(distill_logits * (1.0 / temperature), soft_targets)
+            loss = teacher_loss + hard_loss * (1.0 - lam) + soft_loss * (lam * temperature ** 2)
+            loss.backward()
+            optimizer.step()
+            history.train_loss.append(float(loss.data))
+
+            student.eval()
+            val_acc = self._validation_accuracy(student, propagated, labels, val_idx)
+            history.val_accuracy.append(val_acc)
+            if np.isnan(val_acc) or val_acc > history.best_val_accuracy:
+                history.best_val_accuracy = 0.0 if np.isnan(val_acc) else val_acc
+                history.best_epoch = epoch
+                best_state = student.state_dict()
+                stale = 0
+            else:
+                stale += 1
+            if stale >= config.patience:
+                break
+        if best_state is not None:
+            student.load_state_dict(best_state)
+        student.eval()
+        return history
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validation_accuracy(
+        student: DepthwiseClassifier,
+        propagated: Sequence[np.ndarray],
+        labels: np.ndarray,
+        val_idx: np.ndarray,
+    ) -> float:
+        if val_idx.size == 0:
+            return float("nan")
+        logits = student([Tensor(m[val_idx]) for m in propagated])
+        return F.accuracy_from_logits(logits, labels[val_idx])

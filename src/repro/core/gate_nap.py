@@ -1,0 +1,282 @@
+"""Gate-based Node-Adaptive Propagation (NAP_g, Section III-A2).
+
+A lightweight gate ``g^(l)`` sits after every propagation step ``l < k``.  It
+receives the concatenation of the node's propagated feature ``X^(l)_i`` and
+the carried reference ``X̂^(l)_i`` (initialised to the stationary feature
+``X^(∞)_i``), projects it with a ``2f × 2`` weight matrix, and emits a one-hot
+mask through a Gumbel-softmax (Eq. 11).  A cumulative penalty term ensures
+every node is selected by exactly one gate; unselected nodes fall through to
+the deepest classifier.  Gates are trained end-to-end against the *frozen*
+per-depth classifiers with cross entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..nn import functional as F
+from ..nn.init import xavier_uniform
+from ..nn.modules import Parameter
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, concatenate
+from .config import GateTrainingConfig
+
+
+@dataclass
+class GateTrainingHistory:
+    """Loss / accuracy trace of the end-to-end gate training."""
+
+    loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    selection_counts: list[list[int]] = field(default_factory=list)
+
+
+class GateNAP:
+    """Trainable early-exit gates, one per propagation depth ``1 .. k-1``.
+
+    Parameters
+    ----------
+    num_features:
+        Raw feature dimension ``f`` (gates compare features in input space).
+    depth:
+        Maximum propagation depth ``k`` of the backbone; ``k - 1`` gates are
+        created.
+    config:
+        Gate-training hyper-parameters (Gumbel temperature, penalty constants,
+        optimiser settings).
+    rng:
+        Randomness source for weight initialisation and Gumbel noise.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        depth: int,
+        *,
+        config: GateTrainingConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if depth < 2:
+            raise ConfigurationError(
+                f"gate-based NAP needs a backbone depth of at least 2, got {depth}"
+            )
+        if num_features < 1:
+            raise ConfigurationError("num_features must be positive")
+        self.num_features = num_features
+        self.depth = depth
+        self.config = config if config is not None else GateTrainingConfig()
+        self.rng = np.random.default_rng(rng)
+        self.weights: list[Parameter] = [
+            Parameter(xavier_uniform(2 * num_features, 2, rng=self.rng), name=f"gate_{l}")
+            for l in range(1, depth)
+        ]
+        self.fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Training (Figure 3)
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        propagated: Sequence[np.ndarray],
+        stationary: np.ndarray,
+        classifier_logits: Sequence[np.ndarray],
+        labels: np.ndarray,
+        *,
+        val_propagated: Sequence[np.ndarray] | None = None,
+        val_stationary: np.ndarray | None = None,
+        val_classifier_logits: Sequence[np.ndarray] | None = None,
+        val_labels: np.ndarray | None = None,
+    ) -> GateTrainingHistory:
+        """Train all gates end-to-end against frozen classifier outputs.
+
+        Parameters
+        ----------
+        propagated:
+            ``[X^(0), ..., X^(k)]`` restricted to the training nodes.
+        stationary:
+            ``X^(∞)`` for the same nodes, shape ``(b, f)``.
+        classifier_logits:
+            ``[z^(1), ..., z^(k)]`` — logits of the frozen classifiers
+            ``f^(1..k)`` on the same nodes.
+        labels:
+            Integer labels of the training nodes.
+        val_propagated, val_stationary, val_classifier_logits, val_labels:
+            Optional validation arrays.  When provided, the gate weights with
+            the best *deterministic* adaptive-inference accuracy on the
+            validation nodes are kept (the same model-selection protocol the
+            classifiers use).
+        """
+        if len(propagated) < self.depth + 1:
+            raise ShapeError(
+                f"expected {self.depth + 1} propagated matrices, got {len(propagated)}"
+            )
+        if len(classifier_logits) != self.depth:
+            raise ShapeError(
+                f"expected {self.depth} classifier logit matrices, got {len(classifier_logits)}"
+            )
+        labels = np.asarray(labels, dtype=np.int64)
+        stationary = np.asarray(stationary, dtype=np.float64)
+        num_nodes = stationary.shape[0]
+        if labels.shape[0] != num_nodes:
+            raise ShapeError("labels and stationary features disagree on the number of nodes")
+
+        cfg = self.config
+        optimizer = Adam([w for w in self.weights], lr=cfg.lr, weight_decay=cfg.weight_decay)
+        history = GateTrainingHistory()
+        logits_const = [np.asarray(z, dtype=np.float64) for z in classifier_logits]
+        use_validation = (
+            val_propagated is not None
+            and val_stationary is not None
+            and val_classifier_logits is not None
+            and val_labels is not None
+        )
+        best_val = -1.0
+        best_weights: list[np.ndarray] | None = None
+
+        for _ in range(cfg.epochs):
+            optimizer.zero_grad()
+            combined, selection_masses = self._forward_soft(propagated, stationary, logits_const)
+            loss = F.cross_entropy(combined, labels)
+            loss.backward()
+            optimizer.step()
+
+            history.loss.append(float(loss.data))
+            history.train_accuracy.append(F.accuracy_from_logits(combined, labels))
+            counts = [int(round(float(mass.data.sum()))) for mass in selection_masses]
+            counts.append(max(num_nodes - sum(counts), 0))
+            history.selection_counts.append(counts)
+
+            if use_validation:
+                self.fitted = True
+                val_acc = self._deterministic_accuracy(
+                    val_propagated, np.asarray(val_stationary, dtype=np.float64),
+                    [np.asarray(z) for z in val_classifier_logits],
+                    np.asarray(val_labels, dtype=np.int64),
+                )
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_weights = [w.data.copy() for w in self.weights]
+
+        if best_weights is not None:
+            for weight, snapshot in zip(self.weights, best_weights):
+                weight.data = snapshot
+        self.fitted = True
+        return history
+
+    def _deterministic_accuracy(
+        self,
+        propagated: Sequence[np.ndarray],
+        stationary: np.ndarray,
+        classifier_logits: list[np.ndarray],
+        labels: np.ndarray,
+    ) -> float:
+        """Accuracy of deterministic gate-based adaptive inference on held-out nodes."""
+        depths = self.personalised_depths(propagated, stationary)
+        predictions = np.empty(labels.shape[0], dtype=np.int64)
+        for depth in range(1, self.depth + 1):
+            mask = depths == depth
+            if mask.any():
+                predictions[mask] = classifier_logits[depth - 1][mask].argmax(axis=1)
+        return float((predictions == labels).mean())
+
+    def _forward_soft(
+        self,
+        propagated: Sequence[np.ndarray],
+        stationary: np.ndarray,
+        classifier_logits: list[np.ndarray],
+    ) -> tuple[Tensor, list[Tensor]]:
+        """Differentiable forward pass through the gate cascade (Eq. 11-12)."""
+        cfg = self.config
+        num_nodes = stationary.shape[0]
+        carried = Tensor(stationary)
+        penalty = Tensor(np.zeros((num_nodes, 1)))
+        combined: Tensor | None = None
+        total_selected: Tensor | None = None
+        selection_masses: list[Tensor] = []
+
+        for gate_index, weight in enumerate(self.weights):
+            depth = gate_index + 1
+            current = Tensor(np.asarray(propagated[depth], dtype=np.float64))
+            gate_input = concatenate([current, carried], axis=1)
+            preference = F.softmax(gate_input @ weight, axis=1)
+            penalised = concatenate(
+                [preference[:, 0:1] - penalty, preference[:, 1:2]], axis=1
+            )
+            mask = F.gumbel_softmax(
+                penalised, temperature=cfg.gumbel_temperature, hard=False, rng=self.rng
+            )
+            select = mask[:, 0:1]
+            keep = mask[:, 1:2]
+            contribution = select * Tensor(classifier_logits[depth - 1])
+            combined = contribution if combined is None else combined + contribution
+            total_selected = select if total_selected is None else total_selected + select
+            selection_masses.append(select)
+            carried = select * current + keep * carried
+            penalty = penalty + Tensor(np.full((num_nodes, 1), cfg.penalty_mu)) * (
+                (select - 0.5) * cfg.penalty_phi
+            ).sigmoid()
+
+        residual = (Tensor(np.ones((num_nodes, 1))) - total_selected).relu()
+        combined = combined + residual * Tensor(classifier_logits[self.depth - 1])
+        return combined, selection_masses
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def should_exit(
+        self,
+        propagated: np.ndarray,
+        stationary: np.ndarray,
+        depth: int,
+    ) -> np.ndarray:
+        """Deterministic gate decision for the remaining nodes at ``depth``.
+
+        Nodes whose gate prefers the propagated feature (mask ``[1, 0]``) exit
+        and are classified by ``f^(depth)``.
+        """
+        if not self.fitted:
+            raise NotFittedError("GateNAP.fit must be called before inference")
+        if not 1 <= depth <= self.depth - 1:
+            raise ConfigurationError(
+                f"gates exist for depths 1..{self.depth - 1}, got {depth}"
+            )
+        propagated = np.asarray(propagated, dtype=np.float64)
+        stationary = np.asarray(stationary, dtype=np.float64)
+        if propagated.shape != stationary.shape:
+            raise ShapeError("propagated and stationary features must have the same shape")
+        gate_input = np.concatenate([propagated, stationary], axis=1)
+        scores = gate_input @ self.weights[depth - 1].data
+        return scores[:, 0] > scores[:, 1]
+
+    def decision_macs_per_node(self, num_features: int | None = None) -> float:
+        """MACs of one gate evaluation for a single node (2f × 2 projection)."""
+        f = self.num_features if num_features is None else num_features
+        return float(4 * f)
+
+    def personalised_depths(
+        self,
+        propagated_per_depth: Sequence[np.ndarray],
+        stationary: np.ndarray,
+        *,
+        t_min: int = 1,
+        t_max: int | None = None,
+    ) -> np.ndarray:
+        """Offline helper: personalised depth (Eq. 13) for every node."""
+        max_depth = self.depth if t_max is None else t_max
+        if max_depth < t_min:
+            raise ConfigurationError("t_max must be >= t_min")
+        num_nodes = stationary.shape[0]
+        depths = np.full(num_nodes, max_depth, dtype=np.int64)
+        undecided = np.ones(num_nodes, dtype=bool)
+        for depth in range(t_min, min(max_depth, self.depth)):
+            if depth > len(propagated_per_depth) - 1:
+                break
+            exits = self.should_exit(propagated_per_depth[depth], stationary, depth)
+            newly = undecided & exits
+            depths[newly] = depth
+            undecided &= ~newly
+        return depths

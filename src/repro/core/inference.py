@@ -1,0 +1,393 @@
+"""The NAI online-inference engine (Algorithm 1 of the paper).
+
+For every inference batch of unseen nodes the engine
+
+1. computes the stationary features ``X^(∞)`` of the batch (Eq. 6-7),
+2. samples the supporting nodes within ``T_max`` hops,
+3. propagates features online, depth by depth, over the supporting subgraph,
+4. after each depth ``l ≥ T_min`` asks the NAP policy (distance- or
+   gate-based) which of the remaining batch nodes can exit, classifies those
+   with ``f^(l)`` and drops them from the batch, and
+5. classifies everything still alive at ``T_max`` with ``f^(T_max)``.
+
+Because exited nodes no longer require deeper propagation, the set of
+supporting rows that actually need to be recomputed shrinks after every
+depth; this is where the paper's speedup comes from, and the engine measures
+it both in wall-clock time and in exact multiply-accumulate counts.
+
+The same engine with ``policy=None`` implements the vanilla fixed-depth
+inference of the underlying scalable GNN ("NAI w/o NAP" in the ablation) —
+set ``t_min = t_max = k`` to recover the original model exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..graph.normalization import NormalizationScheme, normalized_adjacency
+from ..graph.sampling import batch_iterator, k_hop_neighborhood
+from ..graph.sparse import CSRGraph
+from ..models.base import DepthwiseClassifier
+from ..nn.tensor import Tensor
+from .config import NAIConfig
+from .distance_nap import DistanceNAP
+from .gate_nap import GateNAP
+from .stationary import StationaryState, compute_stationary_state
+
+
+@dataclass
+class MACBreakdown:
+    """Multiply-accumulate counts of one inference run, split by procedure."""
+
+    stationary: float = 0.0
+    propagation: float = 0.0
+    decision: float = 0.0
+    classification: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.stationary + self.propagation + self.decision + self.classification
+
+    @property
+    def feature_processing(self) -> float:
+        """Propagation plus decision MACs ("FP MACs" in the paper's tables)."""
+        return self.propagation + self.decision
+
+    def merged_with(self, other: "MACBreakdown") -> "MACBreakdown":
+        return MACBreakdown(
+            stationary=self.stationary + other.stationary,
+            propagation=self.propagation + other.propagation,
+            decision=self.decision + other.decision,
+            classification=self.classification + other.classification,
+        )
+
+
+@dataclass
+class TimingBreakdown:
+    """Wall-clock seconds of one inference run, split by procedure."""
+
+    sampling: float = 0.0
+    stationary: float = 0.0
+    propagation: float = 0.0
+    decision: float = 0.0
+    classification: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.sampling
+            + self.stationary
+            + self.propagation
+            + self.decision
+            + self.classification
+        )
+
+    @property
+    def feature_processing(self) -> float:
+        """Propagation plus decision time ("FP time" in the paper's tables)."""
+        return self.propagation + self.decision
+
+    def merged_with(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            sampling=self.sampling + other.sampling,
+            stationary=self.stationary + other.stationary,
+            propagation=self.propagation + other.propagation,
+            decision=self.decision + other.decision,
+            classification=self.classification + other.classification,
+        )
+
+
+@dataclass
+class InferenceResult:
+    """Predictions plus efficiency accounting for a set of test nodes."""
+
+    node_ids: np.ndarray
+    predictions: np.ndarray
+    depths: np.ndarray
+    macs: MACBreakdown
+    timings: TimingBreakdown
+    max_depth: int
+    logits: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_ids.shape[0])
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        """Accuracy against the global label vector."""
+        labels = np.asarray(labels)
+        return float((self.predictions == labels[self.node_ids]).mean())
+
+    def depth_distribution(self) -> list[int]:
+        """Number of nodes classified at each depth ``1..max_depth`` (Table VI)."""
+        counts = np.bincount(self.depths, minlength=self.max_depth + 1)
+        return [int(c) for c in counts[1:self.max_depth + 1]]
+
+    def average_depth(self) -> float:
+        """The average personalised propagation depth ``q`` of Table I."""
+        return float(self.depths.mean()) if self.depths.size else 0.0
+
+    def macs_per_node(self) -> float:
+        """Total MACs averaged over the classified nodes."""
+        return self.macs.total / max(self.num_nodes, 1)
+
+    def feature_processing_macs_per_node(self) -> float:
+        """Feature-processing MACs averaged over the classified nodes."""
+        return self.macs.feature_processing / max(self.num_nodes, 1)
+
+    def time_per_node(self) -> float:
+        """Total inference seconds averaged over the classified nodes."""
+        return self.timings.total / max(self.num_nodes, 1)
+
+    def feature_processing_time_per_node(self) -> float:
+        """Feature-processing seconds averaged over the classified nodes."""
+        return self.timings.feature_processing / max(self.num_nodes, 1)
+
+
+class NAIPredictor:
+    """Node-Adaptive Inference engine for a trained scalable-GNN backbone.
+
+    Parameters
+    ----------
+    classifiers:
+        ``[f^(1), ..., f^(k)]`` trained by
+        :class:`~repro.core.distillation.InceptionDistillation` (or plain CE).
+    policy:
+        :class:`DistanceNAP`, :class:`GateNAP` or ``None`` (no early exit).
+    config:
+        Inference hyper-parameters (``T_min``, ``T_max``, ``T_s``, batch size).
+    gamma:
+        Convolution coefficient of Eq. (1); must match the training-time
+        propagation.
+    """
+
+    def __init__(
+        self,
+        classifiers: Sequence[DepthwiseClassifier],
+        *,
+        policy: DistanceNAP | GateNAP | None = None,
+        config: NAIConfig | None = None,
+        gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+    ) -> None:
+        if not classifiers:
+            raise ConfigurationError("NAIPredictor needs at least one classifier")
+        self.classifiers = list(classifiers)
+        self.depth = len(self.classifiers)
+        self.policy = policy
+        self.gamma = gamma
+        self.config = (config if config is not None else NAIConfig(t_min=self.depth, t_max=self.depth))
+        self.config.validated_against_depth(self.depth)
+        self._graph: CSRGraph | None = None
+        self._features: np.ndarray | None = None
+        self._a_hat: sp.csr_matrix | None = None
+        self._stationary: StationaryState | None = None
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+    def prepare(self, graph: CSRGraph, features: np.ndarray) -> "NAIPredictor":
+        """Deploy the predictor on the full inference-time graph.
+
+        Builds the (global) normalized adjacency and caches the stationary
+        state.  Called once before any number of :meth:`predict` calls.
+        """
+        self._graph = graph
+        self._features = np.asarray(features, dtype=np.float64)
+        self._a_hat = normalized_adjacency(graph, gamma=self.gamma)
+        self._stationary = compute_stationary_state(graph, self._features, gamma=self.gamma)
+        return self
+
+    def _require_prepared(self) -> None:
+        if self._graph is None or self._a_hat is None or self._stationary is None:
+            raise NotFittedError("call NAIPredictor.prepare(graph, features) before predict")
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict(self, node_ids: np.ndarray, *, keep_logits: bool = False) -> InferenceResult:
+        """Classify ``node_ids`` with node-adaptive propagation (Algorithm 1)."""
+        self._require_prepared()
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            raise ConfigurationError("predict requires at least one node")
+        predictions = np.full(node_ids.shape[0], -1, dtype=np.int64)
+        depths = np.zeros(node_ids.shape[0], dtype=np.int64)
+        logits_store: dict[int, np.ndarray] = {}
+        macs = MACBreakdown()
+        timings = TimingBreakdown()
+
+        position_of = {int(node): pos for pos, node in enumerate(node_ids)}
+        for batch in batch_iterator(node_ids, self.config.batch_size):
+            batch_result = self._predict_batch(batch, keep_logits=keep_logits)
+            macs = macs.merged_with(batch_result.macs)
+            timings = timings.merged_with(batch_result.timings)
+            for local, node in enumerate(batch_result.node_ids):
+                pos = position_of[int(node)]
+                predictions[pos] = batch_result.predictions[local]
+                depths[pos] = batch_result.depths[local]
+            if keep_logits:
+                for node, values in batch_result.logits.items():
+                    logits_store[node] = values
+
+        return InferenceResult(
+            node_ids=node_ids,
+            predictions=predictions,
+            depths=depths,
+            macs=macs,
+            timings=timings,
+            max_depth=self.config.t_max,
+            logits=logits_store,
+        )
+
+    # ------------------------------------------------------------------ #
+    # One batch of Algorithm 1
+    # ------------------------------------------------------------------ #
+    def _predict_batch(self, batch: np.ndarray, *, keep_logits: bool) -> InferenceResult:
+        assert self._graph is not None and self._a_hat is not None
+        assert self._features is not None and self._stationary is not None
+        cfg = self.config
+        num_features = self._features.shape[1]
+        macs = MACBreakdown()
+        timings = TimingBreakdown()
+
+        # Line 2: stationary state of the batch, from the entire graph.
+        start = time.perf_counter()
+        stationary_batch = self._stationary.features_for(batch)
+        timings.stationary += time.perf_counter() - start
+        macs.stationary += (
+            self._graph.num_nodes * num_features + batch.shape[0] * num_features
+        )
+
+        # Line 3: supporting-node sampling up to T_max hops.
+        start = time.perf_counter()
+        support = k_hop_neighborhood(self._graph, batch, cfg.t_max)
+        local_adj = self._a_hat[support.node_ids][:, support.node_ids].tocsr()
+        timings.sampling += time.perf_counter() - start
+
+        local_features = self._features[support.node_ids]
+        num_local = support.node_ids.shape[0]
+        target_local = support.target_local
+
+        predictions = np.full(batch.shape[0], -1, dtype=np.int64)
+        assigned_depth = np.zeros(batch.shape[0], dtype=np.int64)
+        logits_store: dict[int, np.ndarray] = {}
+        remaining = np.arange(batch.shape[0])
+
+        # Per-depth history of the *batch rows* only (needed by SIGN/S2GC/GAMLP).
+        target_history: list[np.ndarray] = [local_features[target_local].copy()]
+
+        current = local_features
+        # Rows of the local subgraph that still need to be updated at each step.
+        needed_rows = np.ones(num_local, dtype=bool)
+
+        for depth in range(1, cfg.t_max + 1):
+            # Which local rows can still influence a remaining target within
+            # the depths left to run?  (BFS from the remaining targets.)
+            remaining_depths = cfg.t_max - depth
+            needed_rows = self._rows_needed(local_adj, target_local[remaining], remaining_depths)
+
+            start = time.perf_counter()
+            updated = np.array(current, copy=True)
+            rows = np.flatnonzero(needed_rows)
+            partial = local_adj[rows] @ current
+            updated[rows] = partial
+            current = updated
+            timings.propagation += time.perf_counter() - start
+            macs.propagation += float(local_adj[rows].nnz) * num_features
+
+            target_history.append(current[target_local].copy())
+
+            if depth < cfg.t_min:
+                continue
+
+            if depth < cfg.t_max and self.policy is not None and remaining.size:
+                start = time.perf_counter()
+                propagated_remaining = current[target_local[remaining]]
+                stationary_remaining = stationary_batch[remaining]
+                exits = self.policy.should_exit(propagated_remaining, stationary_remaining, depth)
+                timings.decision += time.perf_counter() - start
+                macs.decision += self.policy.decision_macs_per_node(num_features) * remaining.size
+
+                exiting = remaining[exits]
+                if exiting.size:
+                    self._classify(
+                        exiting, depth, target_history, predictions, assigned_depth,
+                        logits_store, batch, macs, timings, keep_logits,
+                    )
+                    remaining = remaining[~exits]
+            elif depth == cfg.t_max and remaining.size:
+                self._classify(
+                    remaining, depth, target_history, predictions, assigned_depth,
+                    logits_store, batch, macs, timings, keep_logits,
+                )
+                remaining = remaining[:0]
+
+            if remaining.size == 0:
+                break
+
+        return InferenceResult(
+            node_ids=batch,
+            predictions=predictions,
+            depths=assigned_depth,
+            macs=macs,
+            timings=timings,
+            max_depth=cfg.t_max,
+            logits=logits_store,
+        )
+
+    @staticmethod
+    def _rows_needed(
+        local_adj: sp.csr_matrix,
+        target_rows: np.ndarray,
+        remaining_depth: int,
+    ) -> np.ndarray:
+        """Local rows within ``remaining_depth`` hops of the remaining targets."""
+        num_local = local_adj.shape[0]
+        needed = np.zeros(num_local, dtype=bool)
+        if target_rows.size == 0:
+            return needed
+        needed[target_rows] = True
+        frontier = np.unique(target_rows)
+        for _ in range(remaining_depth):
+            if frontier.size == 0:
+                break
+            neighbors = local_adj[frontier].indices
+            new = np.unique(neighbors[~needed[neighbors]])
+            needed[new] = True
+            frontier = new
+        return needed
+
+    def _classify(
+        self,
+        local_positions: np.ndarray,
+        depth: int,
+        target_history: list[np.ndarray],
+        predictions: np.ndarray,
+        assigned_depth: np.ndarray,
+        logits_store: dict[int, np.ndarray],
+        batch: np.ndarray,
+        macs: MACBreakdown,
+        timings: TimingBreakdown,
+        keep_logits: bool,
+    ) -> None:
+        """Classify the batch rows ``local_positions`` with ``f^(depth)``."""
+        classifier = self.classifiers[depth - 1]
+        classifier.eval()
+        inputs = [Tensor(history[local_positions]) for history in target_history[: depth + 1]]
+        start = time.perf_counter()
+        logits = classifier(inputs)
+        timings.classification += time.perf_counter() - start
+        macs.classification += classifier.classification_macs_per_node() * local_positions.size
+
+        predicted = logits.data.argmax(axis=1)
+        predictions[local_positions] = predicted
+        assigned_depth[local_positions] = depth
+        if keep_logits:
+            for row, position in enumerate(local_positions):
+                logits_store[int(batch[position])] = logits.data[row].copy()

@@ -1,0 +1,214 @@
+"""Saving and loading trained NAI pipelines.
+
+Deployment of NAI in the paper's target scenarios (fraud detection,
+streaming recommendation) separates training from serving: classifiers and
+gates are trained offline, then shipped to an inference service.  This module
+serialises everything a serving process needs — the backbone configuration,
+the per-depth classifier weights and the gate weights — into a single
+compressed ``.npz`` archive plus a JSON-encoded configuration header, and
+restores a ready-to-deploy :class:`~repro.core.pipeline.NAI` object from it.
+
+Only NumPy and the standard library are involved, so archives are portable
+across machines and Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..graph.normalization import resolve_gamma
+from ..models.registry import make_backbone
+from .config import DistillationConfig, GateTrainingConfig, TrainingConfig
+from .gate_nap import GateNAP
+from .pipeline import NAI
+
+#: Format version stored in every archive; bump when the layout changes.
+ARCHIVE_VERSION = 1
+
+
+def _backbone_config(pipeline: NAI) -> dict:
+    backbone = pipeline.backbone
+    config = {
+        "name": backbone.name.lower(),
+        "num_features": backbone.num_features,
+        "num_classes": backbone.num_classes,
+        "depth": backbone.depth,
+        "hidden_dims": list(backbone.hidden_dims),
+        "dropout": backbone.dropout,
+        "gamma": resolve_gamma(backbone.gamma),
+    }
+    transform_dim = getattr(backbone, "transform_dim", None)
+    if transform_dim is not None:
+        config["transform_dim"] = transform_dim
+    return config
+
+
+def save_pipeline(pipeline: NAI, path: str | Path) -> Path:
+    """Serialise a fitted pipeline to ``path`` (a ``.npz`` archive).
+
+    Raises
+    ------
+    NotFittedError
+        If :meth:`NAI.fit` has not been called.
+    """
+    if pipeline.classifiers is None:
+        raise NotFittedError("cannot save an unfitted NAI pipeline")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    arrays: dict[str, np.ndarray] = {}
+    for depth, classifier in enumerate(pipeline.classifiers, start=1):
+        for name, values in classifier.state_dict().items():
+            arrays[f"classifier/{depth}/{name}"] = values
+    if pipeline.gate_nap is not None:
+        for index, weight in enumerate(pipeline.gate_nap.weights):
+            arrays[f"gate/{index}"] = weight.data
+    if pipeline._val_distances is not None:
+        arrays["val_distances"] = pipeline._val_distances
+
+    header = {
+        "version": ARCHIVE_VERSION,
+        "backbone": _backbone_config(pipeline),
+        "has_gates": pipeline.gate_nap is not None,
+        "gate_config": {
+            "epochs": pipeline.gate_config.epochs,
+            "lr": pipeline.gate_config.lr,
+            "weight_decay": pipeline.gate_config.weight_decay,
+            "gumbel_temperature": pipeline.gate_config.gumbel_temperature,
+            "penalty_mu": pipeline.gate_config.penalty_mu,
+            "penalty_phi": pipeline.gate_config.penalty_phi,
+        },
+        "distillation_config": {
+            "temperature_single": pipeline.distillation_config.temperature_single,
+            "lambda_single": pipeline.distillation_config.lambda_single,
+            "temperature_multi": pipeline.distillation_config.temperature_multi,
+            "lambda_multi": pipeline.distillation_config.lambda_multi,
+            "ensemble_size": pipeline.distillation_config.ensemble_size,
+            "enable_single_scale": pipeline.distillation_config.enable_single_scale,
+            "enable_multi_scale": pipeline.distillation_config.enable_multi_scale,
+            "training": {
+                "epochs": pipeline.distillation_config.training.epochs,
+                "lr": pipeline.distillation_config.training.lr,
+                "weight_decay": pipeline.distillation_config.training.weight_decay,
+                "patience": pipeline.distillation_config.training.patience,
+            },
+        },
+        "classifier_val_accuracy": (
+            {str(k): v for k, v in pipeline.report.classifier_val_accuracy.items()}
+            if pipeline.report is not None
+            else {}
+        ),
+    }
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def _parse_header(archive) -> dict:
+    if "__header__" not in archive:
+        raise ConfigurationError("archive is missing the NAI header; not a pipeline archive")
+    raw = bytes(archive["__header__"].tobytes())
+    header = json.loads(raw.decode("utf-8"))
+    version = header.get("version")
+    if version != ARCHIVE_VERSION:
+        raise ConfigurationError(
+            f"unsupported archive version {version!r}; this build reads version {ARCHIVE_VERSION}"
+        )
+    return header
+
+
+def load_pipeline(path: str | Path, *, rng: int | None = 0) -> NAI:
+    """Restore a fitted :class:`NAI` pipeline saved by :func:`save_pipeline`.
+
+    The returned pipeline is ready for :meth:`NAI.build_predictor` /
+    :meth:`NAI.evaluate`; it does not need (and cannot be) re-fitted to be
+    used for inference.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such archive: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        header = _parse_header(archive)
+        backbone_cfg = dict(header["backbone"])
+        name = backbone_cfg.pop("name")
+        gamma = backbone_cfg.pop("gamma")
+        try:
+            gamma = float(gamma)
+        except (TypeError, ValueError):
+            pass
+        extra = {}
+        if "transform_dim" in backbone_cfg:
+            extra["transform_dim"] = backbone_cfg.pop("transform_dim")
+        backbone = make_backbone(
+            name,
+            backbone_cfg["num_features"],
+            backbone_cfg["num_classes"],
+            backbone_cfg["depth"],
+            hidden_dims=tuple(backbone_cfg["hidden_dims"]),
+            dropout=backbone_cfg["dropout"],
+            gamma=gamma,
+            rng=rng,
+            **extra,
+        )
+
+        distillation_cfg = header["distillation_config"]
+        training_cfg = distillation_cfg.pop("training")
+        pipeline = NAI(
+            backbone,
+            distillation_config=DistillationConfig(
+                training=TrainingConfig(**training_cfg), **distillation_cfg
+            ),
+            gate_config=GateTrainingConfig(**header["gate_config"]),
+            train_gates=header["has_gates"],
+            rng=rng,
+        )
+
+        # Rebuild classifiers and load their weights.
+        classifiers = backbone.make_all_classifiers()
+        for depth, classifier in enumerate(classifiers, start=1):
+            prefix = f"classifier/{depth}/"
+            state = {
+                key[len(prefix):]: archive[key]
+                for key in archive.files
+                if key.startswith(prefix)
+            }
+            if not state:
+                raise ConfigurationError(f"archive is missing weights for f^({depth})")
+            classifier.load_state_dict(state)
+            classifier.eval()
+        pipeline.classifiers = classifiers
+
+        # Rebuild gates.
+        if header["has_gates"]:
+            gate = GateNAP(
+                backbone.num_features,
+                backbone.depth,
+                config=pipeline.gate_config,
+                rng=rng,
+            )
+            for index, weight in enumerate(gate.weights):
+                key = f"gate/{index}"
+                if key not in archive.files:
+                    raise ConfigurationError(f"archive is missing gate weights for depth {index + 1}")
+                weight.data = archive[key]
+            gate.fitted = True
+            pipeline.gate_nap = gate
+
+        if "val_distances" in archive.files:
+            pipeline._val_distances = archive["val_distances"]
+
+    from .pipeline import FitReport
+
+    report = FitReport()
+    report.classifier_val_accuracy = {
+        int(k): float(v) for k, v in header.get("classifier_val_accuracy", {}).items()
+    }
+    pipeline.report = report
+    return pipeline

@@ -1,0 +1,144 @@
+"""Classifier training loops shared by the NAI pipeline and the baselines.
+
+Every classifier in the repository is trained full-batch with Adam, cross
+entropy (optionally mixed with a distillation term) and early stopping on
+validation accuracy, mirroring the paper's experimental protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from .config import TrainingConfig
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: list[float]
+    val_accuracy: list[float]
+    best_epoch: int
+    best_val_accuracy: float
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_loss)
+
+
+def _forward_logits(
+    classifier: Module,
+    propagated: Sequence[np.ndarray],
+    node_idx: np.ndarray,
+) -> Tensor:
+    """Run ``classifier`` on the rows ``node_idx`` of every propagated matrix."""
+    inputs = [Tensor(matrix[node_idx]) for matrix in propagated]
+    return classifier(inputs)
+
+
+def train_classifier(
+    classifier: Module,
+    propagated: Sequence[np.ndarray],
+    labels: np.ndarray,
+    train_idx: np.ndarray,
+    val_idx: np.ndarray,
+    *,
+    config: TrainingConfig,
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor] | None = None,
+) -> TrainingHistory:
+    """Train a depth-wise classifier full-batch with early stopping.
+
+    Parameters
+    ----------
+    classifier:
+        Any :class:`~repro.models.base.DepthwiseClassifier` (or module with the
+        same call signature).
+    propagated:
+        Precomputed ``[X^(0), ..., X^(k)]`` on the training graph.
+    labels:
+        Integer labels for every training-graph node.
+    train_idx, val_idx:
+        Local (training-graph) indices of labelled training and validation
+        nodes.
+    config:
+        Optimisation hyper-parameters.
+    loss_fn:
+        Optional replacement for plain cross entropy; receives the logits of
+        the training nodes and their labels.  Used by the distillation stages.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    train_idx = np.asarray(train_idx, dtype=np.int64)
+    val_idx = np.asarray(val_idx, dtype=np.int64)
+    optimizer = Adam(classifier.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    criterion = loss_fn if loss_fn is not None else F.cross_entropy
+
+    history = TrainingHistory(train_loss=[], val_accuracy=[], best_epoch=-1, best_val_accuracy=-1.0)
+    best_state: dict[str, np.ndarray] | None = None
+    epochs_without_improvement = 0
+
+    for epoch in range(config.epochs):
+        classifier.train()
+        optimizer.zero_grad()
+        logits = _forward_logits(classifier, propagated, train_idx)
+        loss = criterion(logits, labels[train_idx])
+        loss.backward()
+        optimizer.step()
+        history.train_loss.append(float(loss.data))
+
+        classifier.eval()
+        if val_idx.size:
+            val_logits = _forward_logits(classifier, propagated, val_idx)
+            val_acc = F.accuracy_from_logits(val_logits, labels[val_idx])
+        else:
+            val_acc = float("nan")
+        history.val_accuracy.append(val_acc)
+
+        improved = np.isnan(val_acc) or val_acc > history.best_val_accuracy
+        if improved:
+            history.best_val_accuracy = 0.0 if np.isnan(val_acc) else val_acc
+            history.best_epoch = epoch
+            best_state = classifier.state_dict()
+            epochs_without_improvement = 0
+        else:
+            epochs_without_improvement += 1
+        if config.verbose and epoch % 20 == 0:
+            print(f"epoch {epoch:3d} loss {loss.data:.4f} val_acc {val_acc:.4f}")
+        if epochs_without_improvement >= config.patience:
+            break
+
+    if best_state is not None:
+        classifier.load_state_dict(best_state)
+    classifier.eval()
+    return history
+
+
+def evaluate_classifier(
+    classifier: Module,
+    propagated: Sequence[np.ndarray],
+    labels: np.ndarray,
+    node_idx: np.ndarray,
+) -> float:
+    """Accuracy of ``classifier`` on ``node_idx``."""
+    classifier.eval()
+    logits = _forward_logits(classifier, propagated, np.asarray(node_idx, dtype=np.int64))
+    return F.accuracy_from_logits(logits, np.asarray(labels)[node_idx])
+
+
+def predict_logits(
+    classifier: Module,
+    propagated: Sequence[np.ndarray],
+    node_idx: np.ndarray | None = None,
+) -> np.ndarray:
+    """Raw logits of ``classifier`` for ``node_idx`` (or every node)."""
+    classifier.eval()
+    if node_idx is None:
+        node_idx = np.arange(propagated[0].shape[0])
+    logits = _forward_logits(classifier, propagated, np.asarray(node_idx, dtype=np.int64))
+    return logits.data.copy()

@@ -1,0 +1,25 @@
+"""Datasets: container plus deterministic synthetic analogues of the paper's graphs."""
+
+from .base import NodeClassificationDataset
+from .synthetic import (
+    ARXIV_SIM,
+    FLICKR_SIM,
+    PRODUCTS_SIM,
+    SyntheticDatasetSpec,
+    available_datasets,
+    dataset_spec,
+    generate_dataset,
+    load_dataset,
+)
+
+__all__ = [
+    "ARXIV_SIM",
+    "FLICKR_SIM",
+    "PRODUCTS_SIM",
+    "NodeClassificationDataset",
+    "SyntheticDatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "generate_dataset",
+    "load_dataset",
+]

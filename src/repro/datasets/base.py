@@ -1,0 +1,115 @@
+"""Dataset container for inductive node classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..graph.partition import (
+    InductivePartition,
+    InductiveSplit,
+    build_inductive_partition,
+)
+from ..graph.sparse import CSRGraph
+
+
+@dataclass(frozen=True)
+class NodeClassificationDataset:
+    """A node-classification dataset with an inductive train/val/test split.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset identifier (e.g. ``"flickr-sim"``).
+    graph:
+        The full graph ``G`` over all nodes (train + unseen test nodes).
+    features:
+        ``(n, f)`` node feature matrix ``X``.
+    labels:
+        ``(n,)`` integer class labels ``y``.
+    split:
+        Global train/val/test node-index sets (test nodes are *unseen*).
+    """
+
+    name: str
+    graph: CSRGraph
+    features: np.ndarray
+    labels: np.ndarray
+    split: InductiveSplit
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64)
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+        if features.ndim != 2:
+            raise DatasetError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[0] != self.graph.num_nodes:
+            raise DatasetError(
+                f"features have {features.shape[0]} rows, graph has {self.graph.num_nodes} nodes"
+            )
+        if labels.shape != (self.graph.num_nodes,):
+            raise DatasetError(
+                f"labels must have shape ({self.graph.num_nodes},), got {labels.shape}"
+            )
+        if labels.min() < 0:
+            raise DatasetError("labels must be non-negative integers")
+        all_split = np.concatenate([self.split.train_idx, self.split.val_idx, self.split.test_idx])
+        if all_split.size and all_split.max() >= self.graph.num_nodes:
+            raise DatasetError("split indices exceed the number of nodes")
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics (Table II quantities)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self.graph.num_edges
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimension ``f``."""
+        return int(self.features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of label classes ``c``."""
+        return int(self.labels.max()) + 1
+
+    def summary(self) -> dict[str, int]:
+        """Table II-style row: n, m, f, c and split sizes."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_features": self.num_features,
+            "num_classes": self.num_classes,
+            "num_train": int(self.split.train_idx.shape[0]),
+            "num_val": int(self.split.val_idx.shape[0]),
+            "num_test": int(self.split.test_idx.shape[0]),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Inductive views
+    # ------------------------------------------------------------------ #
+    def partition(self) -> InductivePartition:
+        """Build the inductive partition (training subgraph + bookkeeping)."""
+        return build_inductive_partition(self.graph, self.split)
+
+    def observed_features(self) -> np.ndarray:
+        """Features of the observed (training-time) nodes, in ``G_train`` order."""
+        return self.features[self.split.observed_idx]
+
+    def observed_labels(self) -> np.ndarray:
+        """Labels of the observed nodes, in ``G_train`` order."""
+        return self.labels[self.split.observed_idx]
+
+    def test_labels(self) -> np.ndarray:
+        """Labels of the unseen test nodes."""
+        return self.labels[self.split.test_idx]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of the package with a single ``except`` clause while
+still being able to discriminate the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a graph cannot be built from the provided edge data."""
+
+
+class InvalidNormalizationError(ReproError):
+    """Raised when an unsupported convolution coefficient or scheme is requested."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, loaded or validated."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensors or matrices have incompatible shapes."""
+
+
+class NotFittedError(ReproError):
+    """Raised when inference is attempted on a model that has not been trained."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when hyper-parameters are inconsistent or out of range."""
+
+
+class AutogradError(ReproError):
+    """Raised on invalid operations in the autograd engine."""

@@ -1,0 +1,78 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md index)."""
+
+from .ablation import (
+    DISTILLATION_VARIANTS,
+    NAPAblationRow,
+    run_distillation_ablation,
+    run_nap_ablation,
+    shallow_classifier_accuracy,
+)
+from .batchsize import (
+    DEFAULT_BATCH_SIZES,
+    BatchSizePoint,
+    run_batch_size_study,
+    series_by_method,
+)
+from .complexity import ComplexityRow, measured_vs_analytic, run_complexity_table
+from .context import (
+    BENCHMARK_PROFILE,
+    FAST_PROFILE,
+    PAPER_DATASETS,
+    ExperimentProfile,
+    TrainedContext,
+    clear_cache,
+    get_context,
+    train_context,
+)
+from .generalization import run_generalization, run_generalization_table
+from .sensitivity import (
+    SensitivityPoint,
+    run_ensemble_sensitivity,
+    run_lambda_sensitivity,
+    run_sensitivity_study,
+    run_temperature_sensitivity,
+)
+from .settings import NAISetting, all_settings, distance_settings, gate_settings, speed_first_settings
+from .table5 import run_dataset_comparison, run_table5
+from .tradeoff import TradeoffPoint, figure4_series, run_tradeoff, table6_distributions
+
+__all__ = [
+    "BENCHMARK_PROFILE",
+    "BatchSizePoint",
+    "ComplexityRow",
+    "DEFAULT_BATCH_SIZES",
+    "DISTILLATION_VARIANTS",
+    "ExperimentProfile",
+    "FAST_PROFILE",
+    "NAISetting",
+    "NAPAblationRow",
+    "PAPER_DATASETS",
+    "SensitivityPoint",
+    "TradeoffPoint",
+    "TrainedContext",
+    "all_settings",
+    "clear_cache",
+    "distance_settings",
+    "figure4_series",
+    "gate_settings",
+    "get_context",
+    "measured_vs_analytic",
+    "run_batch_size_study",
+    "run_complexity_table",
+    "run_dataset_comparison",
+    "run_distillation_ablation",
+    "run_ensemble_sensitivity",
+    "run_generalization",
+    "run_generalization_table",
+    "run_lambda_sensitivity",
+    "run_nap_ablation",
+    "run_sensitivity_study",
+    "run_table5",
+    "run_temperature_sensitivity",
+    "run_tradeoff",
+    "series_by_method",
+    "shallow_classifier_accuracy",
+    "speed_first_settings",
+    "table6_distributions",
+    "train_context",
+]

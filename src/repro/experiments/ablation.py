@@ -1,0 +1,126 @@
+"""Tables VII and VIII: ablation studies on NAP and Inception Distillation.
+
+Table VII compares, for every maximum depth ``T_max``, fixed-depth inference
+("NAI w/o NAP") against the distance- and gate-based NAP variants — showing
+that adaptive depths save time *and* recover accuracy lost to over-smoothing.
+
+Table VIII measures the accuracy of the shallowest classifier ``f^(1)``
+(the weakest one, and the one early exits rely on most) when Inception
+Distillation is disabled entirely ("w/o ID"), restricted to the single-scale
+stage ("w/o MS") or restricted to the multi-scale stage ("w/o SS").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import MethodResult, method_result_from_inference
+from .context import ExperimentProfile, get_context
+
+
+# --------------------------------------------------------------------------- #
+# Table VII — NAP ablation across T_max
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NAPAblationRow:
+    """One (dataset, T_max, method) cell of Table VII."""
+
+    dataset: str
+    t_max: int
+    method: str
+    accuracy: float
+    time_ms_per_node: float
+    depth_distribution: tuple[int, ...]
+
+
+def run_nap_ablation(
+    dataset_name: str,
+    *,
+    t_max_values: tuple[int, ...] | None = None,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    threshold_quantile: float = 0.35,
+) -> list[NAPAblationRow]:
+    """Table VII for one dataset: NAI w/o NAP vs NAP_d vs NAP_g per ``T_max``."""
+    context = get_context(dataset_name, backbone=backbone, profile=profile)
+    dataset = context.dataset
+    labels = context.labels
+    depth = context.profile.depth
+    values = t_max_values if t_max_values is not None else tuple(range(2, depth + 1))
+
+    rows: list[NAPAblationRow] = []
+    for t_max in values:
+        if t_max > depth:
+            continue
+        variants = {
+            "NAI w/o NAP": ("none", context.nai_config(t_min=t_max, t_max=t_max)),
+            "NAI_d": (
+                "distance",
+                context.nai_config(t_max=t_max, threshold_quantile=threshold_quantile),
+            ),
+            "NAI_g": ("gate", context.nai_config(t_max=t_max)),
+        }
+        for method, (policy, config) in variants.items():
+            result = context.nai.evaluate(dataset, policy=policy, config=config)
+            row = method_result_from_inference(method, dataset_name, result, labels)
+            rows.append(
+                NAPAblationRow(
+                    dataset=dataset_name,
+                    t_max=t_max,
+                    method=method,
+                    accuracy=row.accuracy,
+                    time_ms_per_node=row.time_ms_per_node,
+                    depth_distribution=row.depth_distribution,
+                )
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table VIII — Inception Distillation ablation
+# --------------------------------------------------------------------------- #
+DISTILLATION_VARIANTS: dict[str, dict[str, bool]] = {
+    "NAI w/o ID": {"enable_single_scale": False, "enable_multi_scale": False},
+    "NAI w/o MS": {"enable_single_scale": True, "enable_multi_scale": False},
+    "NAI w/o SS": {"enable_single_scale": False, "enable_multi_scale": True},
+    "NAI": {"enable_single_scale": True, "enable_multi_scale": True},
+}
+
+
+def shallow_classifier_accuracy(
+    dataset_name: str,
+    *,
+    variant: str,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+) -> float:
+    """Inductive test accuracy of ``f^(1)`` under one distillation variant."""
+    if variant not in DISTILLATION_VARIANTS:
+        raise KeyError(f"unknown distillation variant {variant!r}")
+    context = get_context(
+        dataset_name,
+        backbone=backbone,
+        profile=profile,
+        distillation_overrides=DISTILLATION_VARIANTS[variant],
+    )
+    config = context.nai_config(t_min=1, t_max=1)
+    result = context.nai.evaluate(context.dataset, policy="none", config=config)
+    return result.accuracy(context.labels)
+
+
+def run_distillation_ablation(
+    dataset_names: tuple[str, ...],
+    *,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    variants: tuple[str, ...] = tuple(DISTILLATION_VARIANTS),
+) -> dict[str, dict[str, float]]:
+    """Table VIII: ``variant -> dataset -> f^(1) accuracy``."""
+    table: dict[str, dict[str, float]] = {}
+    for variant in variants:
+        table[variant] = {}
+        for dataset_name in dataset_names:
+            table[variant][dataset_name] = shallow_classifier_accuracy(
+                dataset_name, variant=variant, backbone=backbone, profile=profile
+            )
+    return table

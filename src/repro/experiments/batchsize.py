@@ -1,0 +1,92 @@
+"""Figure 5: the effect of the inference batch size on MACs and time.
+
+The number of supporting nodes grows with the batch size, so per-node MACs
+and latency of propagation-based methods drift upward, TinyGNN's attention
+grows fastest, and the MLP-only students stay flat.  This driver sweeps the
+batch size for every method on one dataset and returns per-node MAC and time
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import method_result_from_inference
+from .context import ExperimentProfile, get_context
+from .settings import speed_first_settings
+from .table5 import BASELINE_ORDER
+
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (100, 250, 500, 1000, 2000)
+
+
+@dataclass(frozen=True)
+class BatchSizePoint:
+    """One (method, batch size) measurement of Figure 5."""
+
+    method: str
+    batch_size: int
+    macs_per_node: float
+    time_ms_per_node: float
+    accuracy: float
+
+
+def run_batch_size_study(
+    dataset_name: str = "flickr-sim",
+    *,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    include_baselines: bool = True,
+) -> list[BatchSizePoint]:
+    """Sweep the inference batch size for the vanilla model, baselines and NAI."""
+    context = get_context(dataset_name, backbone=backbone, profile=profile)
+    dataset = context.dataset
+    labels = context.labels
+    test_idx = dataset.split.test_idx
+    points: list[BatchSizePoint] = []
+
+    for batch_size in batch_sizes:
+        effective = min(batch_size, test_idx.shape[0])
+
+        vanilla_config = context.vanilla_config().with_updates(batch_size=effective)
+        result = context.nai.evaluate(dataset, policy="none", config=vanilla_config)
+        row = method_result_from_inference(context.backbone_name, dataset_name, result, labels)
+        points.append(
+            BatchSizePoint(context.backbone_name, batch_size, row.macs_per_node,
+                           row.time_ms_per_node, row.accuracy)
+        )
+
+        for label, setting in speed_first_settings(context).items():
+            config = setting.config.with_updates(batch_size=effective)
+            result = context.nai.evaluate(dataset, policy=setting.policy, config=config)
+            row = method_result_from_inference(label, dataset_name, result, labels)
+            points.append(
+                BatchSizePoint(label, batch_size, row.macs_per_node,
+                               row.time_ms_per_node, row.accuracy)
+            )
+
+        if include_baselines:
+            for name in BASELINE_ORDER:
+                baseline = context.baseline(name)
+                # Baselines classify the batch in one shot; evaluate on one batch
+                # worth of nodes to mirror the per-batch measurement of the paper.
+                subset = test_idx[:effective]
+                result = baseline.predict(dataset, subset)
+                row = method_result_from_inference(baseline.name, dataset_name, result, labels)
+                points.append(
+                    BatchSizePoint(baseline.name, batch_size, row.macs_per_node,
+                                   row.time_ms_per_node, row.accuracy)
+                )
+    return points
+
+
+def series_by_method(points: list[BatchSizePoint]) -> dict[str, list[tuple[int, float, float]]]:
+    """Group points into ``method -> [(batch_size, macs_per_node, time_ms)]`` series."""
+    series: dict[str, list[tuple[int, float, float]]] = {}
+    for point in points:
+        series.setdefault(point.method, []).append(
+            (point.batch_size, point.macs_per_node, point.time_ms_per_node)
+        )
+    for values in series.values():
+        values.sort(key=lambda item: item[0])
+    return series

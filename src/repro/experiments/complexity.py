@@ -1,0 +1,116 @@
+"""Table I: analytic inference-complexity comparison, cross-checked against
+measured MAC counts from the online inference engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import ComplexityInputs, nai_macs, supported_backbones, vanilla_macs
+from .context import ExperimentProfile, get_context
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One backbone's analytic vanilla/NAI MACs plus the analytic speedups.
+
+    The paper's Table I adds an ``O(n² f)`` stationary-state term to every NAI
+    entry.  That term is a loose upper bound — the engine in this repository
+    computes the stationary state with one ``O(n f)`` weighted sum — so the
+    row exposes both the literal formula (``nai_macs``) and the speedup of
+    the part NAI actually changes (``propagation_speedup``, the ``k m f`` →
+    ``q m f`` reduction plus per-depth classification savings).
+    """
+
+    backbone: str
+    vanilla_macs: float
+    nai_macs: float
+    stationary_macs: float
+
+    @property
+    def nai_macs_excluding_stationary(self) -> float:
+        """NAI MACs with the stationary-state upper bound removed."""
+        return self.nai_macs - self.stationary_macs
+
+    @property
+    def speedup(self) -> float:
+        """Literal Table-I ratio (dominated by the stationary upper bound)."""
+        return self.vanilla_macs / self.nai_macs if self.nai_macs else float("inf")
+
+    @property
+    def propagation_speedup(self) -> float:
+        """Ratio once the stationary-state upper bound is excluded."""
+        remaining = self.nai_macs_excluding_stationary
+        return self.vanilla_macs / remaining if remaining else float("inf")
+
+
+def run_complexity_table(
+    *,
+    num_nodes: int = 100_000,
+    num_edges: int = 1_000_000,
+    num_features: int = 128,
+    depth: int = 5,
+    classifier_layers: int = 2,
+    average_depth: float = 1.8,
+) -> list[ComplexityRow]:
+    """Evaluate the Table-I formulas for a representative workload."""
+    inputs = ComplexityInputs(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        num_features=num_features,
+        depth=depth,
+        classifier_layers=classifier_layers,
+        average_depth=average_depth,
+    )
+    stationary = float(num_nodes) ** 2 * num_features
+    rows = []
+    for backbone in supported_backbones():
+        rows.append(
+            ComplexityRow(
+                backbone=backbone,
+                vanilla_macs=vanilla_macs(backbone, inputs),
+                nai_macs=nai_macs(backbone, inputs),
+                stationary_macs=stationary,
+            )
+        )
+    return rows
+
+
+def measured_vs_analytic(
+    dataset_name: str = "flickr-sim",
+    *,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    threshold_quantile: float = 0.55,
+) -> dict[str, float]:
+    """Compare measured vanilla/NAI MAC totals with the Table-I prediction.
+
+    The analytic formulas work on whole-graph quantities, so the measured
+    ratio (vanilla MACs / NAI MACs) is the meaningful point of comparison —
+    absolute counts differ because the engine only touches supporting nodes.
+    """
+    context = get_context(dataset_name, backbone=backbone, profile=profile)
+    dataset = context.dataset
+
+    vanilla = context.nai.evaluate(dataset, policy="none", config=context.vanilla_config())
+    adaptive = context.nai.evaluate(
+        dataset,
+        policy="distance",
+        config=context.nai_config(threshold_quantile=threshold_quantile),
+    )
+    inputs = ComplexityInputs(
+        num_nodes=dataset.num_nodes,
+        num_edges=dataset.num_edges,
+        num_features=dataset.num_features,
+        depth=context.profile.depth,
+        classifier_layers=max(len(context.profile.hidden_dims) + 1, 1),
+        average_depth=max(adaptive.average_depth(), 1e-6),
+    )
+    analytic_ratio = vanilla_macs(backbone.upper(), inputs) / nai_macs(backbone.upper(), inputs)
+    measured_ratio = vanilla.macs.total / max(adaptive.macs.total, 1e-9)
+    return {
+        "measured_vanilla_macs": vanilla.macs.total,
+        "measured_nai_macs": adaptive.macs.total,
+        "measured_speedup": measured_ratio,
+        "analytic_speedup": analytic_ratio,
+        "average_depth": adaptive.average_depth(),
+    }

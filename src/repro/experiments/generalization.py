@@ -1,0 +1,58 @@
+"""Tables IX, X and XI: generalization of NAI to SIGN, S2GC and GAMLP.
+
+The paper shows that the NAI framework is backbone-agnostic by repeating the
+Table-V comparison on Flickr with three other scalable GNNs.  The driver
+below reuses the Table-V machinery with a different backbone name; the
+mapping from paper table to backbone is::
+
+    Table IX  -> SIGN
+    Table X   -> S2GC
+    Table XI  -> GAMLP
+"""
+
+from __future__ import annotations
+
+from ..metrics import MethodResult
+from .context import ExperimentProfile
+from .table5 import run_dataset_comparison
+
+TABLE_TO_BACKBONE: dict[str, str] = {
+    "table9": "sign",
+    "table10": "s2gc",
+    "table11": "gamlp",
+}
+
+
+def run_generalization(
+    backbone: str,
+    *,
+    dataset_name: str = "flickr-sim",
+    profile: ExperimentProfile | None = None,
+    include_baselines: bool = True,
+) -> list[MethodResult]:
+    """Table IX/X/XI rows for one alternative backbone on Flickr."""
+    return run_dataset_comparison(
+        dataset_name,
+        backbone=backbone,
+        profile=profile,
+        include_baselines=include_baselines,
+    )
+
+
+def run_generalization_table(
+    table: str,
+    *,
+    dataset_name: str = "flickr-sim",
+    profile: ExperimentProfile | None = None,
+    include_baselines: bool = True,
+) -> list[MethodResult]:
+    """Resolve a paper table name ("table9"/"table10"/"table11") and run it."""
+    key = table.lower()
+    if key not in TABLE_TO_BACKBONE:
+        raise KeyError(f"unknown generalization table {table!r}; expected {list(TABLE_TO_BACKBONE)}")
+    return run_generalization(
+        TABLE_TO_BACKBONE[key],
+        dataset_name=dataset_name,
+        profile=profile,
+        include_baselines=include_baselines,
+    )

@@ -1,0 +1,129 @@
+"""Figure 6: sensitivity of Inception Distillation to λ, T and r.
+
+The paper sweeps the distillation weight ``λ``, the temperature ``T`` and the
+ensemble size ``r`` and reports the accuracy of the shallowest classifier
+``f^(1)`` (for both the single-scale and multi-scale stages).  Each sweep
+point requires retraining the classifier stack, so the driver exposes
+narrow default grids; the bench widens them when requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ablation import shallow_classifier_accuracy
+from .context import ExperimentProfile
+
+DEFAULT_LAMBDAS: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)
+DEFAULT_TEMPERATURES: tuple[float, ...] = (1.0, 1.4, 1.8)
+DEFAULT_ENSEMBLE_SIZES: tuple[int, ...] = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One sweep point of Figure 6."""
+
+    parameter: str       # "lambda_single", "lambda_multi", "temperature_single", ...
+    value: float
+    accuracy: float
+
+
+def _accuracy_with_overrides(
+    dataset_name: str,
+    overrides: dict,
+    *,
+    backbone: str,
+    profile: ExperimentProfile | None,
+) -> float:
+    from .context import get_context
+
+    context = get_context(
+        dataset_name, backbone=backbone, profile=profile, distillation_overrides=overrides
+    )
+    config = context.nai_config(t_min=1, t_max=1)
+    result = context.nai.evaluate(context.dataset, policy="none", config=config)
+    return result.accuracy(context.labels)
+
+
+def run_lambda_sensitivity(
+    dataset_name: str = "flickr-sim",
+    *,
+    stage: str = "multi",
+    values: tuple[float, ...] = DEFAULT_LAMBDAS,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+) -> list[SensitivityPoint]:
+    """Sweep the distillation weight λ for the single- or multi-scale stage."""
+    key = "lambda_multi" if stage == "multi" else "lambda_single"
+    points = []
+    for value in values:
+        accuracy = _accuracy_with_overrides(
+            dataset_name, {key: value}, backbone=backbone, profile=profile
+        )
+        points.append(SensitivityPoint(parameter=key, value=float(value), accuracy=accuracy))
+    return points
+
+
+def run_temperature_sensitivity(
+    dataset_name: str = "flickr-sim",
+    *,
+    stage: str = "multi",
+    values: tuple[float, ...] = DEFAULT_TEMPERATURES,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+) -> list[SensitivityPoint]:
+    """Sweep the distillation temperature T for the single- or multi-scale stage."""
+    key = "temperature_multi" if stage == "multi" else "temperature_single"
+    points = []
+    for value in values:
+        accuracy = _accuracy_with_overrides(
+            dataset_name, {key: value}, backbone=backbone, profile=profile
+        )
+        points.append(SensitivityPoint(parameter=key, value=float(value), accuracy=accuracy))
+    return points
+
+
+def run_ensemble_sensitivity(
+    dataset_name: str = "flickr-sim",
+    *,
+    values: tuple[int, ...] = DEFAULT_ENSEMBLE_SIZES,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+) -> list[SensitivityPoint]:
+    """Sweep the ensemble-teacher size r of Multi-Scale Distillation."""
+    points = []
+    for value in values:
+        accuracy = _accuracy_with_overrides(
+            dataset_name, {"ensemble_size": int(value)}, backbone=backbone, profile=profile
+        )
+        points.append(SensitivityPoint(parameter="ensemble_size", value=float(value), accuracy=accuracy))
+    return points
+
+
+def run_sensitivity_study(
+    dataset_name: str = "flickr-sim",
+    *,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+    temperatures: tuple[float, ...] = DEFAULT_TEMPERATURES,
+    ensemble_sizes: tuple[int, ...] = DEFAULT_ENSEMBLE_SIZES,
+) -> dict[str, list[SensitivityPoint]]:
+    """Full Figure-6 study: λ (both stages), T (both stages) and r."""
+    return {
+        "lambda_single": run_lambda_sensitivity(
+            dataset_name, stage="single", values=lambdas, backbone=backbone, profile=profile
+        ),
+        "lambda_multi": run_lambda_sensitivity(
+            dataset_name, stage="multi", values=lambdas, backbone=backbone, profile=profile
+        ),
+        "temperature_single": run_temperature_sensitivity(
+            dataset_name, stage="single", values=temperatures, backbone=backbone, profile=profile
+        ),
+        "temperature_multi": run_temperature_sensitivity(
+            dataset_name, stage="multi", values=temperatures, backbone=backbone, profile=profile
+        ),
+        "ensemble_size": run_ensemble_sensitivity(
+            dataset_name, values=ensemble_sizes, backbone=backbone, profile=profile
+        ),
+    }

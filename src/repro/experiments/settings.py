@@ -1,0 +1,70 @@
+"""Named NAI inference settings reused across experiments.
+
+The paper evaluates NAI under three representative operating points per
+dataset — "NAI¹" (speed-first), "NAI²" (balanced) and "NAI³" (accuracy-first)
+— obtained by tuning the global hyper-parameters ``T_s`` / ``T_max`` on the
+validation set.  The same three operating points drive Figure 4 (accuracy vs
+latency), Table VI (node-depth distributions) and the Table V "speed-first"
+rows, so they are defined once here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import NAIConfig
+from .context import TrainedContext
+
+
+@dataclass(frozen=True)
+class NAISetting:
+    """One named operating point of the NAI framework."""
+
+    label: str
+    policy: str              # "distance" or "gate"
+    config: NAIConfig
+
+
+def distance_settings(context: TrainedContext) -> list[NAISetting]:
+    """Speed-first / balanced / accuracy-first settings for NAP_d (``NAI¹..³_d``)."""
+    depth = context.profile.depth
+    return [
+        NAISetting(
+            "NAI1_d",
+            "distance",
+            context.nai_config(t_max=min(2, depth), threshold_quantile=0.7),
+        ),
+        NAISetting(
+            "NAI2_d",
+            "distance",
+            context.nai_config(t_max=min(3, depth), threshold_quantile=0.55),
+        ),
+        NAISetting(
+            "NAI3_d",
+            "distance",
+            context.nai_config(t_max=depth, threshold_quantile=0.25),
+        ),
+    ]
+
+
+def gate_settings(context: TrainedContext) -> list[NAISetting]:
+    """Speed-first / balanced / accuracy-first settings for NAP_g (``NAI¹..³_g``)."""
+    depth = context.profile.depth
+    return [
+        NAISetting("NAI1_g", "gate", context.nai_config(t_max=min(2, depth))),
+        NAISetting("NAI2_g", "gate", context.nai_config(t_max=min(3, depth))),
+        NAISetting("NAI3_g", "gate", context.nai_config(t_max=depth)),
+    ]
+
+
+def speed_first_settings(context: TrainedContext) -> dict[str, NAISetting]:
+    """The speed-first operating point of each NAP variant (Table V rows)."""
+    return {
+        "NAI_d": distance_settings(context)[0],
+        "NAI_g": gate_settings(context)[0],
+    }
+
+
+def all_settings(context: TrainedContext) -> list[NAISetting]:
+    """Every named setting (used by Figure 4 and Table VI)."""
+    return distance_settings(context) + gate_settings(context)

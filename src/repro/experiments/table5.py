@@ -1,0 +1,69 @@
+"""Table V: inference comparison of NAI against every baseline (base model SGC).
+
+For each dataset the driver evaluates the vanilla backbone, the four
+acceleration baselines (GLNN, NOSMOG, TinyGNN, Quantization) and the
+speed-first settings of NAI_d and NAI_g on the unseen test nodes, reporting
+accuracy, MACs, feature-processing MACs, per-node time and feature-processing
+time — the same columns as the paper's Table V.
+"""
+
+from __future__ import annotations
+
+from ..metrics import MethodResult, method_result_from_inference
+from .context import PAPER_DATASETS, ExperimentProfile, get_context
+from .settings import speed_first_settings
+
+BASELINE_ORDER = ("glnn", "nosmog", "tinygnn", "quantization")
+
+
+def run_dataset_comparison(
+    dataset_name: str,
+    *,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    include_baselines: bool = True,
+) -> list[MethodResult]:
+    """All Table-V rows for one dataset."""
+    context = get_context(dataset_name, backbone=backbone, profile=profile)
+    dataset = context.dataset
+    labels = context.labels
+    rows: list[MethodResult] = []
+
+    vanilla = context.nai.evaluate(dataset, policy="none", config=context.vanilla_config())
+    rows.append(
+        method_result_from_inference(context.backbone_name, dataset_name, vanilla, labels)
+    )
+
+    if include_baselines:
+        for name in BASELINE_ORDER:
+            baseline = context.baseline(name)
+            result = baseline.evaluate(dataset)
+            rows.append(
+                method_result_from_inference(baseline.name, dataset_name, result, labels)
+            )
+
+    for label, setting in speed_first_settings(context).items():
+        result = context.nai.evaluate(dataset, policy=setting.policy, config=setting.config)
+        rows.append(method_result_from_inference(label, dataset_name, result, labels))
+    return rows
+
+
+def run_table5(
+    dataset_names: tuple[str, ...] = PAPER_DATASETS,
+    *,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    include_baselines: bool = True,
+) -> list[MethodResult]:
+    """Full Table V across the requested datasets."""
+    rows: list[MethodResult] = []
+    for name in dataset_names:
+        rows.extend(
+            run_dataset_comparison(
+                name,
+                backbone=backbone,
+                profile=profile,
+                include_baselines=include_baselines,
+            )
+        )
+    return rows

@@ -1,0 +1,80 @@
+"""Figure 4 and Table VI: the accuracy/latency trade-off of NAI.
+
+Figure 4 plots accuracy against per-node inference time for three operating
+points of NAI_d and NAI_g next to the baselines; Table VI lists, for the same
+operating points, how many test nodes end up at each personalised propagation
+depth.  Both artefacts come from the same sweep, so one driver produces both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import MethodResult, method_result_from_inference
+from .context import ExperimentProfile, get_context
+from .settings import NAISetting, all_settings
+from .table5 import BASELINE_ORDER
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of Figure 4 plus its Table-VI depth distribution."""
+
+    label: str
+    accuracy: float
+    time_ms_per_node: float
+    macs_per_node: float
+    depth_distribution: tuple[int, ...]
+
+
+def run_tradeoff(
+    dataset_name: str,
+    *,
+    backbone: str = "sgc",
+    profile: ExperimentProfile | None = None,
+    include_baselines: bool = True,
+) -> list[TradeoffPoint]:
+    """Evaluate every named NAI setting (and the baselines) on one dataset."""
+    context = get_context(dataset_name, backbone=backbone, profile=profile)
+    dataset = context.dataset
+    labels = context.labels
+    points: list[TradeoffPoint] = []
+
+    def add(label: str, row: MethodResult) -> None:
+        points.append(
+            TradeoffPoint(
+                label=label,
+                accuracy=row.accuracy,
+                time_ms_per_node=row.time_ms_per_node,
+                macs_per_node=row.macs_per_node,
+                depth_distribution=row.depth_distribution,
+            )
+        )
+
+    vanilla = context.nai.evaluate(dataset, policy="none", config=context.vanilla_config())
+    add(context.backbone_name, method_result_from_inference("vanilla", dataset_name, vanilla, labels))
+
+    for setting in all_settings(context):
+        result = context.nai.evaluate(dataset, policy=setting.policy, config=setting.config)
+        add(setting.label, method_result_from_inference(setting.label, dataset_name, result, labels))
+
+    if include_baselines:
+        for name in BASELINE_ORDER:
+            baseline = context.baseline(name)
+            result = baseline.evaluate(dataset)
+            add(baseline.name, method_result_from_inference(baseline.name, dataset_name, result, labels))
+    return points
+
+
+def figure4_series(points: list[TradeoffPoint]) -> dict[str, tuple[float, float]]:
+    """Figure-4 series: ``label -> (time_ms_per_node, accuracy)``."""
+    return {point.label: (point.time_ms_per_node, point.accuracy) for point in points}
+
+
+def table6_distributions(points: list[TradeoffPoint]) -> dict[str, tuple[int, ...]]:
+    """Table-VI rows: ``label -> node counts per personalised depth`` (NAI settings only)."""
+    return {
+        point.label: point.depth_distribution
+        for point in points
+        if point.label.startswith("NAI")
+    }

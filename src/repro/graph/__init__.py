@@ -1,0 +1,55 @@
+"""Sparse graph substrate: containers, normalization, propagation, sampling."""
+
+from .generators import SyntheticGraphSpec, generate_community_graph, generate_features
+from .normalization import (
+    NormalizationScheme,
+    laplacian,
+    normalized_adjacency,
+    resolve_gamma,
+    second_largest_eigenvalue_magnitude,
+)
+from .partition import (
+    InductivePartition,
+    InductiveSplit,
+    build_inductive_partition,
+    make_inductive_split,
+)
+from .propagation import (
+    propagate_features,
+    propagation_steps,
+    s2gc_aggregate,
+    sign_concatenate,
+    smoothness_distance,
+)
+from .sampling import (
+    SupportingSubgraph,
+    batch_iterator,
+    k_hop_neighborhood,
+    supporting_node_counts,
+)
+from .sparse import CSRGraph
+
+__all__ = [
+    "CSRGraph",
+    "NormalizationScheme",
+    "SyntheticGraphSpec",
+    "SupportingSubgraph",
+    "InductivePartition",
+    "InductiveSplit",
+    "batch_iterator",
+    "build_inductive_partition",
+    "generate_community_graph",
+    "generate_features",
+    "k_hop_neighborhood",
+    "laplacian",
+    "make_inductive_split",
+    "normalized_adjacency",
+    "propagate_features",
+    "propagation_steps",
+    "resolve_gamma",
+    "s2gc_aggregate",
+    "second_largest_eigenvalue_magnitude",
+    "sign_concatenate",
+    "smoothness_distance",
+    "supporting_node_counts",
+]

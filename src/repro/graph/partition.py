@@ -1,0 +1,132 @@
+"""Inductive train/test partitioning.
+
+Following the paper's problem formulation (Section II-A), the node set ``V``
+is split into a training set ``V_train`` (labelled + unlabelled) and a test
+set ``V_test`` of *unseen* nodes.  Models are trained on ``G_train``, the
+subgraph induced by ``V_train`` only; at inference time the full graph ``G``
+(including the unseen nodes and all their edges) becomes available and
+propagation for test nodes must run online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .sparse import CSRGraph
+
+
+@dataclass(frozen=True)
+class InductiveSplit:
+    """Index sets describing an inductive node-classification split.
+
+    Attributes
+    ----------
+    train_idx, val_idx, test_idx:
+        Global node ids of the labelled training, validation and (unseen)
+        test nodes.  Validation nodes are part of ``V_train`` (they are
+        observed during training) following the paper's setup.
+    """
+
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+    test_idx: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("train_idx", "val_idx", "test_idx"):
+            object.__setattr__(self, name, np.asarray(getattr(self, name), dtype=np.int64))
+        all_ids = np.concatenate([self.train_idx, self.val_idx, self.test_idx])
+        if len(np.unique(all_ids)) != len(all_ids):
+            raise DatasetError("train/val/test index sets must be disjoint")
+
+    @property
+    def observed_idx(self) -> np.ndarray:
+        """Nodes visible at training time (``V_train`` = train ∪ val)."""
+        return np.sort(np.concatenate([self.train_idx, self.val_idx]))
+
+    @property
+    def num_observed(self) -> int:
+        return int(self.observed_idx.shape[0])
+
+    @property
+    def num_test(self) -> int:
+        return int(self.test_idx.shape[0])
+
+
+@dataclass(frozen=True)
+class InductivePartition:
+    """The training subgraph plus index bookkeeping for inductive evaluation.
+
+    Attributes
+    ----------
+    train_graph:
+        Subgraph induced on the observed nodes (``G_train``), with nodes
+        relabelled to ``0..num_observed-1``.
+    full_graph:
+        The original full graph ``G`` used at inference time.
+    split:
+        The global index sets.
+    global_to_train:
+        Mapping from global node id to local id in ``train_graph`` (-1 for
+        unseen nodes).
+    """
+
+    train_graph: CSRGraph
+    full_graph: CSRGraph
+    split: InductiveSplit
+    global_to_train: np.ndarray
+
+    def train_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Translate global node ids into ``train_graph`` local ids."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        local = self.global_to_train[global_ids]
+        if (local < 0).any():
+            raise DatasetError("requested nodes are not part of the training graph")
+        return local
+
+
+def make_inductive_split(
+    num_nodes: int,
+    *,
+    train_fraction: float = 0.5,
+    val_fraction: float = 0.25,
+    rng: np.random.Generator | int | None = None,
+) -> InductiveSplit:
+    """Randomly split ``num_nodes`` nodes into train/val/test index sets."""
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if not 0.0 <= val_fraction < 1.0:
+        raise DatasetError(f"val_fraction must be in [0, 1), got {val_fraction}")
+    if train_fraction + val_fraction >= 1.0:
+        raise DatasetError("train_fraction + val_fraction must leave room for test nodes")
+    generator = np.random.default_rng(rng)
+    permutation = generator.permutation(num_nodes)
+    n_train = int(round(train_fraction * num_nodes))
+    n_val = int(round(val_fraction * num_nodes))
+    if n_train == 0 or num_nodes - n_train - n_val == 0:
+        raise DatasetError("split fractions produce an empty train or test set")
+    return InductiveSplit(
+        train_idx=np.sort(permutation[:n_train]),
+        val_idx=np.sort(permutation[n_train:n_train + n_val]),
+        test_idx=np.sort(permutation[n_train + n_val:]),
+    )
+
+
+def build_inductive_partition(graph: CSRGraph, split: InductiveSplit) -> InductivePartition:
+    """Induce ``G_train`` from ``graph`` according to ``split``."""
+    observed = split.observed_idx
+    if observed.size == 0:
+        raise DatasetError("the observed node set is empty")
+    if observed.max() >= graph.num_nodes:
+        raise DatasetError("split refers to nodes beyond the graph size")
+    train_graph = graph.subgraph(observed)
+    mapping = np.full(graph.num_nodes, -1, dtype=np.int64)
+    mapping[observed] = np.arange(observed.shape[0], dtype=np.int64)
+    return InductivePartition(
+        train_graph=train_graph,
+        full_graph=graph,
+        split=split,
+        global_to_train=mapping,
+    )

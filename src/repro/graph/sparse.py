@@ -1,0 +1,217 @@
+"""Sparse graph container used throughout the library.
+
+The :class:`CSRGraph` wraps a ``scipy.sparse`` adjacency matrix together with
+cached degree information.  It is deliberately immutable: every transformation
+(adding self loops, extracting subgraphs) returns a new instance, which keeps
+the propagation and sampling code free of aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import GraphConstructionError
+
+
+def _as_csr(matrix: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    """Coerce ``matrix`` to a canonical ``float64`` CSR matrix."""
+    if isinstance(matrix, np.ndarray):
+        csr = sp.csr_matrix(matrix.astype(np.float64))
+    else:
+        csr = matrix.tocsr().astype(np.float64)
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    return csr
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected (or directed) graph stored as a CSR adjacency matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` sparse adjacency matrix.  Edge weights are allowed; most of
+        the paper's experiments use unweighted graphs.
+    """
+
+    adjacency: sp.csr_matrix
+    _degree_cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        adj = _as_csr(self.adjacency)
+        if adj.shape[0] != adj.shape[1]:
+            raise GraphConstructionError(
+                f"adjacency must be square, got shape {adj.shape}"
+            )
+        object.__setattr__(self, "adjacency", adj)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        num_nodes: int | None = None,
+        *,
+        undirected: bool = True,
+        weights: Sequence[float] | None = None,
+    ) -> "CSRGraph":
+        """Build a graph from an edge list.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of ``(src, dst)`` pairs or an ``(m, 2)`` integer array.
+        num_nodes:
+            Total number of nodes.  Inferred from the maximum node id when
+            omitted.
+        undirected:
+            When true (default) each edge is inserted in both directions.
+        weights:
+            Optional per-edge weights, defaults to 1.0.
+        """
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_array.size == 0:
+            if num_nodes is None:
+                raise GraphConstructionError("empty edge list requires explicit num_nodes")
+            return cls(sp.csr_matrix((num_nodes, num_nodes), dtype=np.float64))
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphConstructionError(
+                f"edges must be an (m, 2) array, got shape {edge_array.shape}"
+            )
+        src = edge_array[:, 0].astype(np.int64)
+        dst = edge_array[:, 1].astype(np.int64)
+        if (src < 0).any() or (dst < 0).any():
+            raise GraphConstructionError("node indices must be non-negative")
+        inferred = int(max(src.max(), dst.max())) + 1
+        n = inferred if num_nodes is None else int(num_nodes)
+        if n < inferred:
+            raise GraphConstructionError(
+                f"num_nodes={n} is smaller than the largest node id {inferred - 1}"
+            )
+        if weights is None:
+            data = np.ones(len(src), dtype=np.float64)
+        else:
+            data = np.asarray(weights, dtype=np.float64)
+            if data.shape[0] != src.shape[0]:
+                raise GraphConstructionError("weights must have one entry per edge")
+        if undirected:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            data = np.concatenate([data, data])
+        adj = sp.coo_matrix((data, (src, dst)), shape=(n, n)).tocsr()
+        # Duplicate edges (including the reversed copy of a self loop) collapse
+        # to weight 1 for unweighted graphs to keep the adjacency binary.
+        if weights is None:
+            adj.data = np.minimum(adj.data, 1.0)
+        return cls(adj)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRGraph":
+        """Build a graph from a dense adjacency matrix."""
+        return cls(sp.csr_matrix(np.asarray(dense, dtype=np.float64)))
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (directed edge count // 2)."""
+        return int(self.adjacency.nnz // 2 + np.count_nonzero(self.adjacency.diagonal()))
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored (directed) nonzero entries."""
+        return int(self.adjacency.nnz)
+
+    def degrees(self, *, with_self_loops: bool = False) -> np.ndarray:
+        """Node degree vector ``d_i`` (weighted out-degree).
+
+        Parameters
+        ----------
+        with_self_loops:
+            When true returns ``d_i + 1`` as used by the normalized adjacency
+            with self loops.
+        """
+        key = ("deg", with_self_loops)
+        if key not in self._degree_cache:
+            deg = np.asarray(self.adjacency.sum(axis=1)).ravel()
+            if with_self_loops:
+                deg = deg + 1.0
+            self._degree_cache[key] = deg
+        return self._degree_cache[key]
+
+    def degree_matrix(self, *, with_self_loops: bool = False) -> sp.csr_matrix:
+        """Diagonal degree matrix ``D`` (or ``D̃`` with self loops)."""
+        return sp.diags(self.degrees(with_self_loops=with_self_loops)).tocsr()
+
+    def has_self_loops(self) -> bool:
+        """Whether the adjacency stores any non-zero diagonal entry."""
+        return bool(np.count_nonzero(self.adjacency.diagonal()) > 0)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def add_self_loops(self, weight: float = 1.0) -> "CSRGraph":
+        """Return a new graph whose adjacency is ``Ã = A + weight * I``."""
+        n = self.num_nodes
+        adj = self.adjacency.tolil(copy=True)
+        adj.setdiag(np.maximum(adj.diagonal(), weight))
+        return CSRGraph(adj.tocsr())
+
+    def remove_self_loops(self) -> "CSRGraph":
+        """Return a new graph with the diagonal zeroed out."""
+        adj = self.adjacency.tolil(copy=True)
+        adj.setdiag(0.0)
+        return CSRGraph(adj.tocsr())
+
+    def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "CSRGraph":
+        """Induced subgraph on ``nodes`` (rows/columns restricted and relabelled)."""
+        idx = np.asarray(nodes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_nodes):
+            raise GraphConstructionError("subgraph node indices out of range")
+        sub = self.adjacency[idx][:, idx]
+        return CSRGraph(sub.tocsr())
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Return the (out-)neighbour indices of ``node``."""
+        if node < 0 or node >= self.num_nodes:
+            raise GraphConstructionError(f"node {node} out of range [0, {self.num_nodes})")
+        start, end = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]
+        return self.adjacency.indices[start:end].copy()
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (mostly for tests and examples)."""
+        import networkx as nx
+
+        return nx.from_scipy_sparse_array(self.adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if self.num_nodes != other.num_nodes:
+            return False
+        diff = (self.adjacency != other.adjacency)
+        return diff.nnz == 0
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is sufficient
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(num_nodes={self.num_nodes}, num_directed_edges="
+            f"{self.num_directed_edges})"
+        )

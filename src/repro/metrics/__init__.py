@@ -1,0 +1,30 @@
+"""Metrics: MAC accounting (Table I), timing helpers and result-table formatting."""
+
+from .macs import (
+    ComplexityInputs,
+    nai_macs,
+    supported_backbones,
+    theoretical_speedup,
+    vanilla_macs,
+)
+from .report import (
+    MethodResult,
+    format_table,
+    method_result_from_inference,
+    summarize_accuracy,
+)
+from .timing import Stopwatch, time_callable
+
+__all__ = [
+    "ComplexityInputs",
+    "MethodResult",
+    "Stopwatch",
+    "format_table",
+    "method_result_from_inference",
+    "nai_macs",
+    "summarize_accuracy",
+    "supported_backbones",
+    "theoretical_speedup",
+    "time_callable",
+    "vanilla_macs",
+]

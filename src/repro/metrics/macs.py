@@ -1,0 +1,91 @@
+"""Analytic MAC formulas (Table I of the paper) plus helpers around measured counts.
+
+Table I gives the inductive-inference complexity of the four backbones with
+and without NAI, in terms of
+
+* ``n`` — number of nodes touched (supporting nodes),
+* ``m`` — number of edges among them,
+* ``f`` — feature dimension,
+* ``k`` — propagation depth,
+* ``P`` — number of classifier layers,
+* ``q`` — the *average personalised depth* once NAI is enabled.
+
+These formulas are used by the Table-I bench to print the analytic
+complexities next to the measured counts coming out of the inference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+_BACKBONES = ("SGC", "SIGN", "S2GC", "GAMLP")
+
+
+@dataclass(frozen=True)
+class ComplexityInputs:
+    """Workload parameters that enter the Table-I formulas."""
+
+    num_nodes: int
+    num_edges: int
+    num_features: int
+    depth: int
+    classifier_layers: int = 1
+    average_depth: float | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.num_nodes, self.num_edges, self.num_features, self.depth) < 1:
+            raise ConfigurationError("all complexity inputs must be positive")
+        if self.classifier_layers < 1:
+            raise ConfigurationError("classifier_layers must be positive")
+        if self.average_depth is not None and self.average_depth <= 0:
+            raise ConfigurationError("average_depth must be positive when provided")
+
+    @property
+    def q(self) -> float:
+        """Average personalised depth (defaults to the full depth)."""
+        return float(self.depth if self.average_depth is None else self.average_depth)
+
+
+def vanilla_macs(backbone: str, inputs: ComplexityInputs) -> float:
+    """Analytic inference MACs of the vanilla backbone (Table I, top row)."""
+    n, m, f = inputs.num_nodes, inputs.num_edges, inputs.num_features
+    k, p = inputs.depth, inputs.classifier_layers
+    name = backbone.upper()
+    if name == "SGC":
+        return k * m * f + n * f ** 2
+    if name == "SIGN":
+        return k * m * f + k * p * n * f ** 2
+    if name == "S2GC":
+        return k * m * f + k * n * f + n * f ** 2
+    if name == "GAMLP":
+        return k * m * f + p * n * f ** 2
+    raise ConfigurationError(f"unknown backbone {backbone!r}; expected one of {_BACKBONES}")
+
+
+def nai_macs(backbone: str, inputs: ComplexityInputs) -> float:
+    """Analytic inference MACs once NAI is deployed (Table I, bottom row)."""
+    n, m, f = inputs.num_nodes, inputs.num_edges, inputs.num_features
+    p, q = inputs.classifier_layers, inputs.q
+    stationary = n ** 2 * f
+    name = backbone.upper()
+    if name == "SGC":
+        return q * m * f + n * f ** 2 + stationary
+    if name == "SIGN":
+        return q * m * f + q * p * n * f ** 2 + stationary
+    if name == "S2GC":
+        return q * m * f + q * n * f + n * f ** 2 + stationary
+    if name == "GAMLP":
+        return q * m * f + p * n * f ** 2 + stationary
+    raise ConfigurationError(f"unknown backbone {backbone!r}; expected one of {_BACKBONES}")
+
+
+def theoretical_speedup(backbone: str, inputs: ComplexityInputs) -> float:
+    """Ratio of vanilla to NAI analytic MACs for the same workload."""
+    return vanilla_macs(backbone, inputs) / nai_macs(backbone, inputs)
+
+
+def supported_backbones() -> tuple[str, ...]:
+    """Backbones covered by the Table-I formulas."""
+    return _BACKBONES

@@ -1,0 +1,131 @@
+"""Result-row containers and plain-text table formatting.
+
+The experiment drivers produce :class:`MethodResult` rows (one per method per
+dataset); :func:`format_table` renders them in the same column layout the
+paper uses (ACC / #mMACs / #FP mMACs / Time / FP Time plus acceleration
+ratios), so benchmark output can be compared side-by-side with the published
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.inference import InferenceResult
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One row of an inference-comparison table.
+
+    MAC counts are reported in *mega*-MACs per inferred node and times in
+    milliseconds per node, matching the units of the paper's tables.
+    """
+
+    method: str
+    dataset: str
+    accuracy: float
+    macs_per_node: float
+    fp_macs_per_node: float
+    time_ms_per_node: float
+    fp_time_ms_per_node: float
+    depth_distribution: tuple[int, ...] = ()
+    average_depth: float = 0.0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mmacs_per_node(self) -> float:
+        return self.macs_per_node / 1e6
+
+    @property
+    def fp_mmacs_per_node(self) -> float:
+        return self.fp_macs_per_node / 1e6
+
+    def speedup_over(self, reference: "MethodResult") -> dict[str, float]:
+        """Acceleration ratios of this row relative to ``reference`` (the vanilla model)."""
+        def ratio(base: float, ours: float) -> float:
+            return float(base / ours) if ours > 0 else float("inf")
+
+        return {
+            "macs": ratio(reference.macs_per_node, self.macs_per_node),
+            "fp_macs": ratio(reference.fp_macs_per_node, self.fp_macs_per_node),
+            "time": ratio(reference.time_ms_per_node, self.time_ms_per_node),
+            "fp_time": ratio(reference.fp_time_ms_per_node, self.fp_time_ms_per_node),
+        }
+
+
+def method_result_from_inference(
+    method: str,
+    dataset: str,
+    result: InferenceResult,
+    labels: np.ndarray,
+    **extras: float,
+) -> MethodResult:
+    """Convert an :class:`InferenceResult` into a table row."""
+    return MethodResult(
+        method=method,
+        dataset=dataset,
+        accuracy=result.accuracy(labels),
+        macs_per_node=result.macs_per_node(),
+        fp_macs_per_node=result.feature_processing_macs_per_node(),
+        time_ms_per_node=result.time_per_node() * 1e3,
+        fp_time_ms_per_node=result.feature_processing_time_per_node() * 1e3,
+        depth_distribution=tuple(result.depth_distribution()),
+        average_depth=result.average_depth(),
+        extras=dict(extras),
+    )
+
+
+def format_table(
+    rows: Sequence[MethodResult],
+    *,
+    reference_method: str | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table (one dataset per block).
+
+    When ``reference_method`` is given, acceleration ratios relative to that
+    method are appended in brackets, mirroring the paper's presentation.
+    """
+    if not rows:
+        return "(no results)"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    datasets = sorted({row.dataset for row in rows})
+    header = (
+        f"{'method':<14} {'ACC%':>7} {'kMACs/n':>10} {'FP kMACs/n':>11} "
+        f"{'ms/node':>9} {'FP ms/n':>9}  depth distribution"
+    )
+    for dataset in datasets:
+        block = [row for row in rows if row.dataset == dataset]
+        reference = None
+        if reference_method is not None:
+            matches = [row for row in block if row.method == reference_method]
+            reference = matches[0] if matches else None
+        lines.append(f"-- dataset: {dataset}")
+        lines.append(header)
+        for row in block:
+            ratios = ""
+            if reference is not None and row.method != reference_method:
+                speed = row.speedup_over(reference)
+                ratios = f"  (MACs x{speed['macs']:.1f}, time x{speed['time']:.1f})"
+            distribution = list(row.depth_distribution)
+            lines.append(
+                f"{row.method:<14} {row.accuracy * 100:>7.2f} "
+                f"{row.macs_per_node / 1e3:>10.1f} {row.fp_macs_per_node / 1e3:>11.1f} "
+                f"{row.time_ms_per_node:>9.3f} {row.fp_time_ms_per_node:>9.3f}  "
+                f"{distribution}{ratios}"
+            )
+    return "\n".join(lines)
+
+
+def summarize_accuracy(rows: Iterable[MethodResult]) -> dict[str, float]:
+    """Mapping ``method -> accuracy`` (averaged when a method appears several times)."""
+    buckets: dict[str, list[float]] = {}
+    for row in rows:
+        buckets.setdefault(row.method, []).append(row.accuracy)
+    return {method: float(np.mean(values)) for method, values in buckets.items()}

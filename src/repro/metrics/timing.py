@@ -1,0 +1,53 @@
+"""Small timing utilities used by the experiment drivers and benches."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> watch = Stopwatch()
+    >>> with watch.lap("propagation"):
+    ...     _ = sum(range(1000))
+    >>> watch.total() >= 0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and add the elapsed seconds to lap ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Sum of all recorded laps in seconds."""
+        return float(sum(self.laps.values()))
+
+    def reset(self) -> None:
+        """Clear every lap."""
+        self.laps.clear()
+
+
+def time_callable(fn, *args, repeats: int = 1, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` ``repeats`` times and return ``(last_result, best_seconds)``."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best

@@ -1,0 +1,24 @@
+"""Scalable GNN backbones: SGC, SIGN, S2GC and GAMLP."""
+
+from .base import DepthwiseClassifier, ScalableGNN, mlp_macs_per_node
+from .gamlp import GAMLP, GAMLPClassifier
+from .registry import available_backbones, make_backbone
+from .s2gc import S2GC, S2GCClassifier
+from .sgc import SGC, SGCClassifier
+from .sign import SIGN, SIGNClassifier
+
+__all__ = [
+    "DepthwiseClassifier",
+    "GAMLP",
+    "GAMLPClassifier",
+    "S2GC",
+    "S2GCClassifier",
+    "SGC",
+    "SGCClassifier",
+    "SIGN",
+    "SIGNClassifier",
+    "ScalableGNN",
+    "available_backbones",
+    "make_backbone",
+    "mlp_macs_per_node",
+]

@@ -1,0 +1,155 @@
+"""Backbone abstractions shared by all scalable GNNs.
+
+A *backbone* (SGC, SIGN, S2GC, GAMLP) is decomposed into two pieces that the
+NAI framework needs to manipulate independently:
+
+* the non-parametric **propagation** ``X^(l) = Â^l X`` (identical across
+  backbones, precomputed at training time and executed online at inference
+  time), and
+* a family of **depth-wise classifiers** ``f^(1) .. f^(k)``, where ``f^(l)``
+  consumes the propagated features up to depth ``l`` and produces class
+  logits.  Different backbones differ only in how ``f^(l)`` combines
+  ``X^(0..l)``: SGC uses the deepest matrix only, SIGN concatenates linear
+  transformations, S2GC averages, GAMLP combines with node-wise attention.
+
+Keeping one interface for all four lets the NAI inference engine, the
+Inception Distillation trainer and the gate trainer stay backbone-agnostic,
+exactly as claimed by the paper's generalization experiments (Tables IX-XI).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..graph.normalization import NormalizationScheme
+from ..graph.propagation import propagate_features
+from ..graph.sparse import CSRGraph
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+
+
+class DepthwiseClassifier(Module, ABC):
+    """A classifier ``f^(depth)`` over propagated features ``X^(0..depth)``.
+
+    Sub-classes must set ``self.depth`` and implement :meth:`forward` over a
+    list of per-depth feature tensors ``[X^(0), ..., X^(depth)]`` (each of
+    shape ``(batch, f)``) and :meth:`classification_macs_per_node`, which the
+    metrics module uses for MAC accounting.
+    """
+
+    def __init__(self, depth: int) -> None:
+        super().__init__()
+        if depth < 0:
+            raise ConfigurationError(f"classifier depth must be non-negative, got {depth}")
+        self.depth = depth
+
+    def _validate_inputs(self, propagated: Sequence[Tensor | np.ndarray]) -> list[Tensor]:
+        if len(propagated) < self.depth + 1:
+            raise ShapeError(
+                f"classifier at depth {self.depth} needs {self.depth + 1} propagated "
+                f"matrices (X^(0..{self.depth})), received {len(propagated)}"
+            )
+        return [Tensor.as_tensor(matrix) for matrix in propagated[: self.depth + 1]]
+
+    @abstractmethod
+    def forward(self, propagated: Sequence[Tensor | np.ndarray]) -> Tensor:
+        """Return class logits for the propagated features up to ``self.depth``."""
+
+    @abstractmethod
+    def classification_macs_per_node(self) -> float:
+        """Multiply-accumulate operations needed to classify a single node."""
+
+
+class ScalableGNN(ABC):
+    """A scalable-GNN backbone: propagation recipe + depth-wise classifier factory.
+
+    Parameters
+    ----------
+    num_features:
+        Input feature dimension ``f``.
+    num_classes:
+        Number of target classes ``c``.
+    depth:
+        Maximum propagation depth ``k``.
+    hidden_dims:
+        Hidden layer sizes of each classifier MLP (empty = linear classifier).
+    dropout:
+        Dropout rate used inside the classifiers.
+    gamma:
+        Convolution coefficient of Eq. (1); the paper uses the symmetric
+        normalization (``gamma=0.5``) everywhere.
+    rng:
+        Source of randomness for weight initialisation.
+    """
+
+    #: short name used in result tables ("SGC", "SIGN", ...)
+    name: str = "scalable-gnn"
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        depth: int,
+        *,
+        hidden_dims: Sequence[int] = (),
+        dropout: float = 0.0,
+        gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"propagation depth must be at least 1, got {depth}")
+        if num_features < 1 or num_classes < 2:
+            raise ConfigurationError("num_features must be >=1 and num_classes >=2")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.depth = depth
+        self.hidden_dims = tuple(hidden_dims)
+        self.dropout = dropout
+        self.gamma = gamma
+        self.rng = np.random.default_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def precompute(self, graph: CSRGraph, features: np.ndarray) -> list[np.ndarray]:
+        """Precompute ``[X^(0), ..., X^(k)]`` on ``graph`` (Figure 1b)."""
+        return propagate_features(graph, features, self.depth, gamma=self.gamma)
+
+    # ------------------------------------------------------------------ #
+    # Classifier factory
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def make_classifier(self, depth: int) -> DepthwiseClassifier:
+        """Instantiate the classifier ``f^(depth)`` for this backbone."""
+
+    def make_all_classifiers(self) -> list[DepthwiseClassifier]:
+        """Instantiate ``f^(1) .. f^(k)`` (index 0 of the list is ``f^(1)``)."""
+        return [self.make_classifier(depth) for depth in range(1, self.depth + 1)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by the MAC accounting
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, object]:
+        """Human-readable hyper-parameter summary."""
+        return {
+            "name": self.name,
+            "num_features": self.num_features,
+            "num_classes": self.num_classes,
+            "depth": self.depth,
+            "hidden_dims": list(self.hidden_dims),
+            "dropout": self.dropout,
+            "gamma": str(self.gamma),
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(f={self.num_features}, c={self.num_classes}, k={self.depth})"
+
+
+def mlp_macs_per_node(in_features: int, hidden_dims: Sequence[int], out_features: int) -> float:
+    """MACs of one forward pass of an MLP for a single input row."""
+    dims = [in_features, *hidden_dims, out_features]
+    return float(sum(dims[i] * dims[i + 1] for i in range(len(dims) - 1)))

@@ -1,0 +1,89 @@
+"""GAMLP backbone (Zhang et al., 2022) — Eq. (5) of the paper.
+
+GAMLP combines the propagated features at different depths with *node-wise*
+attention:
+
+    X_GAMLP^(k) = sum_{l=0}^{k} T^(l) X^(l)
+
+where ``T^(l)`` are diagonal per-node attention matrices.  We implement the
+JK-style attention of the basic GAMLP variant: each depth receives a score
+``q^(l)_i = sigma(X^(l)_i s^(l))`` from a trainable vector ``s^(l)``, scores
+are soft-maxed over depths and used to weight the per-depth features before an
+MLP head classifies the combination.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.init import normal
+from ..nn.modules import MLP, Parameter
+from ..nn.tensor import Tensor, concatenate
+from .base import DepthwiseClassifier, ScalableGNN, mlp_macs_per_node
+
+
+class GAMLPClassifier(DepthwiseClassifier):
+    """Node-wise attention combination of ``X^(0..depth)`` + MLP head."""
+
+    def __init__(
+        self,
+        depth: int,
+        num_features: int,
+        num_classes: int,
+        *,
+        hidden_dims: Sequence[int] = (),
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(depth)
+        self.num_features = num_features
+        self.num_classes = num_classes
+        generator = rng if rng is not None else np.random.default_rng()
+        self.attention_vectors = [
+            Parameter(normal(num_features, 1, scale=0.05, rng=generator), name=f"s_{l}")
+            for l in range(depth + 1)
+        ]
+        self.head = MLP(num_features, num_classes, hidden_dims, dropout=dropout, rng=generator)
+
+    def _attention_weights(self, inputs: list[Tensor]) -> Tensor:
+        """Per-node soft-maxed attention scores over depths, shape ``(batch, depth+1)``."""
+        scores = [
+            (matrix @ vector).sigmoid()
+            for matrix, vector in zip(inputs, self.attention_vectors)
+        ]
+        stacked = concatenate(scores, axis=1)
+        shifted = stacked - Tensor(stacked.data.max(axis=1, keepdims=True))
+        exponentials = shifted.exp()
+        return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+    def forward(self, propagated: Sequence[Tensor | np.ndarray]) -> Tensor:
+        inputs = self._validate_inputs(propagated)
+        weights = self._attention_weights(inputs)
+        combined = inputs[0] * weights[:, 0:1]
+        for index in range(1, len(inputs)):
+            combined = combined + inputs[index] * weights[:, index:index + 1]
+        return self.head(combined)
+
+    def classification_macs_per_node(self) -> float:
+        attention = (self.depth + 1) * self.num_features        # score projections
+        combination = (self.depth + 1) * self.num_features      # weighted sum
+        head = mlp_macs_per_node(self.num_features, self.head.hidden_dims, self.num_classes)
+        return float(attention + combination + head)
+
+
+class GAMLP(ScalableGNN):
+    """Graph Attention Multi-Layer Perceptron backbone (basic attention variant)."""
+
+    name = "GAMLP"
+
+    def make_classifier(self, depth: int) -> GAMLPClassifier:
+        return GAMLPClassifier(
+            depth,
+            self.num_features,
+            self.num_classes,
+            hidden_dims=self.hidden_dims,
+            dropout=self.dropout,
+            rng=self.rng,
+        )

@@ -1,0 +1,62 @@
+"""Backbone registry: build a scalable GNN by name."""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graph.normalization import NormalizationScheme
+from .base import ScalableGNN
+from .gamlp import GAMLP
+from .s2gc import S2GC
+from .sgc import SGC
+from .sign import SIGN
+
+_BACKBONES: dict[str, Type[ScalableGNN]] = {
+    "sgc": SGC,
+    "sign": SIGN,
+    "s2gc": S2GC,
+    "gamlp": GAMLP,
+}
+
+
+def available_backbones() -> list[str]:
+    """Names accepted by :func:`make_backbone`."""
+    return sorted(_BACKBONES)
+
+
+def make_backbone(
+    name: str,
+    num_features: int,
+    num_classes: int,
+    depth: int,
+    *,
+    hidden_dims: Sequence[int] = (),
+    dropout: float = 0.0,
+    gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+    rng: np.random.Generator | int | None = None,
+    **backbone_kwargs,
+) -> ScalableGNN:
+    """Instantiate a backbone by (case-insensitive) name.
+
+    ``backbone_kwargs`` are forwarded to the specific backbone class, e.g.
+    ``transform_dim`` for SIGN.
+    """
+    key = name.lower()
+    if key not in _BACKBONES:
+        raise ConfigurationError(
+            f"unknown backbone {name!r}; available: {available_backbones()}"
+        )
+    backbone_cls = _BACKBONES[key]
+    return backbone_cls(
+        num_features,
+        num_classes,
+        depth,
+        hidden_dims=hidden_dims,
+        dropout=dropout,
+        gamma=gamma,
+        rng=rng,
+        **backbone_kwargs,
+    )

@@ -1,0 +1,70 @@
+"""S2GC backbone (Zhu & Koniusz, 2021) — Eq. (4) of the paper.
+
+Simple Spectral Graph Convolution averages the propagated features over all
+depths:
+
+    X_S2GC^(k) = (1 / (k + 1)) * sum_{l=0}^{k} X^(l)
+
+and feeds the average to a classifier.  The depth-``l`` classifier averages
+the prefix ``X^(0..l)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.modules import MLP
+from ..nn.tensor import Tensor
+from .base import DepthwiseClassifier, ScalableGNN, mlp_macs_per_node
+
+
+class S2GCClassifier(DepthwiseClassifier):
+    """Average of the propagated prefix followed by an MLP."""
+
+    def __init__(
+        self,
+        depth: int,
+        num_features: int,
+        num_classes: int,
+        *,
+        hidden_dims: Sequence[int] = (),
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(depth)
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.mlp = MLP(num_features, num_classes, hidden_dims, dropout=dropout, rng=rng)
+
+    def forward(self, propagated: Sequence[Tensor | np.ndarray]) -> Tensor:
+        inputs = self._validate_inputs(propagated)
+        total = inputs[0]
+        for matrix in inputs[1:]:
+            total = total + matrix
+        average = total * (1.0 / float(self.depth + 1))
+        return self.mlp(average)
+
+    def classification_macs_per_node(self) -> float:
+        # Averaging costs one accumulate per depth per feature, plus the MLP.
+        aggregation = (self.depth + 1) * self.num_features
+        return float(aggregation) + mlp_macs_per_node(
+            self.num_features, self.mlp.hidden_dims, self.num_classes
+        )
+
+
+class S2GC(ScalableGNN):
+    """Simple Spectral Graph Convolution backbone."""
+
+    name = "S2GC"
+
+    def make_classifier(self, depth: int) -> S2GCClassifier:
+        return S2GCClassifier(
+            depth,
+            self.num_features,
+            self.num_classes,
+            hidden_dims=self.hidden_dims,
+            dropout=self.dropout,
+            rng=self.rng,
+        )

@@ -1,0 +1,58 @@
+"""SGC backbone (Wu et al., 2019) — Eq. (2) of the paper.
+
+SGC removes the intermediate non-linear transformations of GCN and feeds the
+propagated feature ``X^(k) = Â^k X`` into a single classifier.  Its depth-``l``
+classifier therefore consumes only ``X^(l)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.modules import MLP
+from ..nn.tensor import Tensor
+from .base import DepthwiseClassifier, ScalableGNN, mlp_macs_per_node
+
+
+class SGCClassifier(DepthwiseClassifier):
+    """MLP (or linear) classifier applied to ``X^(depth)`` only."""
+
+    def __init__(
+        self,
+        depth: int,
+        num_features: int,
+        num_classes: int,
+        *,
+        hidden_dims: Sequence[int] = (),
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(depth)
+        self.mlp = MLP(num_features, num_classes, hidden_dims, dropout=dropout, rng=rng)
+        self.num_features = num_features
+        self.num_classes = num_classes
+
+    def forward(self, propagated: Sequence[Tensor | np.ndarray]) -> Tensor:
+        inputs = self._validate_inputs(propagated)
+        return self.mlp(inputs[self.depth])
+
+    def classification_macs_per_node(self) -> float:
+        return mlp_macs_per_node(self.num_features, self.mlp.hidden_dims, self.num_classes)
+
+
+class SGC(ScalableGNN):
+    """Simplified Graph Convolution backbone."""
+
+    name = "SGC"
+
+    def make_classifier(self, depth: int) -> SGCClassifier:
+        return SGCClassifier(
+            depth,
+            self.num_features,
+            self.num_classes,
+            hidden_dims=self.hidden_dims,
+            dropout=self.dropout,
+            rng=self.rng,
+        )

@@ -1,0 +1,88 @@
+"""SIGN backbone (Frasca et al., 2020) — Eq. (3) of the paper.
+
+SIGN transforms each propagated matrix with its own linear layer, concatenates
+the results and classifies the concatenation:
+
+    X_SIGN^(k) = X^(0) W^(0) || X^(1) W^(1) || ... || X^(k) W^(k)
+
+The depth-``l`` classifier uses the prefix ``X^(0..l)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn.modules import MLP, Linear
+from ..nn.tensor import Tensor, concatenate
+from .base import DepthwiseClassifier, ScalableGNN, mlp_macs_per_node
+
+
+class SIGNClassifier(DepthwiseClassifier):
+    """Per-depth linear transforms + concatenation + MLP head."""
+
+    def __init__(
+        self,
+        depth: int,
+        num_features: int,
+        num_classes: int,
+        *,
+        transform_dim: int = 32,
+        hidden_dims: Sequence[int] = (),
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(depth)
+        if transform_dim < 1:
+            raise ConfigurationError(f"transform_dim must be positive, got {transform_dim}")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.transform_dim = transform_dim
+        self.transforms = [
+            Linear(num_features, transform_dim, rng=rng) for _ in range(depth + 1)
+        ]
+        self.head = MLP(
+            transform_dim * (depth + 1),
+            num_classes,
+            hidden_dims,
+            dropout=dropout,
+            rng=rng,
+        )
+
+    def forward(self, propagated: Sequence[Tensor | np.ndarray]) -> Tensor:
+        inputs = self._validate_inputs(propagated)
+        transformed = [
+            transform(matrix).relu()
+            for transform, matrix in zip(self.transforms, inputs)
+        ]
+        return self.head(concatenate(transformed, axis=1))
+
+    def classification_macs_per_node(self) -> float:
+        transform_macs = (self.depth + 1) * self.num_features * self.transform_dim
+        head_macs = mlp_macs_per_node(
+            self.transform_dim * (self.depth + 1), self.head.hidden_dims, self.num_classes
+        )
+        return float(transform_macs + head_macs)
+
+
+class SIGN(ScalableGNN):
+    """Scalable Inception Graph Neural network backbone."""
+
+    name = "SIGN"
+
+    def __init__(self, *args, transform_dim: int = 32, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.transform_dim = transform_dim
+
+    def make_classifier(self, depth: int) -> SIGNClassifier:
+        return SIGNClassifier(
+            depth,
+            self.num_features,
+            self.num_classes,
+            transform_dim=self.transform_dim,
+            hidden_dims=self.hidden_dims,
+            dropout=self.dropout,
+            rng=self.rng,
+        )

@@ -1,0 +1,55 @@
+"""NumPy autograd substrate: tensors, modules, optimizers, losses, quantization."""
+
+from . import functional
+from .functional import (
+    accuracy_from_logits,
+    cross_entropy,
+    dropout,
+    gumbel_softmax,
+    log_softmax,
+    one_hot,
+    soft_cross_entropy,
+    soft_target_cross_entropy,
+    softmax,
+)
+from .init import normal, xavier_uniform, zeros
+from .modules import MLP, Dropout, Linear, Module, Parameter
+from .optim import SGD, Adam, Optimizer
+from .quantization import (
+    QuantizationParams,
+    QuantizedLinear,
+    QuantizedMLP,
+    quantize_classifier,
+)
+from .tensor import Tensor, concatenate, stack
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Linear",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "QuantizationParams",
+    "QuantizedLinear",
+    "QuantizedMLP",
+    "SGD",
+    "Tensor",
+    "accuracy_from_logits",
+    "concatenate",
+    "cross_entropy",
+    "dropout",
+    "functional",
+    "gumbel_softmax",
+    "log_softmax",
+    "normal",
+    "one_hot",
+    "quantize_classifier",
+    "soft_cross_entropy",
+    "soft_target_cross_entropy",
+    "softmax",
+    "stack",
+    "xavier_uniform",
+    "zeros",
+]

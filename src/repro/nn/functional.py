@@ -1,0 +1,148 @@
+"""Functional operations built on the autograd :class:`~repro.nn.tensor.Tensor`.
+
+These cover everything the NAI pipeline needs: numerically stable softmax /
+log-softmax, cross-entropy on hard and soft targets, knowledge-distillation
+losses (Eq. 14-21 in the paper), dropout and the Gumbel-softmax relaxation
+used by the gate-based NAP module (Eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .tensor import Tensor
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` as a dense one-hot matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError("labels out of range for the requested number of classes")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
+    """Numerically stable ``log softmax`` along ``axis``."""
+    logits = Tensor.as_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def softmax(logits: Tensor, axis: int = 1, temperature: float = 1.0) -> Tensor:
+    """Softmax with an optional distillation ``temperature`` (Eq. 14)."""
+    logits = Tensor.as_tensor(logits)
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    if temperature != 1.0:
+        logits = logits * (1.0 / temperature)
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``labels`` (Eq. 16)."""
+    logits = Tensor.as_tensor(logits)
+    num_classes = logits.shape[1]
+    targets = one_hot(labels, num_classes)
+    log_probs = log_softmax(logits, axis=1)
+    per_node = -(log_probs * Tensor(targets)).sum(axis=1)
+    return per_node.mean()
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: Tensor | np.ndarray) -> Tensor:
+    """Cross-entropy against a soft target distribution.
+
+    This is the distillation loss ``ℓ(p̃_student, p̃_teacher)`` of Eq. (15) and
+    Eq. (21): the teacher distribution is treated as a constant.
+    """
+    logits = Tensor.as_tensor(logits)
+    target = Tensor.as_tensor(target_probs)
+    if tuple(target.shape) != tuple(logits.shape):
+        raise ShapeError(
+            f"target distribution shape {target.shape} does not match logits {logits.shape}"
+        )
+    log_probs = log_softmax(logits, axis=1)
+    per_node = -(log_probs * target).sum(axis=1)
+    return per_node.mean()
+
+
+def soft_target_cross_entropy(probabilities: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Cross-entropy where the prediction is already a probability vector.
+
+    Used for the ensemble-teacher constraint ``L_t`` (Eq. 20), whose
+    prediction ``z̄`` is produced by a softmax over attention-weighted votes.
+    """
+    probabilities = Tensor.as_tensor(probabilities)
+    target = np.asarray(target_probs, dtype=np.float64)
+    if target.shape != tuple(probabilities.shape):
+        raise ShapeError(
+            f"target shape {target.shape} does not match predictions {probabilities.shape}"
+        )
+    eps = 1e-12
+    clipped = probabilities * (1.0 - 2.0 * eps) + eps
+    per_node = -(clipped.log() * Tensor(target)).sum(axis=1)
+    return per_node.mean()
+
+
+def dropout(
+    inputs: Tensor,
+    rate: float,
+    *,
+    training: bool,
+    rng: np.random.Generator | None = None,
+) -> Tensor:
+    """Inverted dropout: zero activations with probability ``rate`` at train time."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return Tensor.as_tensor(inputs)
+    generator = rng if rng is not None else np.random.default_rng()
+    inputs = Tensor.as_tensor(inputs)
+    mask = (generator.random(inputs.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return inputs * Tensor(mask)
+
+
+def gumbel_softmax(
+    logits: Tensor,
+    *,
+    temperature: float = 1.0,
+    hard: bool = False,
+    rng: np.random.Generator | None = None,
+) -> Tensor:
+    """Gumbel-softmax relaxation of a categorical sample (Jang et al., 2016).
+
+    Used by the gate-based NAP module (Eq. 11) to produce (nearly) one-hot
+    masks while keeping the gate weights trainable.  With ``hard=True`` the
+    forward value is the exact one-hot argmax while the gradient flows
+    through the soft relaxation (straight-through estimator).
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    logits = Tensor.as_tensor(logits)
+    generator = rng if rng is not None else np.random.default_rng()
+    uniform = np.clip(generator.random(logits.shape), 1e-12, 1.0 - 1e-12)
+    gumbel_noise = -np.log(-np.log(uniform))
+    noisy = (logits + Tensor(gumbel_noise)) * (1.0 / temperature)
+    soft = softmax(noisy, axis=1)
+    if not hard:
+        return soft
+    hard_values = np.zeros_like(soft.data)
+    hard_values[np.arange(soft.shape[0]), soft.data.argmax(axis=1)] = 1.0
+    # Straight-through: forward uses the hard mask, backward the soft one.
+    return soft + Tensor(hard_values - soft.data)
+
+
+def accuracy_from_logits(logits: np.ndarray | Tensor, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches ``labels``."""
+    raw = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if raw.shape[0] != labels.shape[0]:
+        raise ShapeError("logits and labels disagree on the number of rows")
+    if labels.size == 0:
+        return float("nan")
+    return float((raw.argmax(axis=1) == labels).mean())

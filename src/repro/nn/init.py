@@ -1,0 +1,35 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    fan_in: int,
+    fan_out: int,
+    *,
+    gain: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    generator = rng if rng is not None else np.random.default_rng()
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Zero-initialised array of the given shape."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal(
+    *shape: int,
+    scale: float = 0.01,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Small Gaussian initialisation (used for attention score vectors)."""
+    generator = rng if rng is not None else np.random.default_rng()
+    return generator.normal(0.0, scale, size=shape)

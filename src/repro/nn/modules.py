@@ -1,0 +1,229 @@
+"""Neural-network modules: ``Module`` base class, ``Linear`` and ``MLP``.
+
+The classifiers ``f^(l)`` in the paper are plain MLPs applied to propagated
+features; SIGN and GAMLP additionally use per-depth linear transformations
+and attention vectors.  All of those are expressed with the two modules
+defined here plus the functional ops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from . import functional as F
+from .init import xavier_uniform, zeros
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter."""
+
+    def __init__(self, data: np.ndarray, *, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Minimal module abstraction with parameter discovery and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter discovery ------------------------------------------- #
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every :class:`Parameter` reachable from this module."""
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            yield from _collect_parameters(value, seen)
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(attribute_path, parameter)`` pairs."""
+        seen: set[int] = set()
+        for key, value in self.__dict__.items():
+            yield from _collect_named(value, key, seen)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- modes ----------------------------------------------------------- #
+    def train(self) -> "Module":
+        """Switch this module (and children) into training mode."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) into evaluation mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            for child in _iter_modules(value):
+                child._set_mode(training)
+
+    # -- state dict ------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays keyed by attribute path."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays saved by :meth:`state_dict`."""
+        parameters = dict(self.named_parameters())
+        missing = set(parameters) - set(state)
+        unexpected = set(state) - set(parameters)
+        if missing or unexpected:
+            raise ConfigurationError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            target = parameters[name]
+            if target.data.shape != values.shape:
+                raise ConfigurationError(
+                    f"parameter {name} has shape {target.data.shape}, state has {values.shape}"
+                )
+            target.data = values.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _iter_modules(value) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _iter_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _iter_modules(item)
+
+
+def _collect_parameters(value, seen: set[int]) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for sub in value.__dict__.values():
+            yield from _collect_parameters(sub, seen)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_parameters(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_parameters(item, seen)
+
+
+def _collect_named(value, prefix: str, seen: set[int]) -> Iterator[tuple[str, Parameter]]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield prefix, value
+    elif isinstance(value, Module):
+        for key, sub in value.__dict__.items():
+            yield from _collect_named(sub, f"{prefix}.{key}", seen)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            yield from _collect_named(item, f"{prefix}.{index}", seen)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _collect_named(item, f"{prefix}.{key}", seen)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError("Linear layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform(in_features, out_features, rng=rng), name="weight")
+        self.bias = Parameter(zeros(out_features), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        inputs = Tensor.as_tensor(inputs)
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Dropout(Module):
+    """Inverted dropout module (active only in training mode)."""
+
+    def __init__(self, rate: float, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.dropout(inputs, self.rate, training=self.training, rng=self._rng)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations and dropout.
+
+    ``hidden_dims=[]`` yields a single linear (logistic-regression) layer —
+    exactly the classifier SGC uses.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        hidden_dims: Sequence[int] = (),
+        *,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        dims = [in_features, *hidden_dims, out_features]
+        generator = rng if rng is not None else np.random.default_rng()
+        self.layers = [
+            Linear(dims[i], dims[i + 1], rng=generator) for i in range(len(dims) - 1)
+        ]
+        self.dropout = Dropout(dropout, rng=generator)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden_dims = tuple(hidden_dims)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = Tensor.as_tensor(inputs)
+        for index, layer in enumerate(self.layers):
+            hidden = layer(hidden)
+            if index < len(self.layers) - 1:
+                hidden = hidden.relu()
+                hidden = self.dropout(hidden)
+        return hidden
+
+    def __repr__(self) -> str:
+        return (
+            f"MLP(in={self.in_features}, hidden={list(self.hidden_dims)}, "
+            f"out={self.out_features})"
+        )

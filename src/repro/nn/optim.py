@@ -1,0 +1,117 @@
+"""Optimizers: SGD (with momentum) and Adam with decoupled weight decay.
+
+The paper trains every classifier, gate and attention vector with Adam plus a
+weight-decay term; both are implemented here against the autograd
+:class:`~repro.nn.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .modules import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the ``zero_grad`` helper."""
+
+    def __init__(self, parameters: Iterable[Parameter]) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received an empty parameter list")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all tracked parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one SGD update using the accumulated gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with optional weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(f"betas must lie in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

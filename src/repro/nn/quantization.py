@@ -1,0 +1,107 @@
+"""INT8 post-training quantization of linear layers.
+
+This reproduces the "Quantization" baseline of the paper (Table V): classifier
+weights are quantized from FP32/FP64 to INT8 with a per-tensor affine scheme,
+which reduces classification MACs but leaves feature propagation untouched.
+The quantized layers execute integer matrix products and dequantize the
+accumulator, so the accuracy drop of real INT8 inference is reproduced
+faithfully rather than merely simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .modules import MLP, Linear, Module
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class QuantizationParams:
+    """Scale/zero-point pair for symmetric-range affine INT8 quantization."""
+
+    scale: float
+    zero_point: int
+
+    @classmethod
+    def from_array(cls, values: np.ndarray, *, num_bits: int = 8) -> "QuantizationParams":
+        """Compute quantization parameters covering the value range of ``values``."""
+        if num_bits < 2 or num_bits > 16:
+            raise ConfigurationError(f"num_bits must be in [2, 16], got {num_bits}")
+        qmin, qmax = -(2 ** (num_bits - 1)), 2 ** (num_bits - 1) - 1
+        vmin, vmax = float(values.min(initial=0.0)), float(values.max(initial=0.0))
+        vmin, vmax = min(vmin, 0.0), max(vmax, 0.0)
+        span = vmax - vmin
+        scale = span / (qmax - qmin) if span > 0 else 1.0
+        zero_point = int(round(qmin - vmin / scale))
+        zero_point = int(np.clip(zero_point, qmin, qmax))
+        return cls(scale=scale, zero_point=zero_point)
+
+    def quantize(self, values: np.ndarray, *, num_bits: int = 8) -> np.ndarray:
+        """Quantize ``values`` to integers with this scale/zero point."""
+        qmin, qmax = -(2 ** (num_bits - 1)), 2 ** (num_bits - 1) - 1
+        quantized = np.round(values / self.scale) + self.zero_point
+        return np.clip(quantized, qmin, qmax).astype(np.int32)
+
+    def dequantize(self, values: np.ndarray) -> np.ndarray:
+        """Map integer ``values`` back to floating point."""
+        return (values.astype(np.float64) - self.zero_point) * self.scale
+
+
+class QuantizedLinear(Module):
+    """An INT8-quantized snapshot of a trained :class:`Linear` layer."""
+
+    def __init__(self, layer: Linear, *, num_bits: int = 8) -> None:
+        super().__init__()
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        self.num_bits = num_bits
+        self.weight_params = QuantizationParams.from_array(layer.weight.data, num_bits=num_bits)
+        self.weight_q = self.weight_params.quantize(layer.weight.data, num_bits=num_bits)
+        self.bias = layer.bias.data.copy() if layer.bias is not None else None
+
+    def forward(self, inputs: Tensor | np.ndarray) -> Tensor:
+        raw = inputs.data if isinstance(inputs, Tensor) else np.asarray(inputs, dtype=np.float64)
+        input_params = QuantizationParams.from_array(raw, num_bits=self.num_bits)
+        inputs_q = input_params.quantize(raw, num_bits=self.num_bits)
+        # Integer accumulation, then dequantize:  (q_x - z_x)(q_w - z_w) s_x s_w
+        centered_x = inputs_q.astype(np.int64) - input_params.zero_point
+        centered_w = self.weight_q.astype(np.int64) - self.weight_params.zero_point
+        accumulator = centered_x @ centered_w
+        output = accumulator.astype(np.float64) * (input_params.scale * self.weight_params.scale)
+        if self.bias is not None:
+            output = output + self.bias
+        return Tensor(output)
+
+
+class QuantizedMLP(Module):
+    """INT8-quantized snapshot of a trained :class:`MLP` classifier."""
+
+    def __init__(self, mlp: MLP, *, num_bits: int = 8) -> None:
+        super().__init__()
+        self.layers = [QuantizedLinear(layer, num_bits=num_bits) for layer in mlp.layers]
+        self.in_features = mlp.in_features
+        self.out_features = mlp.out_features
+        self.hidden_dims = tuple(mlp.hidden_dims)
+
+    def forward(self, inputs: Tensor | np.ndarray) -> Tensor:
+        hidden = inputs
+        for index, layer in enumerate(self.layers):
+            hidden = layer(hidden)
+            if index < len(self.layers) - 1:
+                hidden = hidden.relu()
+        return hidden
+
+
+def quantize_classifier(classifier: Module, *, num_bits: int = 8) -> Module:
+    """Quantize a trained classifier (``MLP`` or ``Linear``) to INT8."""
+    if isinstance(classifier, MLP):
+        return QuantizedMLP(classifier, num_bits=num_bits)
+    if isinstance(classifier, Linear):
+        return QuantizedLinear(classifier, num_bits=num_bits)
+    raise ConfigurationError(
+        f"cannot quantize module of type {type(classifier).__name__}"
+    )

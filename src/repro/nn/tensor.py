@@ -1,0 +1,386 @@
+"""A small vectorised reverse-mode autograd engine on top of NumPy.
+
+The paper's models only require differentiable MLP classifiers, soft-max
+attention and Gumbel-softmax gates, so this engine implements exactly the set
+of operations those components need: broadcasted arithmetic, matrix products,
+reductions, element-wise non-linearities, concatenation and indexing.
+
+Gradients follow the usual tape-based approach: every operation records its
+parents and a closure that accumulates gradients into them, and
+:meth:`Tensor.backward` walks the tape in reverse topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import AutogradError
+
+ArrayLike = "np.ndarray | float | int | Tensor"
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcasted dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor that tracks gradients.
+
+    Parameters
+    ----------
+    data:
+        Array data (copied to ``float64``).
+    requires_grad:
+        Whether to accumulate gradients for this tensor during backward.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # ensure Tensor.__rmul__ wins over ndarray ops
+
+    def __init__(
+        self,
+        data: np.ndarray | float | int | Sequence,
+        *,
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def as_tensor(value: "Tensor | np.ndarray | float | int | Sequence") -> "Tensor":
+        """Wrap ``value`` into a constant :class:`Tensor` if it is not one."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a copy, to protect the graph)."""
+        return self.data.copy()
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph plumbing
+    # ------------------------------------------------------------------ #
+    def _make(self, data: np.ndarray, parents: tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to 1.0, which requires this tensor
+            to be a scalar.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError(
+                    "backward() without an explicit gradient requires a scalar output"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            while stack:
+                current, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if id(child) not in seen:
+                        seen.add(id(child))
+                        stack.append((child, iter(child._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    topo.append(current)
+                    stack.pop()
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-Tensor.as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise AutogradError("tensor exponents are not supported")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = Tensor.as_tensor(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise AutogradError("matmul supports 2-D tensors only")
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return self._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and reshaping
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape))
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad if keepdims else np.expand_dims(grad, axis)
+            maxima = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == maxima).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * expanded)
+
+        return self._make(data, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(*shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.data.shape))
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        if self.data.ndim != 2:
+            raise AutogradError("transpose supports 2-D tensors only")
+        data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.T)
+
+        return self._make(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data * (1.0 - data))
+
+        return self._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data ** 2))
+
+        return self._make(data, (self,), backward)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 1) -> Tensor:
+    """Differentiable concatenation of tensors along ``axis``."""
+    items = [Tensor.as_tensor(t) for t in tensors]
+    if not items:
+        raise AutogradError("concatenate requires at least one tensor")
+    data = np.concatenate([t.data for t in items], axis=axis)
+    sizes = [t.data.shape[axis] for t in items]
+    offsets = np.cumsum([0] + sizes)
+
+    out = Tensor(data, requires_grad=any(t.requires_grad for t in items))
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, end in zip(items, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, end)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    if out.requires_grad:
+        out._parents = tuple(items)
+        out._backward = backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack of equally-shaped tensors along a new axis."""
+    items = [Tensor.as_tensor(t) for t in tensors]
+    if not items:
+        raise AutogradError("stack requires at least one tensor")
+    data = np.stack([t.data for t in items], axis=axis)
+    out = Tensor(data, requires_grad=any(t.requires_grad for t in items))
+
+    def backward(grad: np.ndarray) -> None:
+        for position, tensor in enumerate(items):
+            tensor._accumulate(np.take(grad, position, axis=axis))
+
+    if out.requires_grad:
+        out._parents = tuple(items)
+        out._backward = backward
+    return out

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Training even a tiny NAI pipeline takes a couple hundred milliseconds, so the
+expensive fixtures are session-scoped and shared: tests that only *read* the
+trained models reuse one instance, while tests that need to mutate state
+build their own throw-away objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import NAI, SGC, load_dataset
+from repro.baselines import DistillationTarget
+from repro.core import DistillationConfig, GateTrainingConfig, TrainingConfig
+from repro.core.training import predict_logits
+from repro.nn import Tensor, softmax
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small flickr-sim instance (a few hundred nodes) shared by most tests."""
+    return load_dataset("flickr-sim", scale=0.22)
+
+
+@pytest.fixture(scope="session")
+def tiny_backbone(tiny_dataset):
+    return SGC(tiny_dataset.num_features, tiny_dataset.num_classes, depth=3, rng=7)
+
+
+@pytest.fixture(scope="session")
+def trained_nai(tiny_dataset, tiny_backbone):
+    """An NAI pipeline trained with a reduced budget (shared, read-only)."""
+    pipeline = NAI(
+        tiny_backbone,
+        distillation_config=DistillationConfig(
+            training=TrainingConfig(epochs=40, lr=0.05, patience=15)
+        ),
+        gate_config=GateTrainingConfig(epochs=25, lr=0.05),
+        rng=7,
+    )
+    return pipeline.fit(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def teacher_target(tiny_dataset, tiny_backbone, trained_nai):
+    """Soft teacher predictions of the deepest classifier over observed nodes."""
+    partition = tiny_dataset.partition()
+    propagated = tiny_backbone.precompute(
+        partition.train_graph, tiny_dataset.observed_features()
+    )
+    logits = predict_logits(trained_nai.classifiers[-1], propagated)
+    return DistillationTarget(softmax(Tensor(logits), axis=1).data, temperature=1.0)

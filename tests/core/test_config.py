@@ -1,0 +1,96 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.core import DistillationConfig, GateTrainingConfig, NAIConfig, TrainingConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        config = TrainingConfig()
+        assert config.epochs > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"epochs": 0}, {"lr": 0.0}, {"weight_decay": -1.0}, {"patience": 0}],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(**kwargs)
+
+    def test_with_updates(self):
+        config = TrainingConfig().with_updates(lr=0.5)
+        assert config.lr == 0.5
+
+
+class TestDistillationConfig:
+    def test_defaults_valid(self):
+        config = DistillationConfig()
+        assert config.enable_single_scale and config.enable_multi_scale
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"temperature_single": 0.0},
+            {"temperature_multi": -1.0},
+            {"lambda_single": 1.5},
+            {"lambda_multi": -0.1},
+            {"ensemble_size": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DistillationConfig(**kwargs)
+
+    def test_with_updates_preserves_training(self):
+        config = DistillationConfig(training=TrainingConfig(epochs=5))
+        updated = config.with_updates(lambda_single=0.2)
+        assert updated.training.epochs == 5
+        assert updated.lambda_single == 0.2
+
+
+class TestNAIConfig:
+    def test_defaults_valid(self):
+        config = NAIConfig()
+        assert config.t_min == config.t_max == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"t_min": 0},
+            {"t_min": 3, "t_max": 2},
+            {"distance_threshold": -0.1},
+            {"batch_size": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NAIConfig(**kwargs)
+
+    def test_validated_against_depth(self):
+        config = NAIConfig(t_min=1, t_max=4)
+        with pytest.raises(ConfigurationError):
+            config.validated_against_depth(3)
+        assert config.validated_against_depth(5) is config
+
+    def test_with_updates(self):
+        config = NAIConfig(t_min=1, t_max=3).with_updates(batch_size=17)
+        assert config.batch_size == 17
+        assert config.t_max == 3
+
+
+class TestGateTrainingConfig:
+    def test_defaults_valid(self):
+        assert GateTrainingConfig().epochs > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"epochs": 0}, {"lr": 0.0}, {"gumbel_temperature": 0.0}, {"penalty_mu": 0.0}],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GateTrainingConfig(**kwargs)
+
+    def test_with_updates(self):
+        assert GateTrainingConfig().with_updates(epochs=3).epochs == 3

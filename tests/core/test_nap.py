@@ -1,0 +1,194 @@
+"""Tests for the node-adaptive propagation policies (NAP_d and NAP_g)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceNAP, GateNAP, GateTrainingConfig, compute_stationary_state
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.graph import CSRGraph, propagate_features
+from repro.nn import MLP, Adam, Tensor, cross_entropy
+
+
+# --------------------------------------------------------------------------- #
+# Distance-based NAP
+# --------------------------------------------------------------------------- #
+class TestDistanceNAP:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistanceNAP(-1.0)
+
+    def test_zero_threshold_never_exits(self):
+        nap = DistanceNAP(0.0)
+        propagated = np.random.default_rng(0).normal(size=(5, 3))
+        stationary = np.zeros((5, 3))
+        assert not nap.should_exit(propagated, stationary, depth=1).any()
+
+    def test_large_threshold_exits_everything(self):
+        nap = DistanceNAP(1e9)
+        propagated = np.random.default_rng(0).normal(size=(5, 3))
+        assert nap.should_exit(propagated, np.zeros((5, 3)), depth=1).all()
+
+    def test_exit_mask_matches_manual_distances(self):
+        nap = DistanceNAP(1.0)
+        propagated = np.array([[0.5, 0.0], [3.0, 0.0]])
+        stationary = np.zeros((2, 2))
+        mask = nap.should_exit(propagated, stationary, depth=2)
+        assert mask.tolist() == [True, False]
+
+    def test_shape_mismatch_rejected(self):
+        nap = DistanceNAP(1.0)
+        with pytest.raises(ShapeError):
+            nap.should_exit(np.zeros((2, 2)), np.zeros((3, 2)), depth=1)
+
+    def test_decision_macs(self):
+        assert DistanceNAP(1.0).decision_macs_per_node(32) == 32.0
+
+    def test_personalised_depths_monotone_in_threshold(self):
+        """Larger T_s can only terminate nodes earlier (Eq. 9)."""
+        graph = CSRGraph.from_edges([(i, i + 1) for i in range(19)], num_nodes=20)
+        features = np.random.default_rng(1).normal(size=(20, 4))
+        propagated = propagate_features(graph, features, 4)
+        stationary = compute_stationary_state(graph, features).features_for()
+        loose = DistanceNAP(2.0).personalised_depths(propagated, stationary, t_max=4)
+        tight = DistanceNAP(0.5).personalised_depths(propagated, stationary, t_max=4)
+        assert np.all(loose <= tight)
+
+    def test_personalised_depths_respect_bounds(self):
+        graph = CSRGraph.from_edges([(i, i + 1) for i in range(9)], num_nodes=10)
+        features = np.random.default_rng(2).normal(size=(10, 4))
+        propagated = propagate_features(graph, features, 3)
+        stationary = compute_stationary_state(graph, features).features_for()
+        depths = DistanceNAP(1e9).personalised_depths(
+            propagated, stationary, t_min=2, t_max=3
+        )
+        assert depths.min() >= 2
+        assert depths.max() <= 3
+
+    def test_personalised_depths_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DistanceNAP(1.0).personalised_depths([np.zeros((2, 2))], np.zeros((2, 2)), t_min=3, t_max=2)
+
+    def test_high_degree_nodes_exit_earlier_on_average(self):
+        """Eq. 10: hubs smooth faster, so their personalised depth is lower."""
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset("flickr-sim", scale=0.3)
+        propagated = propagate_features(dataset.graph, dataset.features, 5)
+        stationary = compute_stationary_state(
+            dataset.graph, dataset.features
+        ).features_for()
+        threshold = np.median(np.linalg.norm(propagated[2] - stationary, axis=1))
+        depths = DistanceNAP(threshold).personalised_depths(propagated, stationary, t_max=5)
+        degrees = dataset.graph.degrees()
+        hub_depth = depths[degrees >= np.quantile(degrees, 0.9)].mean()
+        leaf_depth = depths[degrees <= np.quantile(degrees, 0.1)].mean()
+        assert hub_depth < leaf_depth
+
+    def test_distances_shrink_with_depth_on_average(self):
+        """Propagation smooths features toward the stationary state."""
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset("flickr-sim", scale=0.3)
+        propagated = propagate_features(dataset.graph, dataset.features, 5)
+        stationary = compute_stationary_state(
+            dataset.graph, dataset.features
+        ).features_for()
+        mean_distances = [
+            np.linalg.norm(propagated[depth] - stationary, axis=1).mean()
+            for depth in (0, 1, 3, 5)
+        ]
+        assert mean_distances[-1] < mean_distances[1] < mean_distances[0]
+
+
+# --------------------------------------------------------------------------- #
+# Gate-based NAP
+# --------------------------------------------------------------------------- #
+def _gate_training_setup(num_nodes=60, num_features=6, depth=3, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = CSRGraph.from_edges(
+        [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+        + [(i, (i + 7) % num_nodes) for i in range(num_nodes)],
+        num_nodes=num_nodes,
+    )
+    features = rng.normal(size=(num_nodes, num_features))
+    labels = rng.integers(0, 3, size=num_nodes)
+    propagated = propagate_features(graph, features, depth)
+    stationary = compute_stationary_state(graph, features).features_for()
+    classifiers = []
+    logits = []
+    for level in range(1, depth + 1):
+        mlp = MLP(num_features, 3, rng=rng)
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = cross_entropy(mlp(Tensor(propagated[level])), labels)
+            loss.backward()
+            optimizer.step()
+        classifiers.append(mlp)
+        logits.append(mlp(Tensor(propagated[level])).data)
+    return propagated, stationary, logits, labels
+
+
+class TestGateNAP:
+    def test_requires_depth_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            GateNAP(4, 1)
+
+    def test_unfitted_gate_rejects_inference(self):
+        gate = GateNAP(4, 3)
+        with pytest.raises(NotFittedError):
+            gate.should_exit(np.zeros((2, 4)), np.zeros((2, 4)), 1)
+
+    def test_number_of_gates(self):
+        gate = GateNAP(4, 5)
+        assert len(gate.weights) == 4
+        assert gate.weights[0].shape == (8, 2)
+
+    def test_fit_records_history_and_enables_inference(self):
+        propagated, stationary, logits, labels = _gate_training_setup()
+        gate = GateNAP(6, 3, config=GateTrainingConfig(epochs=8, lr=0.05), rng=0)
+        history = gate.fit(propagated, stationary, logits, labels)
+        assert len(history.loss) == 8
+        assert gate.fitted
+        mask = gate.should_exit(propagated[1], stationary, 1)
+        assert mask.shape == (60,)
+        assert mask.dtype == bool
+
+    def test_selection_counts_cover_all_nodes(self):
+        propagated, stationary, logits, labels = _gate_training_setup()
+        gate = GateNAP(6, 3, config=GateTrainingConfig(epochs=5), rng=0)
+        history = gate.fit(propagated, stationary, logits, labels)
+        assert sum(history.selection_counts[-1]) == pytest.approx(60, abs=2)
+
+    def test_personalised_depths_in_range(self):
+        propagated, stationary, logits, labels = _gate_training_setup()
+        gate = GateNAP(6, 3, config=GateTrainingConfig(epochs=5), rng=0)
+        gate.fit(propagated, stationary, logits, labels)
+        depths = gate.personalised_depths(propagated, stationary)
+        assert depths.min() >= 1 and depths.max() <= 3
+
+    def test_validation_selection_keeps_best_weights(self):
+        propagated, stationary, logits, labels = _gate_training_setup()
+        gate = GateNAP(6, 3, config=GateTrainingConfig(epochs=6), rng=0)
+        gate.fit(
+            propagated, stationary, logits, labels,
+            val_propagated=propagated, val_stationary=stationary,
+            val_classifier_logits=logits, val_labels=labels,
+        )
+        assert gate.fitted
+
+    def test_decision_macs(self):
+        assert GateNAP(16, 3).decision_macs_per_node() == 64.0
+
+    def test_wrong_number_of_logits_rejected(self):
+        propagated, stationary, logits, labels = _gate_training_setup()
+        gate = GateNAP(6, 3, config=GateTrainingConfig(epochs=2), rng=0)
+        with pytest.raises(ShapeError):
+            gate.fit(propagated, stationary, logits[:1], labels)
+
+    def test_invalid_inference_depth_rejected(self):
+        propagated, stationary, logits, labels = _gate_training_setup()
+        gate = GateNAP(6, 3, config=GateTrainingConfig(epochs=2), rng=0)
+        gate.fit(propagated, stationary, logits, labels)
+        with pytest.raises(ConfigurationError):
+            gate.should_exit(propagated[1], stationary, depth=3)

@@ -1,0 +1,101 @@
+"""Tests for the high-level NAI pipeline (fit / predictors / evaluate)."""
+
+import numpy as np
+import pytest
+
+from repro import NAI, SGC
+from repro.core import DistillationConfig, GateTrainingConfig, TrainingConfig
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestFit:
+    def test_report_populated(self, trained_nai, tiny_backbone):
+        report = trained_nai.report
+        assert report is not None
+        assert set(report.classifier_val_accuracy) == set(range(1, tiny_backbone.depth + 1))
+        assert report.gate_history is not None
+        assert report.distillation is not None
+
+    def test_classifier_accuracy_generally_improves_with_depth(self, trained_nai):
+        accuracies = trained_nai.report.classifier_val_accuracy
+        assert accuracies[max(accuracies)] >= accuracies[1] - 0.02
+
+    def test_unfitted_pipeline_rejects_predictor(self, tiny_dataset):
+        backbone = SGC(tiny_dataset.num_features, tiny_dataset.num_classes, depth=2, rng=0)
+        pipeline = NAI(backbone, rng=0)
+        with pytest.raises(NotFittedError):
+            pipeline.build_predictor()
+
+    def test_fit_without_gates(self, tiny_dataset):
+        backbone = SGC(tiny_dataset.num_features, tiny_dataset.num_classes, depth=2, rng=0)
+        pipeline = NAI(
+            backbone,
+            distillation_config=DistillationConfig(training=TrainingConfig(epochs=5)),
+            train_gates=False,
+            rng=0,
+        ).fit(tiny_dataset)
+        assert pipeline.gate_nap is None
+        with pytest.raises(NotFittedError):
+            pipeline.build_predictor(policy="gate")
+
+
+class TestConfigHelpers:
+    def test_inference_config_defaults_to_full_depth(self, trained_nai, tiny_backbone):
+        config = trained_nai.inference_config()
+        assert config.t_max == tiny_backbone.depth
+
+    def test_inference_config_validates_depth(self, trained_nai, tiny_backbone):
+        with pytest.raises(ConfigurationError):
+            trained_nai.inference_config(t_max=tiny_backbone.depth + 1)
+
+    def test_threshold_quantiles_are_monotone(self, trained_nai):
+        low = trained_nai.suggest_distance_threshold(0.1)
+        high = trained_nai.suggest_distance_threshold(0.9)
+        assert high >= low >= 0.0
+
+    def test_threshold_quantile_out_of_range(self, trained_nai):
+        with pytest.raises(ConfigurationError):
+            trained_nai.suggest_distance_threshold(1.5)
+
+
+class TestPredictAndEvaluate:
+    def test_unknown_policy_rejected(self, trained_nai):
+        with pytest.raises(ConfigurationError):
+            trained_nai.build_predictor(policy="banana")
+
+    def test_evaluate_runs_on_test_nodes(self, trained_nai, tiny_dataset):
+        result = trained_nai.evaluate(tiny_dataset, policy="none")
+        assert result.num_nodes == tiny_dataset.split.num_test
+        assert result.accuracy(tiny_dataset.labels) > 0.6
+
+    def test_evaluate_subset_of_nodes(self, trained_nai, tiny_dataset):
+        subset = tiny_dataset.split.test_idx[:10]
+        result = trained_nai.evaluate(tiny_dataset, policy="none", node_ids=subset)
+        assert result.num_nodes == 10
+
+    def test_distance_policy_trades_accuracy_for_speed(self, trained_nai, tiny_dataset):
+        vanilla = trained_nai.evaluate(tiny_dataset, policy="none")
+        speedy = trained_nai.evaluate(
+            tiny_dataset,
+            policy="distance",
+            config=trained_nai.inference_config(
+                distance_threshold=trained_nai.suggest_distance_threshold(0.8)
+            ),
+        )
+        assert speedy.macs.total < vanilla.macs.total
+
+    def test_gate_policy_evaluates(self, trained_nai, tiny_dataset):
+        result = trained_nai.evaluate(tiny_dataset, policy="gate")
+        assert result.num_nodes == tiny_dataset.split.num_test
+
+    def test_keep_logits_flag(self, trained_nai, tiny_dataset):
+        subset = tiny_dataset.split.test_idx[:5]
+        result = trained_nai.evaluate(
+            tiny_dataset, policy="none", node_ids=subset, keep_logits=True
+        )
+        assert set(result.logits) == set(int(n) for n in subset)
+
+    def test_deterministic_predictions_across_calls(self, trained_nai, tiny_dataset):
+        a = trained_nai.evaluate(tiny_dataset, policy="none")
+        b = trained_nai.evaluate(tiny_dataset, policy="none")
+        assert np.array_equal(a.predictions, b.predictions)

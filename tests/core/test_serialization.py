@@ -1,0 +1,103 @@
+"""Tests for saving / loading trained NAI pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import NAI, SGC, load_pipeline, save_pipeline
+from repro.core import DistillationConfig, TrainingConfig
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def archive_path(tmp_path_factory, trained_nai):
+    path = tmp_path_factory.mktemp("archives") / "pipeline.npz"
+    return save_pipeline(trained_nai, path)
+
+
+class TestSavePipeline:
+    def test_unfitted_pipeline_rejected(self, tiny_dataset, tmp_path):
+        backbone = SGC(tiny_dataset.num_features, tiny_dataset.num_classes, depth=2, rng=0)
+        pipeline = NAI(backbone, rng=0)
+        with pytest.raises(NotFittedError):
+            save_pipeline(pipeline, tmp_path / "nope.npz")
+
+    def test_archive_created_with_npz_suffix(self, trained_nai, tmp_path):
+        path = save_pipeline(trained_nai, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_archive_contains_header_and_weights(self, archive_path):
+        with np.load(archive_path) as archive:
+            assert "__header__" in archive.files
+            assert any(key.startswith("classifier/1/") for key in archive.files)
+            assert any(key.startswith("gate/") for key in archive.files)
+
+
+class TestLoadPipeline:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_pipeline(tmp_path / "missing.npz")
+
+    def test_non_pipeline_archive_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, values=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_pipeline(path)
+
+    def test_roundtrip_restores_structure(self, archive_path, trained_nai):
+        restored = load_pipeline(archive_path)
+        assert restored.backbone.depth == trained_nai.backbone.depth
+        assert len(restored.classifiers) == len(trained_nai.classifiers)
+        assert restored.gate_nap is not None
+        assert restored.report.classifier_val_accuracy.keys() == (
+            trained_nai.report.classifier_val_accuracy.keys()
+        )
+
+    def test_roundtrip_preserves_predictions(self, archive_path, trained_nai, tiny_dataset):
+        restored = load_pipeline(archive_path)
+        original = trained_nai.evaluate(tiny_dataset, policy="none")
+        recovered = restored.evaluate(tiny_dataset, policy="none")
+        assert np.array_equal(original.predictions, recovered.predictions)
+
+    def test_roundtrip_preserves_gate_decisions(self, archive_path, trained_nai, tiny_dataset):
+        restored = load_pipeline(archive_path)
+        original = trained_nai.evaluate(tiny_dataset, policy="gate")
+        recovered = restored.evaluate(tiny_dataset, policy="gate")
+        assert np.array_equal(original.predictions, recovered.predictions)
+        assert np.array_equal(original.depths, recovered.depths)
+
+    def test_roundtrip_preserves_threshold_calibration(self, archive_path, trained_nai):
+        restored = load_pipeline(archive_path)
+        assert restored.suggest_distance_threshold(0.5) == pytest.approx(
+            trained_nai.suggest_distance_threshold(0.5)
+        )
+
+    def test_restored_pipeline_without_refit_supports_distance_policy(
+        self, archive_path, tiny_dataset
+    ):
+        restored = load_pipeline(archive_path)
+        result = restored.evaluate(
+            tiny_dataset,
+            policy="distance",
+            config=restored.inference_config(
+                distance_threshold=restored.suggest_distance_threshold(0.6)
+            ),
+        )
+        assert result.num_nodes == tiny_dataset.split.num_test
+
+
+class TestRoundtripWithoutGates:
+    def test_pipeline_without_gates(self, tiny_dataset, tmp_path):
+        backbone = SGC(tiny_dataset.num_features, tiny_dataset.num_classes, depth=2, rng=1)
+        pipeline = NAI(
+            backbone,
+            distillation_config=DistillationConfig(training=TrainingConfig(epochs=10)),
+            train_gates=False,
+            rng=1,
+        ).fit(tiny_dataset)
+        path = save_pipeline(pipeline, tmp_path / "no_gates.npz")
+        restored = load_pipeline(path)
+        assert restored.gate_nap is None
+        original = pipeline.evaluate(tiny_dataset, policy="none")
+        recovered = restored.evaluate(tiny_dataset, policy="none")
+        assert np.array_equal(original.predictions, recovered.predictions)

@@ -1,0 +1,75 @@
+"""Tests for the stationary feature state (Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import compute_stationary_state
+from repro.exceptions import ShapeError
+from repro.graph import CSRGraph, normalized_adjacency
+
+GRAPH = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], num_nodes=4)
+FEATURES = np.random.default_rng(0).normal(size=(4, 6))
+
+
+class TestStationaryState:
+    def test_matches_closed_form(self):
+        state = compute_stationary_state(GRAPH, FEATURES, gamma=0.5)
+        degrees = GRAPH.degrees() + 1.0
+        normalizer = 2 * GRAPH.num_edges + GRAPH.num_nodes
+        expected = np.outer(np.sqrt(degrees), np.sqrt(degrees)) / normalizer @ FEATURES
+        assert np.allclose(state.features_for(), expected)
+
+    def test_matches_repeated_propagation_limit(self):
+        """Â^t X converges to the closed-form X^(∞) as t grows (Eq. 6)."""
+        state = compute_stationary_state(GRAPH, FEATURES, gamma=0.5)
+        a_hat = normalized_adjacency(GRAPH, gamma=0.5).toarray()
+        power = np.linalg.matrix_power(a_hat, 200)
+        assert np.allclose(power @ FEATURES, state.features_for(), atol=1e-6)
+
+    def test_infinite_adjacency_rows_depend_only_on_degrees(self):
+        state = compute_stationary_state(GRAPH, FEATURES, gamma=0.0)
+        infinite = state.dense_infinite_adjacency()
+        # gamma=0: every row is identical (weights depend only on the target degree).
+        assert np.allclose(infinite[0], infinite[1])
+
+    def test_infinite_adjacency_rows_sum_to_one_for_row_stochastic(self):
+        # gamma=0 corresponds to the row-stochastic operator D̃^-1 Ã, whose
+        # limit keeps rows summing to one: Σ_j (d_j+1) / (2m+n) = 1.
+        state = compute_stationary_state(GRAPH, FEATURES, gamma=0.0)
+        rows = state.dense_infinite_adjacency().sum(axis=1)
+        assert np.allclose(rows, 1.0)
+
+    def test_subset_rows_match_full(self):
+        state = compute_stationary_state(GRAPH, FEATURES)
+        subset = state.features_for(np.array([2, 0]))
+        full = state.features_for()
+        assert np.allclose(subset, full[[2, 0]])
+
+    def test_out_of_range_node_rejected(self):
+        state = compute_stationary_state(GRAPH, FEATURES)
+        with pytest.raises(ShapeError):
+            state.features_for(np.array([10]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            compute_stationary_state(GRAPH, FEATURES[:2])
+
+    def test_high_degree_nodes_have_larger_stationary_norm(self):
+        """Eq. 7: stationary magnitude scales with (d_i + 1)^gamma."""
+        star = CSRGraph.from_edges([(0, i) for i in range(1, 6)], num_nodes=6)
+        features = np.ones((6, 3))
+        state = compute_stationary_state(star, features, gamma=0.5)
+        norms = np.linalg.norm(state.features_for(), axis=1)
+        assert norms[0] > norms[1]
+
+    def test_gamma_one_uses_source_degree_only(self):
+        state = compute_stationary_state(GRAPH, FEATURES, gamma=1.0)
+        infinite = state.dense_infinite_adjacency()
+        degrees = GRAPH.degrees() + 1.0
+        expected = np.outer(degrees, np.ones(4)) / (2 * GRAPH.num_edges + GRAPH.num_nodes)
+        assert np.allclose(infinite, expected)
+
+    def test_num_properties(self):
+        state = compute_stationary_state(GRAPH, FEATURES)
+        assert state.num_nodes == 4
+        assert state.num_features == 6

@@ -1,0 +1,141 @@
+"""Tests for the classifier training loop and Inception Distillation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistillationConfig,
+    InceptionDistillation,
+    TrainingConfig,
+    evaluate_classifier,
+    predict_logits,
+    train_classifier,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph import propagate_features
+from repro.models import SGC
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    dataset = load_dataset("flickr-sim", scale=0.2)
+    partition = dataset.partition()
+    backbone = SGC(dataset.num_features, dataset.num_classes, depth=3, rng=0)
+    propagated = backbone.precompute(partition.train_graph, dataset.observed_features())
+    labels = dataset.observed_labels()
+    labeled = partition.train_local(dataset.split.train_idx)
+    val = partition.train_local(dataset.split.val_idx)
+    return backbone, propagated, labels, labeled, val
+
+
+class TestTrainClassifier:
+    def test_loss_decreases(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        classifier = backbone.make_classifier(3)
+        history = train_classifier(
+            classifier, propagated, labels, labeled, val,
+            config=TrainingConfig(epochs=40, lr=0.05, patience=40),
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_early_stopping_limits_epochs(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        classifier = backbone.make_classifier(1)
+        history = train_classifier(
+            classifier, propagated, labels, labeled, val,
+            config=TrainingConfig(epochs=500, lr=0.05, patience=5),
+        )
+        assert history.num_epochs < 500
+
+    def test_best_weights_restored(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        classifier = backbone.make_classifier(2)
+        history = train_classifier(
+            classifier, propagated, labels, labeled, val,
+            config=TrainingConfig(epochs=40, lr=0.05, patience=40),
+        )
+        final_val = evaluate_classifier(classifier, propagated, labels, val)
+        assert final_val == pytest.approx(history.best_val_accuracy, abs=1e-9)
+
+    def test_validation_accuracy_reasonable(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        classifier = backbone.make_classifier(3)
+        train_classifier(
+            classifier, propagated, labels, labeled, val,
+            config=TrainingConfig(epochs=60, lr=0.05, patience=60),
+        )
+        assert evaluate_classifier(classifier, propagated, labels, val) > 0.6
+
+    def test_predict_logits_shape(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        classifier = backbone.make_classifier(1)
+        logits = predict_logits(classifier, propagated, val)
+        assert logits.shape == (val.shape[0], backbone.num_classes)
+
+    def test_predict_logits_all_nodes_by_default(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        classifier = backbone.make_classifier(1)
+        logits = predict_logits(classifier, propagated)
+        assert logits.shape[0] == propagated[0].shape[0]
+
+
+class TestInceptionDistillation:
+    def _train(self, small_problem, **config_overrides):
+        backbone, propagated, labels, labeled, val = small_problem
+        config = DistillationConfig(
+            training=TrainingConfig(epochs=30, lr=0.05, patience=30), **config_overrides
+        )
+        distiller = InceptionDistillation(backbone, config=config, rng=0)
+        distill_idx = np.arange(propagated[0].shape[0])
+        return distiller.train(propagated, labels, labeled, distill_idx, val), (
+            backbone, propagated, labels, val
+        )
+
+    def test_produces_one_classifier_per_depth(self, small_problem):
+        result, (backbone, *_rest) = self._train(small_problem)
+        assert len(result.classifiers) == backbone.depth
+        assert result.classifier_at(1).depth == 1
+
+    def test_invalid_depth_lookup_rejected(self, small_problem):
+        result, _ = self._train(small_problem)
+        with pytest.raises(ConfigurationError):
+            result.classifier_at(0)
+
+    def test_histories_cover_all_stages(self, small_problem):
+        result, (backbone, *_rest) = self._train(small_problem)
+        assert "base" in result.histories
+        for depth in range(1, backbone.depth):
+            assert f"single:{depth}" in result.histories
+            assert f"multi:{depth}" in result.histories
+
+    def test_multi_scale_disabled_skips_stage(self, small_problem):
+        result, _ = self._train(small_problem, enable_multi_scale=False)
+        assert not any(key.startswith("multi:") for key in result.histories)
+
+    def test_all_classifiers_better_than_chance(self, small_problem):
+        result, (backbone, propagated, labels, val) = self._train(small_problem)
+        chance = 1.0 / backbone.num_classes
+        for classifier in result.classifiers:
+            accuracy = evaluate_classifier(classifier, propagated, labels, val)
+            assert accuracy > chance + 0.1
+
+    def test_distillation_helps_shallowest_classifier(self, small_problem):
+        """Table VIII's headline effect: ID improves f^(1) over plain CE."""
+        with_id, (backbone, propagated, labels, val) = self._train(small_problem)
+        without_id, _ = self._train(
+            small_problem, enable_single_scale=False, enable_multi_scale=False
+        )
+        acc_with = evaluate_classifier(with_id.classifiers[0], propagated, labels, val)
+        acc_without = evaluate_classifier(without_id.classifiers[0], propagated, labels, val)
+        assert acc_with >= acc_without - 0.02
+
+    def test_wrong_propagation_length_rejected(self, small_problem):
+        backbone, propagated, labels, labeled, val = small_problem
+        distiller = InceptionDistillation(
+            backbone,
+            config=DistillationConfig(training=TrainingConfig(epochs=2)),
+            rng=0,
+        )
+        with pytest.raises(ConfigurationError):
+            distiller.train(propagated[:2], labels, labeled, np.arange(10), val)

@@ -1,0 +1,140 @@
+"""Tests for the dataset container and the synthetic dataset recipes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ARXIV_SIM,
+    FLICKR_SIM,
+    PRODUCTS_SIM,
+    NodeClassificationDataset,
+    available_datasets,
+    dataset_spec,
+    generate_dataset,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.graph import CSRGraph, InductiveSplit
+
+
+def _tiny_manual_dataset():
+    graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)], num_nodes=5)
+    features = np.arange(10, dtype=float).reshape(5, 2)
+    labels = np.array([0, 0, 1, 1, 1])
+    split = InductiveSplit(np.array([0, 1]), np.array([2]), np.array([3, 4]))
+    return NodeClassificationDataset("manual", graph, features, labels, split)
+
+
+class TestNodeClassificationDataset:
+    def test_summary_fields(self):
+        dataset = _tiny_manual_dataset()
+        summary = dataset.summary()
+        assert summary["num_nodes"] == 5
+        assert summary["num_features"] == 2
+        assert summary["num_classes"] == 2
+        assert summary["num_test"] == 2
+
+    def test_observed_views_align(self):
+        dataset = _tiny_manual_dataset()
+        assert dataset.observed_features().shape == (3, 2)
+        assert dataset.observed_labels().tolist() == [0, 0, 1]
+        assert dataset.test_labels().tolist() == [1, 1]
+
+    def test_partition_train_graph_size(self):
+        dataset = _tiny_manual_dataset()
+        assert dataset.partition().train_graph.num_nodes == 3
+
+    def test_feature_row_mismatch_rejected(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_nodes=2)
+        split = InductiveSplit(np.array([0]), np.array([]), np.array([1]))
+        with pytest.raises(DatasetError):
+            NodeClassificationDataset("bad", graph, np.ones((3, 2)), np.array([0, 1]), split)
+
+    def test_label_shape_mismatch_rejected(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_nodes=2)
+        split = InductiveSplit(np.array([0]), np.array([]), np.array([1]))
+        with pytest.raises(DatasetError):
+            NodeClassificationDataset("bad", graph, np.ones((2, 2)), np.array([0]), split)
+
+    def test_split_out_of_range_rejected(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_nodes=2)
+        split = InductiveSplit(np.array([0]), np.array([]), np.array([5]))
+        with pytest.raises(DatasetError):
+            NodeClassificationDataset("bad", graph, np.ones((2, 2)), np.array([0, 1]), split)
+
+
+class TestSyntheticRecipes:
+    def test_available_datasets(self):
+        assert set(available_datasets()) == {"flickr-sim", "arxiv-sim", "products-sim"}
+
+    def test_dataset_spec_lookup(self):
+        assert dataset_spec("flickr-sim").num_classes == 7
+        with pytest.raises(DatasetError):
+            dataset_spec("unknown")
+
+    def test_relative_size_ordering_matches_paper(self):
+        # products > arxiv > flickr in node count; products is densest.
+        assert PRODUCTS_SIM.num_nodes > ARXIV_SIM.num_nodes > FLICKR_SIM.num_nodes
+        assert PRODUCTS_SIM.avg_degree > ARXIV_SIM.avg_degree
+        assert FLICKR_SIM.num_features > ARXIV_SIM.num_features > PRODUCTS_SIM.num_features
+
+    def test_load_dataset_scale(self):
+        small = load_dataset("flickr-sim", scale=0.2)
+        assert small.num_nodes == pytest.approx(FLICKR_SIM.num_nodes * 0.2, rel=0.05)
+
+    def test_load_dataset_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("flickr-sim", scale=0.0)
+
+    def test_generation_is_deterministic(self):
+        a = load_dataset("arxiv-sim", scale=0.2)
+        b = load_dataset("arxiv-sim", scale=0.2)
+        assert np.allclose(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.graph == b.graph
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("arxiv-sim", scale=0.2)
+        b = load_dataset("arxiv-sim", scale=0.2, seed=999)
+        assert not np.allclose(a.features, b.features)
+
+    def test_all_classes_present_in_each_dataset(self):
+        for name in available_datasets():
+            dataset = load_dataset(name, scale=0.2)
+            assert len(np.unique(dataset.labels)) == dataset_spec(name).num_classes
+
+    def test_test_nodes_are_majority_for_products(self):
+        dataset = load_dataset("products-sim", scale=0.2)
+        # Ogbn-products has a small training fraction: most nodes are unseen.
+        assert dataset.split.num_test > dataset.split.num_observed
+
+    def test_generate_dataset_respects_spec(self):
+        spec = FLICKR_SIM.scaled(0.15)
+        dataset = generate_dataset(spec)
+        assert dataset.num_features == spec.num_features
+        assert dataset.num_nodes == spec.num_nodes
+
+    def test_propagation_improves_over_raw_features(self):
+        """The datasets are calibrated so topology genuinely matters."""
+        from repro.graph import propagate_features
+        from repro.nn import MLP, Adam, Tensor, accuracy_from_logits, cross_entropy
+
+        dataset = load_dataset("flickr-sim", scale=0.3)
+        propagated = propagate_features(dataset.graph, dataset.features, 3)
+        train_idx, test_idx = dataset.split.train_idx, dataset.split.test_idx
+        accuracies = {}
+        for depth in (0, 3):
+            model = MLP(dataset.num_features, dataset.num_classes, rng=np.random.default_rng(0))
+            optimizer = Adam(model.parameters(), lr=0.05)
+            for _ in range(80):
+                optimizer.zero_grad()
+                loss = cross_entropy(
+                    model(Tensor(propagated[depth][train_idx])), dataset.labels[train_idx]
+                )
+                loss.backward()
+                optimizer.step()
+            model.eval()
+            accuracies[depth] = accuracy_from_logits(
+                model(Tensor(propagated[depth][test_idx])), dataset.labels[test_idx]
+            )
+        assert accuracies[3] > accuracies[0] + 0.2

@@ -1,0 +1,170 @@
+"""Tests for the experiment drivers (run on the FAST profile)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DISTILLATION_VARIANTS,
+    FAST_PROFILE,
+    ExperimentProfile,
+    clear_cache,
+    figure4_series,
+    get_context,
+    measured_vs_analytic,
+    run_batch_size_study,
+    run_complexity_table,
+    run_dataset_comparison,
+    run_distillation_ablation,
+    run_ensemble_sensitivity,
+    run_generalization_table,
+    run_nap_ablation,
+    run_tradeoff,
+    series_by_method,
+    speed_first_settings,
+    table6_distributions,
+)
+from repro.metrics import format_table
+
+PROFILE = FAST_PROFILE
+
+
+@pytest.fixture(scope="module")
+def flickr_context():
+    return get_context("flickr-sim", profile=PROFILE)
+
+
+class TestContext:
+    def test_context_is_cached(self, flickr_context):
+        again = get_context("flickr-sim", profile=PROFILE)
+        assert again is flickr_context
+
+    def test_profile_updates_produce_new_key(self):
+        modified = PROFILE.with_updates(seed=123)
+        assert modified.key("flickr-sim", "sgc") != PROFILE.key("flickr-sim", "sgc")
+
+    def test_vanilla_config_fixed_depth(self, flickr_context):
+        config = flickr_context.vanilla_config()
+        assert config.t_min == config.t_max == PROFILE.depth
+
+    def test_nai_config_threshold_from_quantile(self, flickr_context):
+        config = flickr_context.nai_config(threshold_quantile=0.5)
+        assert config.distance_threshold > 0.0
+
+    def test_unknown_baseline_rejected(self, flickr_context):
+        with pytest.raises(Exception):
+            flickr_context.baseline("mystery")
+
+    def test_baselines_are_cached(self, flickr_context):
+        first = flickr_context.baseline("glnn")
+        second = flickr_context.baseline("glnn")
+        assert first is second
+
+    def test_clear_cache(self, flickr_context):
+        clear_cache()
+        fresh = get_context("flickr-sim", profile=PROFILE)
+        assert fresh is not flickr_context
+
+
+class TestTable5Driver:
+    def test_rows_cover_all_methods(self):
+        rows = run_dataset_comparison("flickr-sim", profile=PROFILE)
+        methods = {row.method for row in rows}
+        assert {"SGC", "GLNN", "NOSMOG", "TinyGNN", "Quantization", "NAI_d", "NAI_g"} <= methods
+
+    def test_vanilla_is_most_expensive_propagator(self):
+        rows = run_dataset_comparison("flickr-sim", profile=PROFILE, include_baselines=False)
+        by_method = {row.method: row for row in rows}
+        assert by_method["NAI_d"].fp_macs_per_node <= by_method["SGC"].fp_macs_per_node
+        assert by_method["NAI_g"].fp_macs_per_node <= by_method["SGC"].fp_macs_per_node
+
+    def test_format_table_renders(self):
+        rows = run_dataset_comparison("flickr-sim", profile=PROFILE, include_baselines=False)
+        text = format_table(rows, reference_method="SGC")
+        assert "NAI_d" in text
+
+
+class TestTradeoffDriver:
+    def test_settings_produce_points_and_distributions(self):
+        points = run_tradeoff("flickr-sim", profile=PROFILE, include_baselines=False)
+        series = figure4_series(points)
+        assert any(label.startswith("NAI1_d") for label in series)
+        distributions = table6_distributions(points)
+        for counts in distributions.values():
+            assert sum(counts) > 0
+
+    def test_accuracy_first_setting_at_least_as_accurate(self):
+        points = run_tradeoff("flickr-sim", profile=PROFILE, include_baselines=False)
+        series = figure4_series(points)
+        speedy_acc = series["NAI1_d"][1]
+        accurate_acc = series["NAI3_d"][1]
+        assert accurate_acc >= speedy_acc - 0.02
+
+
+class TestAblationDrivers:
+    def test_nap_ablation_rows(self):
+        rows = run_nap_ablation("flickr-sim", profile=PROFILE, t_max_values=(2, 3))
+        assert {row.method for row in rows} == {"NAI w/o NAP", "NAI_d", "NAI_g"}
+        assert {row.t_max for row in rows} == {2, 3}
+        for row in rows:
+            assert sum(row.depth_distribution) > 0
+
+    def test_distillation_ablation_variants(self):
+        table = run_distillation_ablation(("flickr-sim",), profile=PROFILE,
+                                          variants=("NAI w/o ID", "NAI"))
+        assert set(table) == {"NAI w/o ID", "NAI"}
+        for variant_results in table.values():
+            assert 0.0 <= variant_results["flickr-sim"] <= 1.0
+
+    def test_all_variant_names_defined(self):
+        assert set(DISTILLATION_VARIANTS) == {"NAI w/o ID", "NAI w/o MS", "NAI w/o SS", "NAI"}
+
+
+class TestGeneralizationDriver:
+    def test_sign_backbone_runs(self):
+        rows = run_generalization_table("table9", profile=PROFILE, include_baselines=False)
+        assert any(row.method == "SIGN" for row in rows)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            run_generalization_table("table42", profile=PROFILE)
+
+
+class TestBatchSizeDriver:
+    def test_series_structure(self):
+        points = run_batch_size_study(
+            "flickr-sim", batch_sizes=(20, 50), profile=PROFILE, include_baselines=False
+        )
+        series = series_by_method(points)
+        for values in series.values():
+            assert [v[0] for v in values] == [20, 50]
+
+
+class TestSensitivityAndComplexity:
+    def test_ensemble_sensitivity_points(self):
+        points = run_ensemble_sensitivity(
+            "flickr-sim", values=(1, 2), profile=PROFILE
+        )
+        assert [p.value for p in points] == [1.0, 2.0]
+        assert all(0.0 <= p.accuracy <= 1.0 for p in points)
+
+    def test_complexity_table_rows(self):
+        rows = run_complexity_table(average_depth=2.0)
+        assert len(rows) == 4
+        # The NAI column adds the O(n^2 f) stationary-state term, so the
+        # analytic ratio is not necessarily > 1; it must at least be finite
+        # and positive, and the vanilla propagation term must shrink with q.
+        assert all(row.speedup > 0.0 for row in rows)
+        assert all(row.vanilla_macs > 0 and row.nai_macs > 0 for row in rows)
+
+    def test_measured_vs_analytic_speedups_positive(self):
+        summary = measured_vs_analytic("flickr-sim", profile=PROFILE)
+        assert summary["measured_speedup"] > 0
+        assert summary["analytic_speedup"] > 0
+
+
+class TestSpeedFirstSettings:
+    def test_settings_validated_against_depth(self, flickr_context):
+        settings = speed_first_settings(flickr_context)
+        assert set(settings) == {"NAI_d", "NAI_g"}
+        for setting in settings.values():
+            assert setting.config.t_max <= PROFILE.depth

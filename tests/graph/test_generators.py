@@ -1,0 +1,102 @@
+"""Tests for the synthetic graph / feature generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph import SyntheticGraphSpec, generate_community_graph, generate_features
+
+SPEC = SyntheticGraphSpec(num_nodes=300, num_classes=5, avg_degree=8.0, homophily=0.8)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_classes": 1},
+            {"num_classes": 500},
+            {"avg_degree": 0.0},
+            {"homophily": 0.0},
+            {"homophily": 1.5},
+            {"degree_exponent": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(num_nodes=300, num_classes=5, avg_degree=8.0)
+        base.update(kwargs)
+        with pytest.raises(DatasetError):
+            SyntheticGraphSpec(**base)
+
+
+class TestGenerateCommunityGraph:
+    def test_shapes_and_label_range(self):
+        graph, labels = generate_community_graph(SPEC, rng=0)
+        assert graph.num_nodes == SPEC.num_nodes
+        assert labels.shape == (SPEC.num_nodes,)
+        assert labels.min() >= 0 and labels.max() < SPEC.num_classes
+
+    def test_every_class_present(self):
+        _, labels = generate_community_graph(SPEC, rng=1)
+        assert len(np.unique(labels)) == SPEC.num_classes
+
+    def test_no_self_loops(self):
+        graph, _ = generate_community_graph(SPEC, rng=2)
+        assert not graph.has_self_loops()
+
+    def test_average_degree_close_to_target(self):
+        graph, _ = generate_community_graph(SPEC, rng=3)
+        avg_degree = graph.degrees().mean()
+        assert SPEC.avg_degree * 0.5 <= avg_degree <= SPEC.avg_degree * 2.0
+
+    def test_homophily_dominates_edges(self):
+        graph, labels = generate_community_graph(SPEC, rng=4)
+        coo = graph.adjacency.tocoo()
+        same = (labels[coo.row] == labels[coo.col]).mean()
+        assert same > 0.5
+
+    def test_degree_distribution_has_hubs(self):
+        graph, _ = generate_community_graph(SPEC, rng=5)
+        degrees = graph.degrees()
+        assert degrees.max() > 3 * degrees.mean()
+
+    def test_deterministic_given_seed(self):
+        graph_a, labels_a = generate_community_graph(SPEC, rng=6)
+        graph_b, labels_b = generate_community_graph(SPEC, rng=6)
+        assert graph_a == graph_b
+        assert np.array_equal(labels_a, labels_b)
+
+    def test_connected_single_component(self):
+        graph, _ = generate_community_graph(SPEC, rng=7)
+        import networkx as nx
+
+        assert nx.number_connected_components(graph.to_networkx()) == 1
+
+
+class TestGenerateFeatures:
+    def test_shape(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        features = generate_features(labels, 16, rng=0)
+        assert features.shape == (5, 16)
+
+    def test_class_conditional_means_differ(self):
+        labels = np.repeat([0, 1], 500)
+        features = generate_features(labels, 8, class_separation=2.0, noise_scale=0.1, rng=0)
+        mean_gap = np.abs(features[:500].mean(axis=0) - features[500:].mean(axis=0)).mean()
+        assert mean_gap > 0.5
+
+    def test_separation_zero_gives_overlapping_classes(self):
+        labels = np.repeat([0, 1], 500)
+        features = generate_features(labels, 8, class_separation=0.0, noise_scale=1.0, rng=0)
+        mean_gap = np.abs(features[:500].mean(axis=0) - features[500:].mean(axis=0)).mean()
+        assert mean_gap < 0.2
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_features(np.array([0, 1]), 0)
+
+    def test_deterministic_given_seed(self):
+        labels = np.array([0, 1, 2, 0])
+        a = generate_features(labels, 4, rng=9)
+        b = generate_features(labels, 4, rng=9)
+        assert np.allclose(a, b)

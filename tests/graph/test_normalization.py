@@ -1,0 +1,97 @@
+"""Tests for the normalized adjacency operators (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidNormalizationError
+from repro.graph import (
+    CSRGraph,
+    NormalizationScheme,
+    laplacian,
+    normalized_adjacency,
+    resolve_gamma,
+    second_largest_eigenvalue_magnitude,
+)
+
+PATH = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+
+
+class TestResolveGamma:
+    @pytest.mark.parametrize(
+        "scheme, expected",
+        [("transition", 1.0), ("symmetric", 0.5), ("reverse", 0.0), (0.3, 0.3)],
+    )
+    def test_accepted_values(self, scheme, expected):
+        assert resolve_gamma(scheme) == pytest.approx(expected)
+
+    def test_enum_value(self):
+        assert resolve_gamma(NormalizationScheme.SYMMETRIC) == 0.5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidNormalizationError):
+            resolve_gamma("bogus")
+
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_out_of_range_rejected(self, value):
+        with pytest.raises(InvalidNormalizationError):
+            resolve_gamma(value)
+
+
+class TestNormalizedAdjacency:
+    def test_transition_matrix_columns_sum_to_one(self):
+        # gamma=1: A~ D~^-1 has columns summing to 1.
+        a_hat = normalized_adjacency(PATH, gamma="transition").toarray()
+        assert np.allclose(a_hat.sum(axis=0), 1.0)
+
+    def test_reverse_transition_rows_sum_to_one(self):
+        # gamma=0: D~^-1 A~ has rows summing to 1.
+        a_hat = normalized_adjacency(PATH, gamma="reverse").toarray()
+        assert np.allclose(a_hat.sum(axis=1), 1.0)
+
+    def test_symmetric_is_symmetric(self):
+        a_hat = normalized_adjacency(PATH, gamma="symmetric").toarray()
+        assert np.allclose(a_hat, a_hat.T)
+
+    def test_symmetric_spectral_radius_at_most_one(self):
+        a_hat = normalized_adjacency(PATH, gamma="symmetric").toarray()
+        eigenvalues = np.linalg.eigvalsh(a_hat)
+        assert np.max(np.abs(eigenvalues)) <= 1.0 + 1e-10
+
+    def test_self_loops_added_by_default(self):
+        a_hat = normalized_adjacency(PATH).toarray()
+        assert np.all(a_hat.diagonal() > 0)
+
+    def test_without_self_loops(self):
+        a_hat = normalized_adjacency(PATH, add_self_loops=False).toarray()
+        assert np.allclose(a_hat.diagonal(), 0.0)
+
+    def test_isolated_node_without_self_loops_is_safe(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        a_hat = normalized_adjacency(graph, add_self_loops=False).toarray()
+        assert np.all(np.isfinite(a_hat))
+
+    def test_matches_manual_symmetric_formula(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
+        adjacency = graph.add_self_loops().adjacency.toarray()
+        degrees = adjacency.sum(axis=1)
+        expected = adjacency / np.sqrt(np.outer(degrees, degrees))
+        assert np.allclose(normalized_adjacency(graph).toarray(), expected)
+
+
+class TestLaplacianAndSpectrum:
+    def test_normalized_laplacian_psd(self):
+        lap = laplacian(PATH).toarray()
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-10
+
+    def test_combinatorial_laplacian_row_sums_zero(self):
+        lap = laplacian(PATH, normalized=False).toarray()
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_second_eigenvalue_below_one(self):
+        value = second_largest_eigenvalue_magnitude(PATH)
+        assert 0.0 <= value <= 1.0
+
+    def test_second_eigenvalue_trivial_graph(self):
+        tiny = CSRGraph.from_edges([(0, 1)], num_nodes=2)
+        assert second_largest_eigenvalue_magnitude(tiny) == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the inductive train/val/test partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph import (
+    CSRGraph,
+    InductiveSplit,
+    build_inductive_partition,
+    make_inductive_split,
+)
+
+GRAPH = CSRGraph.from_edges([(i, i + 1) for i in range(9)], num_nodes=10)
+
+
+class TestInductiveSplit:
+    def test_observed_is_union_of_train_and_val(self):
+        split = InductiveSplit(np.array([0, 1]), np.array([2]), np.array([3, 4]))
+        assert split.observed_idx.tolist() == [0, 1, 2]
+        assert split.num_observed == 3
+        assert split.num_test == 2
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(DatasetError):
+            InductiveSplit(np.array([0, 1]), np.array([1]), np.array([2]))
+
+
+class TestMakeInductiveSplit:
+    def test_sizes_match_fractions(self):
+        split = make_inductive_split(100, train_fraction=0.5, val_fraction=0.25, rng=0)
+        assert split.train_idx.shape[0] == 50
+        assert split.val_idx.shape[0] == 25
+        assert split.test_idx.shape[0] == 25
+
+    def test_covers_all_nodes_exactly_once(self):
+        split = make_inductive_split(57, train_fraction=0.6, val_fraction=0.2, rng=3)
+        combined = np.concatenate([split.train_idx, split.val_idx, split.test_idx])
+        assert sorted(combined.tolist()) == list(range(57))
+
+    def test_deterministic_given_seed(self):
+        a = make_inductive_split(40, rng=11)
+        b = make_inductive_split(40, rng=11)
+        assert np.array_equal(a.train_idx, b.train_idx)
+        assert np.array_equal(a.test_idx, b.test_idx)
+
+    @pytest.mark.parametrize("train, val", [(0.0, 0.2), (1.0, 0.0), (0.7, 0.4)])
+    def test_invalid_fractions_rejected(self, train, val):
+        with pytest.raises(DatasetError):
+            make_inductive_split(30, train_fraction=train, val_fraction=val)
+
+
+class TestBuildInductivePartition:
+    def test_train_graph_excludes_test_nodes(self):
+        split = make_inductive_split(10, train_fraction=0.5, val_fraction=0.2, rng=0)
+        partition = build_inductive_partition(GRAPH, split)
+        assert partition.train_graph.num_nodes == split.num_observed
+        assert partition.full_graph.num_nodes == 10
+
+    def test_mapping_roundtrip(self):
+        split = make_inductive_split(10, train_fraction=0.5, val_fraction=0.2, rng=0)
+        partition = build_inductive_partition(GRAPH, split)
+        local = partition.train_local(split.train_idx)
+        assert np.array_equal(split.observed_idx[local], split.train_idx)
+
+    def test_unseen_node_lookup_rejected(self):
+        split = make_inductive_split(10, train_fraction=0.5, val_fraction=0.2, rng=0)
+        partition = build_inductive_partition(GRAPH, split)
+        with pytest.raises(DatasetError):
+            partition.train_local(split.test_idx[:1])
+
+    def test_split_beyond_graph_rejected(self):
+        split = make_inductive_split(20, train_fraction=0.5, val_fraction=0.2, rng=0)
+        with pytest.raises(DatasetError):
+            build_inductive_partition(GRAPH, split)
+
+    def test_edges_within_observed_are_preserved(self):
+        split = InductiveSplit(
+            train_idx=np.array([0, 1, 2]), val_idx=np.array([3]), test_idx=np.arange(4, 10)
+        )
+        partition = build_inductive_partition(GRAPH, split)
+        # Path edges 0-1, 1-2, 2-3 survive in the induced subgraph.
+        assert partition.train_graph.num_edges == 3

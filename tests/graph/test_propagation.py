@@ -1,0 +1,107 @@
+"""Tests for feature propagation (Eq. 2) and the backbone aggregators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.graph import (
+    CSRGraph,
+    normalized_adjacency,
+    propagate_features,
+    propagation_steps,
+    s2gc_aggregate,
+    sign_concatenate,
+    smoothness_distance,
+)
+
+GRAPH = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_nodes=4)
+FEATURES = np.arange(8, dtype=float).reshape(4, 2)
+
+
+class TestPropagateFeatures:
+    def test_depth_zero_returns_input(self):
+        outputs = propagate_features(GRAPH, FEATURES, 0)
+        assert len(outputs) == 1
+        assert np.allclose(outputs[0], FEATURES)
+
+    def test_returns_k_plus_one_matrices(self):
+        outputs = propagate_features(GRAPH, FEATURES, 3)
+        assert len(outputs) == 4
+        assert all(matrix.shape == FEATURES.shape for matrix in outputs)
+
+    def test_matches_manual_matrix_power(self):
+        a_hat = normalized_adjacency(GRAPH).toarray()
+        outputs = propagate_features(GRAPH, FEATURES, 2)
+        assert np.allclose(outputs[2], a_hat @ a_hat @ FEATURES)
+
+    def test_return_last_only(self):
+        last = propagate_features(GRAPH, FEATURES, 2, return_all=False)
+        assert isinstance(last, np.ndarray)
+        assert last.shape == FEATURES.shape
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_features(GRAPH, FEATURES, -1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            propagate_features(GRAPH, FEATURES[:2], 1)
+
+    def test_one_dimensional_features_rejected(self):
+        with pytest.raises(ShapeError):
+            propagate_features(GRAPH, FEATURES[:, 0], 1)
+
+    def test_propagation_is_linear(self):
+        a = propagate_features(GRAPH, FEATURES, 2)[2]
+        b = propagate_features(GRAPH, 3.0 * FEATURES, 2)[2]
+        assert np.allclose(b, 3.0 * a)
+
+    def test_constant_features_are_fixed_point_for_row_stochastic(self):
+        constant = np.ones((4, 3))
+        outputs = propagate_features(GRAPH, constant, 3, gamma="reverse")
+        assert np.allclose(outputs[3], constant)
+
+
+class TestPropagationSteps:
+    def test_steps_match_batch_propagation(self):
+        a_hat = normalized_adjacency(GRAPH)
+        expected = propagate_features(GRAPH, FEATURES, 3)
+        for depth, step in enumerate(propagation_steps(a_hat, FEATURES, 3), start=1):
+            assert np.allclose(step, expected[depth])
+
+    def test_steps_count(self):
+        a_hat = normalized_adjacency(GRAPH)
+        assert len(list(propagation_steps(a_hat, FEATURES, 5))) == 5
+
+
+class TestAggregators:
+    def test_s2gc_average(self):
+        matrices = [np.full((2, 2), value) for value in (1.0, 2.0, 3.0)]
+        assert np.allclose(s2gc_aggregate(matrices), 2.0)
+
+    def test_s2gc_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            s2gc_aggregate([])
+
+    def test_sign_concatenation_shape(self):
+        matrices = [np.zeros((3, 2)), np.ones((3, 2))]
+        combined = sign_concatenate(matrices)
+        assert combined.shape == (3, 4)
+        assert np.allclose(combined[:, 2:], 1.0)
+
+    def test_sign_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            sign_concatenate([])
+
+
+class TestSmoothnessDistance:
+    def test_zero_for_identical_matrices(self):
+        assert np.allclose(smoothness_distance(FEATURES, FEATURES), 0.0)
+
+    def test_matches_manual_norm(self):
+        other = FEATURES + 1.0
+        assert np.allclose(smoothness_distance(FEATURES, other), np.sqrt(FEATURES.shape[1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            smoothness_distance(FEATURES, FEATURES[:2])

@@ -1,0 +1,148 @@
+"""Unit tests for the CSRGraph container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphConstructionError
+from repro.graph import CSRGraph
+
+TRIANGLE = [(0, 1), (1, 2), (2, 0)]
+
+
+class TestConstruction:
+    def test_from_edges_builds_symmetric_adjacency(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        dense = graph.adjacency.toarray()
+        assert np.allclose(dense, dense.T)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_from_edges_directed(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_nodes=2, undirected=False)
+        dense = graph.adjacency.toarray()
+        assert dense[0, 1] == 1.0
+        assert dense[1, 0] == 0.0
+
+    def test_from_edges_infers_num_nodes(self):
+        graph = CSRGraph.from_edges([(0, 4)])
+        assert graph.num_nodes == 5
+
+    def test_from_edges_empty_requires_num_nodes(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph.from_edges([])
+
+    def test_from_edges_empty_with_num_nodes(self):
+        graph = CSRGraph.from_edges([], num_nodes=4)
+        assert graph.num_nodes == 4
+        assert graph.num_directed_edges == 0
+
+    def test_from_edges_rejects_negative_ids(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph.from_edges([(-1, 0)])
+
+    def test_from_edges_rejects_bad_shape(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph.from_edges(np.array([[0, 1, 2]]))
+
+    def test_from_edges_rejects_too_small_num_nodes(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph.from_edges([(0, 5)], num_nodes=3)
+
+    def test_duplicate_edges_collapse_to_binary(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 1), (1, 0)], num_nodes=2)
+        assert graph.adjacency[0, 1] == 1.0
+
+    def test_weighted_edges_preserved(self):
+        graph = CSRGraph.from_edges([(0, 1)], num_nodes=2, weights=[2.5])
+        assert graph.adjacency[0, 1] == 2.5
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph.from_edges([(0, 1)], num_nodes=2, weights=[1.0, 2.0])
+
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        graph = CSRGraph.from_dense(dense)
+        assert np.allclose(graph.adjacency.toarray(), dense)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            CSRGraph(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestProperties:
+    def test_degrees(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        assert np.allclose(graph.degrees(), [2, 2, 2])
+
+    def test_degrees_with_self_loops(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        assert np.allclose(graph.degrees(with_self_loops=True), [3, 3, 3])
+
+    def test_degree_matrix_diagonal(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        assert np.allclose(graph.degree_matrix().diagonal(), [2, 2, 2])
+
+    def test_num_edges_counts_undirected(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
+        assert graph.num_edges == 2
+        assert graph.num_directed_edges == 4
+
+    def test_has_self_loops(self):
+        plain = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        assert not plain.has_self_loops()
+        assert plain.add_self_loops().has_self_loops()
+
+    def test_neighbors(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 2)], num_nodes=4)
+        assert set(graph.neighbors(0)) == {1, 2}
+        assert graph.neighbors(3).size == 0
+
+    def test_neighbors_out_of_range(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        with pytest.raises(GraphConstructionError):
+            graph.neighbors(10)
+
+    def test_repr_mentions_size(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        assert "num_nodes=3" in repr(graph)
+
+
+class TestTransformations:
+    def test_add_self_loops_sets_diagonal(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3).add_self_loops()
+        assert np.allclose(graph.adjacency.diagonal(), 1.0)
+
+    def test_add_self_loops_does_not_mutate_original(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        graph.add_self_loops()
+        assert not graph.has_self_loops()
+
+    def test_remove_self_loops(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3).add_self_loops()
+        assert not graph.remove_self_loops().has_self_loops()
+
+    def test_subgraph_relabels(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+        sub = graph.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.adjacency[0, 1] == 1.0
+
+    def test_subgraph_out_of_range(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        with pytest.raises(GraphConstructionError):
+            graph.subgraph([0, 7])
+
+    def test_to_networkx_roundtrip(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+
+    def test_equality(self):
+        a = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        b = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        c = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        assert a == b
+        assert a != c

@@ -1,0 +1,142 @@
+"""Tests for MAC formulas (Table I), result rows and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import InferenceResult, MACBreakdown, TimingBreakdown
+from repro.exceptions import ConfigurationError
+from repro.metrics import (
+    ComplexityInputs,
+    MethodResult,
+    Stopwatch,
+    format_table,
+    method_result_from_inference,
+    nai_macs,
+    summarize_accuracy,
+    supported_backbones,
+    theoretical_speedup,
+    time_callable,
+    vanilla_macs,
+)
+
+INPUTS = ComplexityInputs(
+    num_nodes=1000, num_edges=10000, num_features=64, depth=5,
+    classifier_layers=2, average_depth=2.0,
+)
+
+
+class TestComplexityFormulas:
+    def test_supported_backbones(self):
+        assert set(supported_backbones()) == {"SGC", "SIGN", "S2GC", "GAMLP"}
+
+    def test_sgc_formula_matches_table1(self):
+        n, m, f, k = 1000, 10000, 64, 5
+        assert vanilla_macs("SGC", INPUTS) == k * m * f + n * f ** 2
+
+    def test_nai_reduces_propagation_term(self):
+        for backbone in supported_backbones():
+            vanilla = vanilla_macs(backbone, INPUTS)
+            # Ignore the stationary-state term when comparing the propagation part.
+            adaptive = nai_macs(backbone, INPUTS) - INPUTS.num_nodes ** 2 * INPUTS.num_features
+            assert adaptive < vanilla
+
+    def test_speedup_grows_with_edges(self):
+        sparse = ComplexityInputs(10000, 50_000, 64, 5, average_depth=1.5)
+        dense = ComplexityInputs(10000, 5_000_000, 64, 5, average_depth=1.5)
+        assert theoretical_speedup("SGC", dense) > theoretical_speedup("SGC", sparse)
+
+    def test_unknown_backbone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            vanilla_macs("GCN", INPUTS)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComplexityInputs(0, 1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ComplexityInputs(1, 1, 1, 1, average_depth=0.0)
+
+    def test_average_depth_defaults_to_depth(self):
+        inputs = ComplexityInputs(10, 20, 4, 3)
+        assert inputs.q == 3.0
+
+
+def _dummy_inference_result(num_nodes=10, depth=3):
+    rng = np.random.default_rng(0)
+    return InferenceResult(
+        node_ids=np.arange(num_nodes),
+        predictions=rng.integers(0, 3, num_nodes),
+        depths=rng.integers(1, depth + 1, num_nodes),
+        macs=MACBreakdown(stationary=10.0, propagation=100.0, decision=5.0, classification=20.0),
+        timings=TimingBreakdown(sampling=0.1, propagation=0.5, classification=0.2),
+        max_depth=depth,
+    )
+
+
+class TestMethodResult:
+    def test_from_inference_result(self):
+        result = _dummy_inference_result()
+        labels = np.zeros(10, dtype=int)
+        row = method_result_from_inference("NAI", "flickr-sim", result, labels)
+        assert row.method == "NAI"
+        assert 0.0 <= row.accuracy <= 1.0
+        assert row.macs_per_node == pytest.approx(135.0 / 10)
+        assert row.fp_macs_per_node == pytest.approx(105.0 / 10)
+
+    def test_speedup_over_reference(self):
+        slow = MethodResult("SGC", "d", 0.9, 1000.0, 800.0, 10.0, 8.0)
+        fast = MethodResult("NAI", "d", 0.89, 100.0, 50.0, 1.0, 0.5)
+        speed = fast.speedup_over(slow)
+        assert speed["macs"] == pytest.approx(10.0)
+        assert speed["fp_time"] == pytest.approx(16.0)
+
+    def test_mmacs_conversion(self):
+        row = MethodResult("X", "d", 0.5, 2_000_000.0, 1_000_000.0, 1.0, 0.5)
+        assert row.mmacs_per_node == pytest.approx(2.0)
+        assert row.fp_mmacs_per_node == pytest.approx(1.0)
+
+
+class TestFormatting:
+    def test_format_table_contains_methods_and_ratios(self):
+        rows = [
+            MethodResult("SGC", "flickr-sim", 0.95, 1000.0, 900.0, 2.0, 1.8),
+            MethodResult("NAI_d", "flickr-sim", 0.94, 100.0, 80.0, 0.4, 0.3, (5, 5)),
+        ]
+        text = format_table(rows, reference_method="SGC", title="Table V")
+        assert "Table V" in text
+        assert "SGC" in text and "NAI_d" in text
+        assert "x10.0" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no results)"
+
+    def test_summarize_accuracy_averages(self):
+        rows = [
+            MethodResult("A", "d1", 0.8, 1, 1, 1, 1),
+            MethodResult("A", "d2", 0.6, 1, 1, 1, 1),
+            MethodResult("B", "d1", 0.5, 1, 1, 1, 1),
+        ]
+        summary = summarize_accuracy(rows)
+        assert summary["A"] == pytest.approx(0.7)
+        assert summary["B"] == pytest.approx(0.5)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            pass
+        with watch.lap("a"):
+            pass
+        assert watch.laps["a"] >= 0.0
+        assert watch.total() >= watch.laps["a"]
+        watch.reset()
+        assert watch.laps == {}
+
+    def test_time_callable_returns_result(self):
+        value, seconds = time_callable(lambda x: x * 2, 21, repeats=3)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_time_callable_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)

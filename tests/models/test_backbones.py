@@ -1,0 +1,163 @@
+"""Tests for the scalable-GNN backbones and their depth-wise classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.graph import CSRGraph
+from repro.models import (
+    GAMLP,
+    S2GC,
+    SGC,
+    SIGN,
+    available_backbones,
+    make_backbone,
+    mlp_macs_per_node,
+)
+from repro.nn import Tensor
+
+GRAPH = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], num_nodes=5)
+FEATURES = np.random.default_rng(0).normal(size=(5, 8))
+ALL_BACKBONES = [SGC, SIGN, S2GC, GAMLP]
+
+
+def _propagated(depth=3):
+    backbone = SGC(8, 3, depth, rng=0)
+    return backbone.precompute(GRAPH, FEATURES)
+
+
+class TestBackboneConstruction:
+    @pytest.mark.parametrize("backbone_cls", ALL_BACKBONES)
+    def test_describe_contains_hyperparameters(self, backbone_cls):
+        backbone = backbone_cls(8, 3, 2, rng=0)
+        info = backbone.describe()
+        assert info["depth"] == 2
+        assert info["name"] == backbone.name
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGC(8, 3, 0)
+
+    def test_invalid_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGC(8, 1, 2)
+
+    def test_precompute_length(self):
+        backbone = SGC(8, 3, 4, rng=0)
+        propagated = backbone.precompute(GRAPH, FEATURES)
+        assert len(propagated) == 5
+
+    def test_make_all_classifiers(self):
+        backbone = S2GC(8, 3, 3, rng=0)
+        classifiers = backbone.make_all_classifiers()
+        assert [c.depth for c in classifiers] == [1, 2, 3]
+
+
+class TestClassifierForward:
+    @pytest.mark.parametrize("backbone_cls", ALL_BACKBONES)
+    def test_logit_shape(self, backbone_cls):
+        backbone = backbone_cls(8, 3, 3, rng=0)
+        classifier = backbone.make_classifier(2)
+        propagated = [Tensor(matrix) for matrix in _propagated(3)]
+        logits = classifier(propagated)
+        assert logits.shape == (5, 3)
+
+    @pytest.mark.parametrize("backbone_cls", ALL_BACKBONES)
+    def test_missing_depths_rejected(self, backbone_cls):
+        backbone = backbone_cls(8, 3, 3, rng=0)
+        classifier = backbone.make_classifier(3)
+        with pytest.raises(ShapeError):
+            classifier([Tensor(FEATURES)])
+
+    @pytest.mark.parametrize("backbone_cls", ALL_BACKBONES)
+    def test_macs_positive(self, backbone_cls):
+        backbone = backbone_cls(8, 3, 3, rng=0)
+        classifier = backbone.make_classifier(2)
+        assert classifier.classification_macs_per_node() > 0
+
+    def test_sgc_uses_only_deepest_matrix(self):
+        backbone = SGC(8, 3, 2, rng=0)
+        classifier = backbone.make_classifier(2)
+        propagated = _propagated(2)
+        base = classifier([Tensor(m) for m in propagated]).data
+        perturbed = [propagated[0] + 100.0, propagated[1], propagated[2]]
+        modified = classifier([Tensor(m) for m in perturbed]).data
+        assert np.allclose(base, modified)
+
+    def test_sign_depends_on_every_depth(self):
+        backbone = SIGN(8, 3, 2, rng=0)
+        classifier = backbone.make_classifier(2)
+        propagated = _propagated(2)
+        base = classifier([Tensor(m) for m in propagated]).data
+        perturbed = [propagated[0] + 5.0, propagated[1], propagated[2]]
+        modified = classifier([Tensor(m) for m in perturbed]).data
+        assert not np.allclose(base, modified)
+
+    def test_s2gc_is_average_of_prefix(self):
+        backbone = S2GC(8, 3, 2, rng=0)
+        classifier = backbone.make_classifier(2)
+        propagated = _propagated(2)
+        average = np.mean(propagated[:3], axis=0)
+        expected = classifier.mlp(Tensor(average)).data
+        actual = classifier([Tensor(m) for m in propagated]).data
+        assert np.allclose(actual, expected)
+
+    def test_gamlp_attention_weights_are_distributions(self):
+        backbone = GAMLP(8, 3, 3, rng=0)
+        classifier = backbone.make_classifier(3)
+        propagated = [Tensor(m) for m in _propagated(3)]
+        weights = classifier._attention_weights(classifier._validate_inputs(propagated)).data
+        assert weights.shape == (5, 4)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_sign_macs_grow_with_depth(self):
+        backbone = SIGN(8, 3, 4, rng=0)
+        shallow = backbone.make_classifier(1).classification_macs_per_node()
+        deep = backbone.make_classifier(4).classification_macs_per_node()
+        assert deep > shallow
+
+    @pytest.mark.parametrize("backbone_cls", ALL_BACKBONES)
+    def test_classifiers_are_trainable(self, backbone_cls):
+        from repro.nn import Adam, cross_entropy
+
+        backbone = backbone_cls(8, 3, 2, hidden_dims=(8,), rng=0)
+        classifier = backbone.make_classifier(2)
+        propagated = [Tensor(m) for m in _propagated(2)]
+        labels = np.array([0, 1, 2, 0, 1])
+        optimizer = Adam(classifier.parameters(), lr=0.05)
+        initial = float(cross_entropy(classifier(propagated), labels).data)
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = cross_entropy(classifier(propagated), labels)
+            loss.backward()
+            optimizer.step()
+        assert float(loss.data) < initial
+
+
+class TestRegistry:
+    def test_available_backbones(self):
+        assert set(available_backbones()) == {"sgc", "sign", "s2gc", "gamlp"}
+
+    @pytest.mark.parametrize("name", ["sgc", "sign", "s2gc", "gamlp"])
+    def test_make_backbone_by_name(self, name):
+        backbone = make_backbone(name, 8, 3, 2, rng=0)
+        assert backbone.depth == 2
+
+    def test_make_backbone_case_insensitive(self):
+        assert make_backbone("SGC", 8, 3, 2, rng=0).name == "SGC"
+
+    def test_unknown_backbone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_backbone("gcn", 8, 3, 2)
+
+    def test_backbone_kwargs_forwarded(self):
+        backbone = make_backbone("sign", 8, 3, 2, transform_dim=16, rng=0)
+        assert backbone.transform_dim == 16
+
+
+class TestMACHelpers:
+    def test_mlp_macs_linear(self):
+        assert mlp_macs_per_node(10, (), 3) == 30
+
+    def test_mlp_macs_with_hidden(self):
+        assert mlp_macs_per_node(10, (20,), 3) == 10 * 20 + 20 * 3

@@ -1,0 +1,165 @@
+"""Tests for functional ops: softmax, losses, dropout, Gumbel-softmax."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import (
+    Tensor,
+    accuracy_from_logits,
+    cross_entropy,
+    dropout,
+    gumbel_softmax,
+    log_softmax,
+    one_hot,
+    soft_cross_entropy,
+    soft_target_cross_entropy,
+    softmax,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestOneHot:
+    def test_encodes_correct_positions(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(RNG.normal(size=(5, 4)))
+        probs = softmax(logits).data
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_temperature_flattens_distribution(self):
+        logits = Tensor(np.array([[2.0, 0.0, -2.0]]))
+        sharp = softmax(logits, temperature=0.5).data
+        flat = softmax(logits, temperature=5.0).data
+        assert sharp.max() > flat.max()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            softmax(Tensor(np.ones((1, 2))), temperature=0.0)
+
+    def test_log_softmax_is_log_of_softmax(self):
+        logits = Tensor(RNG.normal(size=(3, 6)))
+        assert np.allclose(log_softmax(logits).data, np.log(softmax(logits).data))
+
+    def test_numerically_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 0.0]]))
+        probs = softmax(logits).data
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-3
+
+    def test_uniform_prediction_matches_log_classes(self):
+        logits = Tensor(np.zeros((4, 5)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert float(loss.data) == pytest.approx(np.log(5), rel=1e-6)
+
+    def test_gradient_direction_reduces_loss(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 2]))
+        loss.backward()
+        updated = Tensor(logits.data - 1.0 * logits.grad)
+        assert float(cross_entropy(updated, np.array([0, 2])).data) < float(loss.data)
+
+    def test_soft_cross_entropy_matches_hard_for_one_hot(self):
+        logits = Tensor(RNG.normal(size=(3, 4)))
+        labels = np.array([1, 3, 0])
+        hard = cross_entropy(logits, labels)
+        soft = soft_cross_entropy(logits, one_hot(labels, 4))
+        assert float(hard.data) == pytest.approx(float(soft.data))
+
+    def test_soft_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            soft_cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((3, 3)))
+
+    def test_soft_target_cross_entropy_on_probabilities(self):
+        probs = Tensor(np.array([[0.9, 0.1], [0.2, 0.8]]))
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        loss = soft_target_cross_entropy(probs, targets)
+        expected = -(np.log(0.9) + np.log(0.8)) / 2
+        assert float(loss.data) == pytest.approx(expected, rel=1e-4)
+
+    def test_soft_target_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            soft_target_cross_entropy(Tensor(np.ones((2, 2))), np.ones((2, 3)))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        inputs = Tensor(RNG.normal(size=(10, 5)))
+        assert np.allclose(dropout(inputs, 0.5, training=False).data, inputs.data)
+
+    def test_training_zeroes_roughly_rate_fraction(self):
+        inputs = Tensor(np.ones((2000, 1)))
+        dropped = dropout(inputs, 0.3, training=True, rng=np.random.default_rng(0)).data
+        zero_fraction = (dropped == 0).mean()
+        assert 0.25 < zero_fraction < 0.35
+
+    def test_scaling_preserves_expectation(self):
+        inputs = Tensor(np.ones((5000, 1)))
+        dropped = dropout(inputs, 0.4, training=True, rng=np.random.default_rng(1)).data
+        assert dropped.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+
+class TestGumbelSoftmax:
+    def test_soft_sample_rows_sum_to_one(self):
+        logits = Tensor(RNG.normal(size=(6, 3)))
+        sample = gumbel_softmax(logits, rng=np.random.default_rng(0)).data
+        assert np.allclose(sample.sum(axis=1), 1.0)
+
+    def test_hard_sample_is_one_hot(self):
+        logits = Tensor(RNG.normal(size=(6, 3)))
+        sample = gumbel_softmax(logits, hard=True, rng=np.random.default_rng(0)).data
+        assert np.allclose(sample.sum(axis=1), 1.0)
+        assert set(np.unique(sample)).issubset({0.0, 1.0})
+
+    def test_strong_logits_dominate_sampling(self):
+        logits = Tensor(np.tile([[10.0, -10.0]], (200, 1)))
+        sample = gumbel_softmax(logits, hard=True, rng=np.random.default_rng(2)).data
+        assert sample[:, 0].mean() > 0.95
+
+    def test_gradient_flows_through_hard_sample(self):
+        logits = Tensor(np.zeros((4, 2)), requires_grad=True)
+        gumbel_softmax(logits, hard=True, rng=np.random.default_rng(3)).sum().backward()
+        assert logits.grad is not None
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            gumbel_softmax(Tensor(np.zeros((1, 2))), temperature=0.0)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy_from_logits(logits, np.array([0, 1])) == 1.0
+        assert accuracy_from_logits(logits, np.array([1, 0])) == 0.0
+
+    def test_accepts_tensor(self):
+        assert accuracy_from_logits(Tensor(np.eye(3)), np.arange(3)) == 1.0
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ShapeError):
+            accuracy_from_logits(np.eye(3), np.arange(2))

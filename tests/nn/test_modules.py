@@ -1,0 +1,140 @@
+"""Tests for Module / Linear / MLP and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import MLP, Adam, Dropout, Linear, SGD, Tensor, cross_entropy
+
+RNG = np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=RNG)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 3, bias=False, rng=RNG)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3)
+
+    def test_parameters_discovered(self):
+        layer = Linear(4, 3, rng=RNG)
+        params = list(layer.parameters())
+        assert len(params) == 2
+        assert layer.num_parameters() == 4 * 3 + 3
+
+
+class TestMLP:
+    def test_linear_when_no_hidden(self):
+        mlp = MLP(4, 2, rng=RNG)
+        assert len(mlp.layers) == 1
+
+    def test_hidden_layers_created(self):
+        mlp = MLP(4, 2, [8, 8], rng=RNG)
+        assert len(mlp.layers) == 3
+        assert mlp.layers[0].out_features == 8
+
+    def test_forward_shape(self):
+        mlp = MLP(6, 3, [5], rng=RNG)
+        out = mlp(Tensor(np.ones((7, 6))))
+        assert out.shape == (7, 3)
+
+    def test_state_dict_roundtrip(self):
+        mlp = MLP(3, 2, [4], rng=RNG)
+        state = mlp.state_dict()
+        other = MLP(3, 2, [4], rng=np.random.default_rng(99))
+        other.load_state_dict(state)
+        x = Tensor(np.ones((2, 3)))
+        assert np.allclose(mlp(x).data, other(x).data)
+
+    def test_state_dict_mismatch_rejected(self):
+        mlp = MLP(3, 2, [4], rng=RNG)
+        with pytest.raises(ConfigurationError):
+            mlp.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_train_eval_mode_propagates(self):
+        mlp = MLP(3, 2, [4], dropout=0.5, rng=RNG)
+        mlp.eval()
+        assert not mlp.dropout.training
+        mlp.train()
+        assert mlp.dropout.training
+
+    def test_dropout_only_active_in_training(self):
+        mlp = MLP(10, 2, [32], dropout=0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((4, 10)))
+        mlp.eval()
+        a = mlp(x).data
+        b = mlp(x).data
+        assert np.allclose(a, b)
+
+    def test_zero_grad_clears_gradients(self):
+        mlp = MLP(3, 2, rng=RNG)
+        loss = cross_entropy(mlp(Tensor(np.ones((4, 3)))), np.array([0, 1, 0, 1]))
+        loss.backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_invalid_dropout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.5)
+
+
+def _train_xor(optimizer_factory, epochs=400):
+    """Train a small MLP on XOR and return the final accuracy."""
+    rng = np.random.default_rng(0)
+    inputs = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 16)
+    labels = np.array([0, 1, 1, 0] * 16)
+    mlp = MLP(2, 2, [16], rng=rng)
+    optimizer = optimizer_factory(mlp.parameters())
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        loss = cross_entropy(mlp(Tensor(inputs)), labels)
+        loss.backward()
+        optimizer.step()
+    predictions = mlp(Tensor(inputs)).data.argmax(axis=1)
+    return (predictions == labels).mean()
+
+
+class TestOptimizers:
+    def test_adam_solves_xor(self):
+        accuracy = _train_xor(lambda params: Adam(params, lr=0.02))
+        assert accuracy == 1.0
+
+    def test_sgd_with_momentum_solves_xor(self):
+        accuracy = _train_xor(lambda params: SGD(params, lr=0.3, momentum=0.9), epochs=600)
+        assert accuracy == 1.0
+
+    def test_weight_decay_shrinks_weights(self):
+        layer = Linear(4, 4, rng=RNG)
+        optimizer = Adam(layer.parameters(), lr=0.05, weight_decay=1.0)
+        initial_norm = np.linalg.norm(layer.weight.data)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (layer(Tensor(np.zeros((1, 4)))) * 0.0).sum().backward()
+            optimizer.step()
+        assert np.linalg.norm(layer.weight.data) < initial_norm
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adam([])
+
+    def test_invalid_lr_rejected(self):
+        layer = Linear(2, 2, rng=RNG)
+        with pytest.raises(ConfigurationError):
+            SGD(layer.parameters(), lr=-1.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        layer = Linear(2, 2, rng=RNG)
+        optimizer = Adam(layer.parameters(), lr=0.1)
+        before = layer.weight.data.copy()
+        optimizer.step()
+        assert np.allclose(layer.weight.data, before)

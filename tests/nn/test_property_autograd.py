@@ -1,0 +1,72 @@
+"""Property-based tests (hypothesis) for the autograd engine and softmax."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, cross_entropy, log_softmax, softmax
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def small_matrices(max_rows=6, max_cols=5):
+    return st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_cols)
+    ).flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_softmax_rows_are_distributions(matrix):
+    probs = softmax(Tensor(matrix), axis=1).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices(), st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+def test_softmax_invariant_to_constant_shift(matrix, shift):
+    base = softmax(Tensor(matrix), axis=1).data
+    shifted = softmax(Tensor(matrix + shift), axis=1).data
+    assert np.allclose(base, shifted, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_log_softmax_never_positive(matrix):
+    values = log_softmax(Tensor(matrix), axis=1).data
+    assert np.all(values <= 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_cross_entropy_non_negative_and_finite(matrix):
+    labels = np.zeros(matrix.shape[0], dtype=np.int64)
+    loss = cross_entropy(Tensor(matrix), labels)
+    assert float(loss.data) >= 0.0
+    assert np.isfinite(float(loss.data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_addition_gradient_is_ones(matrix):
+    tensor = Tensor(matrix, requires_grad=True)
+    (tensor + 1.0).sum().backward()
+    assert np.allclose(tensor.grad, np.ones_like(matrix))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_matrices())
+def test_sum_then_mean_consistency(matrix):
+    tensor = Tensor(matrix, requires_grad=True)
+    tensor.mean().backward()
+    assert np.allclose(tensor.grad, np.full_like(matrix, 1.0 / matrix.size))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_matrices(max_rows=4, max_cols=4))
+def test_matmul_identity_preserves_values(matrix):
+    identity = np.eye(matrix.shape[1])
+    product = (Tensor(matrix) @ Tensor(identity)).data
+    assert np.allclose(product, matrix)

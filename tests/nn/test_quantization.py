@@ -1,0 +1,89 @@
+"""Tests for INT8 post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    MLP,
+    Linear,
+    QuantizationParams,
+    QuantizedLinear,
+    QuantizedMLP,
+    Tensor,
+    quantize_classifier,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestQuantizationParams:
+    def test_roundtrip_error_bounded_by_scale(self):
+        values = RNG.normal(size=(64, 32))
+        params = QuantizationParams.from_array(values)
+        recovered = params.dequantize(params.quantize(values))
+        assert np.max(np.abs(recovered - values)) <= params.scale
+
+    def test_zero_array_handled(self):
+        params = QuantizationParams.from_array(np.zeros((4, 4)))
+        assert params.scale == 1.0
+        assert np.allclose(params.dequantize(params.quantize(np.zeros((4, 4)))), 0.0)
+
+    def test_quantized_values_within_int8_range(self):
+        values = RNG.normal(size=100) * 10
+        quantized = QuantizationParams.from_array(values).quantize(values)
+        assert quantized.min() >= -128 and quantized.max() <= 127
+
+    def test_invalid_bit_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationParams.from_array(np.ones(3), num_bits=1)
+
+    def test_higher_bits_reduce_error(self):
+        values = RNG.normal(size=512)
+        err8 = np.abs(
+            QuantizationParams.from_array(values, num_bits=8).dequantize(
+                QuantizationParams.from_array(values, num_bits=8).quantize(values, num_bits=8)
+            )
+            - values
+        ).mean()
+        err16 = np.abs(
+            QuantizationParams.from_array(values, num_bits=16).dequantize(
+                QuantizationParams.from_array(values, num_bits=16).quantize(values, num_bits=16)
+            )
+            - values
+        ).mean()
+        assert err16 < err8
+
+
+class TestQuantizedModules:
+    def test_quantized_linear_close_to_float(self):
+        layer = Linear(16, 8, rng=RNG)
+        quantized = QuantizedLinear(layer)
+        inputs = RNG.normal(size=(10, 16))
+        float_out = layer(Tensor(inputs)).data
+        quant_out = quantized(Tensor(inputs)).data
+        relative = np.abs(float_out - quant_out).mean() / (np.abs(float_out).mean() + 1e-9)
+        assert relative < 0.1
+
+    def test_quantized_mlp_preserves_predictions_mostly(self):
+        mlp = MLP(12, 4, [16], rng=RNG)
+        quantized = QuantizedMLP(mlp)
+        inputs = RNG.normal(size=(200, 12))
+        float_pred = mlp(Tensor(inputs)).data.argmax(axis=1)
+        quant_pred = quantized(Tensor(inputs)).data.argmax(axis=1)
+        assert (float_pred == quant_pred).mean() > 0.9
+
+    def test_quantized_mlp_keeps_metadata(self):
+        mlp = MLP(12, 4, [16], rng=RNG)
+        quantized = QuantizedMLP(mlp)
+        assert quantized.in_features == 12
+        assert quantized.out_features == 4
+        assert quantized.hidden_dims == (16,)
+
+    def test_quantize_classifier_dispatch(self):
+        assert isinstance(quantize_classifier(MLP(4, 2, rng=RNG)), QuantizedMLP)
+        assert isinstance(quantize_classifier(Linear(4, 2, rng=RNG)), QuantizedLinear)
+
+    def test_quantize_classifier_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            quantize_classifier(object())

@@ -1,0 +1,190 @@
+"""Tests for the autograd engine, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AutogradError
+from repro.nn import Tensor, concatenate, stack
+
+
+def numerical_gradient(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued function of an array."""
+    grad = np.zeros_like(value)
+    flat = value.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn(value)
+        flat[index] = original - eps
+        lower = fn(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, atol=1e-5):
+    """Compare autograd gradient with finite differences for one input tensor."""
+    rng = np.random.default_rng(seed)
+    value = rng.normal(size=shape)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    numeric = numerical_gradient(lambda arr: float(build_loss(Tensor(arr)).data), value.copy())
+    assert np.allclose(tensor.grad, numeric, atol=atol), (
+        f"autograd {tensor.grad} vs numeric {numeric}"
+    )
+
+
+class TestBasicOps:
+    def test_add_broadcasting(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_mul_gradients(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4.0, 5.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_scalar_operand_promoted(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (2.0 * a + 1.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+
+    def test_sub_and_neg(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, -1.0)
+
+    def test_division(self):
+        check_gradient(lambda t: (t / 2.5).sum(), (3, 2))
+
+    def test_rtruediv(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        (1.0 / a).sum().backward()
+        assert np.allclose(a.grad, [-0.25, -1.0 / 16.0])
+
+    def test_pow(self):
+        check_gradient(lambda t: (t ** 3).sum(), (4,))
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(AutogradError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        check_gradient(lambda t: (t @ Tensor(np.ones((3, 2)))).sum(), (2, 3))
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(AutogradError):
+            Tensor(np.ones(3)) @ Tensor(np.ones(3))
+
+    def test_backward_requires_scalar(self):
+        tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(AutogradError):
+            tensor.backward()
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a * a).sum().backward()
+        assert np.allclose(a.grad, [2.0, 4.0])
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        detached = a.detach()
+        assert not detached.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) * 2).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda t: t.mean(), (5, 2))
+
+    def test_mean_axis(self):
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), (4, 3))
+
+    def test_max_gradient_flows_to_argmax(self):
+        value = np.array([[1.0, 5.0, 2.0]])
+        tensor = Tensor(value, requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        assert np.allclose(tensor.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape(self):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_transpose(self):
+        check_gradient(lambda t: (t.T @ Tensor(np.ones((2, 1)))).sum(), (2, 3))
+
+    def test_getitem(self):
+        check_gradient(lambda t: (t[np.array([0, 2])] ** 2).sum(), (4, 3))
+
+    def test_getitem_repeated_rows_accumulate(self):
+        tensor = Tensor(np.ones((3, 2)), requires_grad=True)
+        tensor[np.array([0, 0, 1])].sum().backward()
+        assert np.allclose(tensor.grad, [[2.0, 2.0], [1.0, 1.0], [0.0, 0.0]])
+
+
+class TestNonLinearities:
+    def test_exp(self):
+        check_gradient(lambda t: t.exp().sum(), (3,))
+
+    def test_log(self):
+        check_gradient(lambda t: (t.exp() + 1.0).log().sum(), (3,))
+
+    def test_relu(self):
+        value = np.array([[-1.0, 2.0], [3.0, -4.0]])
+        tensor = Tensor(value, requires_grad=True)
+        tensor.relu().sum().backward()
+        assert np.allclose(tensor.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_sigmoid(self):
+        check_gradient(lambda t: t.sigmoid().sum(), (4,))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), (4,))
+
+
+class TestConcatenateAndStack:
+    def test_concatenate_gradients_split_correctly(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        combined = concatenate([a, b], axis=1)
+        (combined * Tensor(np.arange(10).reshape(2, 5))).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+        assert np.allclose(a.grad, [[0, 1], [5, 6]])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(AutogradError):
+            concatenate([])
+
+    def test_stack_gradients(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stacked = stack([a, b], axis=0)
+        (stacked * Tensor(np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]))).sum().backward()
+        assert np.allclose(a.grad, [1.0, 2.0, 3.0])
+        assert np.allclose(b.grad, [4.0, 5.0, 6.0])
+
+    def test_chained_graph_gradcheck(self):
+        weight = np.random.default_rng(1).normal(size=(3, 2))
+
+        def loss_fn(t):
+            hidden = (t @ Tensor(weight)).relu()
+            return (hidden.sigmoid() * hidden).mean()
+
+        check_gradient(loss_fn, (4, 3))

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full NAI workflow on a small dataset.
+
+These tests exercise the public API exactly the way the examples and the
+benchmark harness do: load a dataset, train the pipeline, deploy predictors
+with different policies and compare accuracy / cost, and run a baseline next
+to it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NAI, SGC, SIGN, load_dataset
+from repro.baselines import GLNN, DistillationTarget
+from repro.core import DistillationConfig, GateTrainingConfig, TrainingConfig
+from repro.core.training import predict_logits
+from repro.nn import Tensor, softmax
+
+
+class TestFullPipelineSGC:
+    def test_train_deploy_and_compare_policies(self, trained_nai, tiny_dataset):
+        vanilla = trained_nai.evaluate(tiny_dataset, policy="none")
+        threshold = trained_nai.suggest_distance_threshold(0.6)
+        adaptive = trained_nai.evaluate(
+            tiny_dataset,
+            policy="distance",
+            config=trained_nai.inference_config(distance_threshold=threshold),
+        )
+        gate = trained_nai.evaluate(tiny_dataset, policy="gate")
+
+        # The paper's headline: adaptive inference saves computation while
+        # keeping accuracy in the same ballpark as the vanilla model.
+        assert adaptive.macs.total < vanilla.macs.total
+        assert gate.macs.total <= vanilla.macs.total
+        assert adaptive.accuracy(tiny_dataset.labels) > 0.55
+        assert vanilla.accuracy(tiny_dataset.labels) > 0.65
+
+    def test_accuracy_latency_tradeoff_is_monotone_in_threshold(
+        self, trained_nai, tiny_dataset
+    ):
+        """More aggressive thresholds never increase the average depth."""
+        depths = []
+        for quantile in (0.2, 0.5, 0.9):
+            threshold = trained_nai.suggest_distance_threshold(quantile)
+            result = trained_nai.evaluate(
+                tiny_dataset,
+                policy="distance",
+                config=trained_nai.inference_config(distance_threshold=threshold),
+            )
+            depths.append(result.average_depth())
+        assert depths[0] >= depths[1] >= depths[2]
+
+    def test_distillation_target_feeds_baseline(self, trained_nai, tiny_dataset):
+        partition = tiny_dataset.partition()
+        propagated = trained_nai.backbone.precompute(
+            partition.train_graph, tiny_dataset.observed_features()
+        )
+        logits = predict_logits(trained_nai.classifiers[-1], propagated)
+        teacher = DistillationTarget(softmax(Tensor(logits), axis=1).data)
+        student = GLNN(rng=0, epochs=20).fit(tiny_dataset, teacher)
+        result = student.evaluate(tiny_dataset)
+        assert result.num_nodes == tiny_dataset.split.num_test
+
+
+class TestFullPipelineOtherBackbone:
+    def test_sign_backbone_end_to_end(self):
+        dataset = load_dataset("arxiv-sim", scale=0.15)
+        backbone = SIGN(
+            dataset.num_features, dataset.num_classes, depth=2, transform_dim=16, rng=0
+        )
+        pipeline = NAI(
+            backbone,
+            distillation_config=DistillationConfig(
+                training=TrainingConfig(epochs=25, lr=0.05, patience=10)
+            ),
+            gate_config=GateTrainingConfig(epochs=10, lr=0.05),
+            rng=0,
+        ).fit(dataset)
+        result = pipeline.evaluate(
+            dataset,
+            policy="distance",
+            config=pipeline.inference_config(
+                distance_threshold=pipeline.suggest_distance_threshold(0.5)
+            ),
+        )
+        assert result.accuracy(dataset.labels) > 1.5 / dataset.num_classes
+        assert result.num_nodes == dataset.split.num_test
+
+
+class TestReproducibility:
+    def test_same_seed_same_results(self):
+        dataset = load_dataset("flickr-sim", scale=0.15)
+
+        def build():
+            backbone = SGC(dataset.num_features, dataset.num_classes, depth=2, rng=3)
+            pipeline = NAI(
+                backbone,
+                distillation_config=DistillationConfig(
+                    training=TrainingConfig(epochs=15, lr=0.05)
+                ),
+                train_gates=False,
+                rng=3,
+            ).fit(dataset)
+            return pipeline.evaluate(dataset, policy="none").predictions
+
+        assert np.array_equal(build(), build())

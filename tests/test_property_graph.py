@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) over graph invariants used by NAI."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DistanceNAP, compute_stationary_state
+from repro.graph import (
+    CSRGraph,
+    k_hop_neighborhood,
+    normalized_adjacency,
+    propagate_features,
+)
+
+
+@st.composite
+def random_graphs(draw, max_nodes=24):
+    """Random connected-ish undirected graphs with at least a spanning chain."""
+    num_nodes = draw(st.integers(min_value=3, max_value=max_nodes))
+    chain = [(i, i + 1) for i in range(num_nodes - 1)]
+    extra_count = draw(st.integers(min_value=0, max_value=2 * num_nodes))
+    extras = [
+        (
+            draw(st.integers(0, num_nodes - 1)),
+            draw(st.integers(0, num_nodes - 1)),
+        )
+        for _ in range(extra_count)
+    ]
+    edges = [(a, b) for a, b in chain + extras if a != b]
+    return CSRGraph.from_edges(edges, num_nodes=num_nodes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), st.floats(min_value=0.0, max_value=1.0))
+def test_normalized_adjacency_spectral_radius_bounded(graph, gamma):
+    a_hat = normalized_adjacency(graph, gamma=gamma).toarray()
+    eigenvalues = np.linalg.eigvals(a_hat)
+    assert np.max(np.abs(eigenvalues)) <= 1.0 + 1e-8
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_propagation_converges_toward_stationary_state(graph):
+    """‖Â^k X − X^∞‖ is (much) smaller at large k than at k=0 (Eq. 6)."""
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(graph.num_nodes, 3))
+    propagated = propagate_features(graph, features, 40)
+    stationary = compute_stationary_state(graph, features).features_for()
+    start = np.linalg.norm(propagated[0] - stationary)
+    # Use the average of two consecutive depths to dodge bipartite oscillation.
+    end = np.linalg.norm((propagated[40] + propagated[39]) / 2 - stationary)
+    assert end <= start + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), st.integers(min_value=0, max_value=4))
+def test_k_hop_neighborhood_is_monotone_in_depth(graph, depth):
+    targets = np.array([0])
+    smaller = k_hop_neighborhood(graph, targets, depth).num_supporting_nodes
+    larger = k_hop_neighborhood(graph, targets, depth + 1).num_supporting_nodes
+    assert smaller <= larger
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), st.floats(min_value=0.01, max_value=5.0))
+def test_personalised_depths_monotone_in_threshold(graph, threshold):
+    rng = np.random.default_rng(1)
+    features = rng.normal(size=(graph.num_nodes, 4))
+    propagated = propagate_features(graph, features, 4)
+    stationary = compute_stationary_state(graph, features).features_for()
+    tight = DistanceNAP(threshold).personalised_depths(propagated, stationary, t_max=4)
+    loose = DistanceNAP(threshold * 2.0).personalised_depths(propagated, stationary, t_max=4)
+    assert np.all(loose <= tight)
+    assert np.all(tight >= 1) and np.all(tight <= 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_propagation_preserves_constant_vector_for_row_stochastic(graph):
+    constant = np.ones((graph.num_nodes, 2))
+    propagated = propagate_features(graph, constant, 3, gamma="reverse")
+    assert np.allclose(propagated[3], constant)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_supporting_subgraph_adjacency_is_submatrix(graph):
+    sub = k_hop_neighborhood(graph, np.array([0]), 2)
+    expected = graph.adjacency.toarray()[np.ix_(sub.node_ids, sub.node_ids)]
+    assert np.allclose(sub.adjacency.toarray(), expected)
