@@ -92,12 +92,24 @@ class NAIConfig:
         immediately.  Ignored by the gate-based NAP.
     batch_size:
         Inference batch size (the paper's default is 500).
+    dtype:
+        Floating dtype of the propagation hot path (``"float64"`` or
+        ``"float32"``).  float32 halves the memory traffic of the sparse
+        kernels; classifier weights stay float64, so logits are computed in
+        double precision either way.
+    engine:
+        ``"fused"`` (default) runs the zero-copy masked-SpMM engine with
+        hop-indexed support pruning; ``"reference"`` keeps the naive
+        per-depth submatrix implementation, retained as the equivalence and
+        benchmarking baseline.
     """
 
     t_min: int = 1
     t_max: int = 1
     distance_threshold: float = 0.0
     batch_size: int = 500
+    dtype: str = "float64"
+    engine: str = "fused"
 
     def __post_init__(self) -> None:
         if self.t_min < 1:
@@ -110,6 +122,21 @@ class NAIConfig:
             raise ConfigurationError("distance_threshold must be non-negative")
         if self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.dtype not in ("float32", "float64"):
+            raise ConfigurationError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
+        if self.engine not in ("fused", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'fused' or 'reference', got {self.engine!r}"
+            )
+
+    @property
+    def np_dtype(self):
+        """The numpy dtype object corresponding to :attr:`dtype`."""
+        import numpy as np
+
+        return np.dtype(self.dtype)
 
     def validated_against_depth(self, depth: int) -> "NAIConfig":
         """Check the config against a backbone of maximum depth ``depth``."""

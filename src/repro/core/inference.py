@@ -18,6 +18,35 @@ it both in wall-clock time and in exact multiply-accumulate counts.
 The same engine with ``policy=None`` implements the vanilla fixed-depth
 inference of the underlying scalable GNN ("NAI w/o NAP" in the ablation) —
 set ``t_min = t_max = k`` to recover the original model exactly.
+
+Hot-path architecture (``engine="fused"``, the default)
+-------------------------------------------------------
+The per-depth cost of Algorithm 1 is dominated by *selecting* and
+*recomputing* the supporting rows that can still influence a not-yet-exited
+target.  The fused engine removes every per-depth allocation from that loop:
+
+* The local normalized adjacency is extracted **once per batch**
+  (:func:`~repro.graph.kernels.extract_submatrix`) and afterwards only its
+  raw ``indptr/indices/data`` arrays are touched.
+* Propagation runs through :func:`~repro.graph.kernels.masked_row_spmm`,
+  which writes ``(Â_local @ X)[rows]`` straight into a preallocated double
+  buffer — no per-depth CSR submatrix, no full feature-matrix copy.  Rows
+  that exited propagation keep stale values that are provably never read
+  again (the needed sets are nested and closed under in-neighbours).
+* Needed rows are derived from hop distances instead of a per-depth BFS.
+  :func:`~repro.graph.sampling.k_hop_neighborhood` orders local nodes by hop,
+  so before the first early exit the rows within ``T_max - depth`` hops form
+  a row *prefix* found by one ``searchsorted``.  After an exit event the hop
+  distances to the surviving targets are rebuilt once
+  (:func:`~repro.graph.kernels.hop_distances`) and subsequent depths go back
+  to thresholding — a BFS runs only when the target set actually changes.
+* The whole path is dtype-parametric: ``NAIConfig.dtype = "float32"`` halves
+  the propagation memory traffic, while classification stays float64.
+
+``engine="reference"`` preserves the naive implementation (fresh BFS and
+fancy-indexed submatrix per depth) as an equivalence oracle and benchmark
+baseline; ``benchmarks/bench_hot_path.py`` records the speedup between the
+two in ``BENCH_hot_path.json``.
 """
 
 from __future__ import annotations
@@ -30,6 +59,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import ConfigurationError, NotFittedError
+from ..graph.kernels import (
+    auto_masked_spmm,
+    extract_local_csr_arrays,
+    hop_distances,
+    masked_row_spmm,
+)
 from ..graph.normalization import NormalizationScheme, normalized_adjacency
 from ..graph.sampling import batch_iterator, k_hop_neighborhood
 from ..graph.sparse import CSRGraph
@@ -195,12 +230,17 @@ class NAIPredictor:
         """Deploy the predictor on the full inference-time graph.
 
         Builds the (global) normalized adjacency and caches the stationary
-        state.  Called once before any number of :meth:`predict` calls.
+        state, all cast to ``config.dtype`` so the inference hot path runs in
+        a single precision end to end.  Called once before any number of
+        :meth:`predict` calls.
         """
+        dtype = self.config.np_dtype
         self._graph = graph
-        self._features = np.asarray(features, dtype=np.float64)
-        self._a_hat = normalized_adjacency(graph, gamma=self.gamma)
-        self._stationary = compute_stationary_state(graph, self._features, gamma=self.gamma)
+        self._features = np.ascontiguousarray(features, dtype=dtype)
+        self._a_hat = normalized_adjacency(graph, gamma=self.gamma).astype(dtype, copy=False)
+        self._stationary = compute_stationary_state(
+            graph, self._features, gamma=self.gamma, dtype=dtype
+        )
         return self
 
     def _require_prepared(self) -> None:
@@ -222,18 +262,19 @@ class NAIPredictor:
         macs = MACBreakdown()
         timings = TimingBreakdown()
 
-        position_of = {int(node): pos for pos, node in enumerate(node_ids)}
+        # Batches are consecutive slices of ``node_ids``, so the results of
+        # batch i land in the matching slice of the output arrays — no
+        # per-node Python-dict position lookups.
+        offset = 0
         for batch in batch_iterator(node_ids, self.config.batch_size):
             batch_result = self._predict_batch(batch, keep_logits=keep_logits)
             macs = macs.merged_with(batch_result.macs)
             timings = timings.merged_with(batch_result.timings)
-            for local, node in enumerate(batch_result.node_ids):
-                pos = position_of[int(node)]
-                predictions[pos] = batch_result.predictions[local]
-                depths[pos] = batch_result.depths[local]
+            predictions[offset:offset + batch.shape[0]] = batch_result.predictions
+            depths[offset:offset + batch.shape[0]] = batch_result.depths
+            offset += batch.shape[0]
             if keep_logits:
-                for node, values in batch_result.logits.items():
-                    logits_store[node] = values
+                logits_store.update(batch_result.logits)
 
         return InferenceResult(
             node_ids=node_ids,
@@ -249,6 +290,26 @@ class NAIPredictor:
     # One batch of Algorithm 1
     # ------------------------------------------------------------------ #
     def _predict_batch(self, batch: np.ndarray, *, keep_logits: bool) -> InferenceResult:
+        if self.config.engine == "reference":
+            return self._predict_batch_reference(batch, keep_logits=keep_logits)
+        return self._predict_batch_fused(batch, keep_logits=keep_logits)
+
+    def _batch_stationary(
+        self, batch: np.ndarray, macs: MACBreakdown, timings: TimingBreakdown
+    ) -> np.ndarray:
+        """Line 2: stationary state of the batch, from the entire graph."""
+        assert self._graph is not None and self._stationary is not None
+        num_features = self._stationary.num_features
+        start = time.perf_counter()
+        stationary_batch = self._stationary.features_for(batch)
+        timings.stationary += time.perf_counter() - start
+        macs.stationary += (
+            self._graph.num_nodes * num_features + batch.shape[0] * num_features
+        )
+        return stationary_batch
+
+    def _predict_batch_fused(self, batch: np.ndarray, *, keep_logits: bool) -> InferenceResult:
+        """Zero-copy masked-SpMM engine with hop-indexed support pruning."""
         assert self._graph is not None and self._a_hat is not None
         assert self._features is not None and self._stationary is not None
         cfg = self.config
@@ -256,23 +317,169 @@ class NAIPredictor:
         macs = MACBreakdown()
         timings = TimingBreakdown()
 
-        # Line 2: stationary state of the batch, from the entire graph.
+        stationary_batch = self._batch_stationary(batch, macs, timings)
+
+        # Line 3: supporting-node sampling up to T_max hops.  The subgraph's
+        # own adjacency is skipped — only the *normalized* local adjacency is
+        # propagated, extracted once and used as raw CSR arrays from here on.
         start = time.perf_counter()
-        stationary_batch = self._stationary.features_for(batch)
-        timings.stationary += time.perf_counter() - start
-        macs.stationary += (
-            self._graph.num_nodes * num_features + batch.shape[0] * num_features
+        support = k_hop_neighborhood(
+            self._graph, batch, cfg.t_max, include_adjacency=False
+        )
+        indptr, indices, data = extract_local_csr_arrays(
+            self._a_hat, support.node_ids, lookup=support.global_to_local
+        )
+        timings.sampling += time.perf_counter() - start
+        num_local = support.num_supporting_nodes
+        target_local = support.target_local
+
+        predictions = np.full(batch.shape[0], -1, dtype=np.int64)
+        assigned_depth = np.zeros(batch.shape[0], dtype=np.int64)
+        logits_store: dict[int, np.ndarray] = {}
+        remaining = np.arange(batch.shape[0])
+
+        # Double propagation buffer: ``current`` always holds fresh values for
+        # every row that can still influence a remaining target; rows outside
+        # that set go stale but are provably never read again (the needed sets
+        # are nested and closed under in-neighbours).
+        current = np.ascontiguousarray(self._features[support.node_ids])
+        scratch = np.empty_like(current)
+
+        # Per-depth history of the *batch rows* only (needed by SIGN/S2GC/GAMLP).
+        target_history: list[np.ndarray] = [current[target_local].copy()]
+
+        # Hop distance of every local row to the nearest *remaining* target.
+        # While nobody has exited this is exactly ``support.hops`` — sorted by
+        # construction, so the needed rows form a prefix and no BFS runs at
+        # all.  After an exit event the distances are rebuilt once and depths
+        # in between go back to pure thresholding.
+        dist = support.hops
+        prefix_mode = True
+        dist_stale = False
+
+        for depth in range(1, cfg.t_max + 1):
+            # Rows within this many hops of a remaining target can still
+            # influence one within the depths left to run.
+            hop_budget = cfg.t_max - depth
+            if dist_stale:
+                dist = hop_distances(
+                    indptr, indices, target_local[remaining], num_local, hop_budget
+                )
+                prefix_mode = False
+                dist_stale = False
+            start = time.perf_counter()
+            if prefix_mode:
+                runs = np.array([[0, support.prefix_within(hop_budget)]], dtype=np.int64)
+                nnz = masked_row_spmm(indptr, indices, data, current, scratch, runs)
+            else:
+                nnz = auto_masked_spmm(
+                    indptr, indices, data, current, scratch, dist <= hop_budget
+                )
+            current, scratch = scratch, current
+            timings.propagation += time.perf_counter() - start
+            macs.propagation += float(nnz) * num_features
+
+            # Fancy indexing already yields a fresh array — no copy needed.
+            target_history.append(current[target_local])
+
+            if depth < cfg.t_min:
+                continue
+
+            if depth < cfg.t_max and self.policy is not None and remaining.size:
+                start = time.perf_counter()
+                propagated_remaining = current[target_local[remaining]]
+                stationary_remaining = stationary_batch[remaining]
+                exits = self.policy.should_exit(propagated_remaining, stationary_remaining, depth)
+                timings.decision += time.perf_counter() - start
+                macs.decision += self.policy.decision_macs_per_node(num_features) * remaining.size
+
+                exiting = remaining[exits]
+                if exiting.size:
+                    self._classify(
+                        exiting, depth, target_history, predictions, assigned_depth,
+                        logits_store, batch, macs, timings, keep_logits,
+                    )
+                    remaining = remaining[~exits]
+                    dist_stale = True
+            elif depth == cfg.t_max and remaining.size:
+                self._classify(
+                    remaining, depth, target_history, predictions, assigned_depth,
+                    logits_store, batch, macs, timings, keep_logits,
+                )
+                remaining = remaining[:0]
+
+            if remaining.size == 0:
+                break
+
+        return InferenceResult(
+            node_ids=batch,
+            predictions=predictions,
+            depths=assigned_depth,
+            macs=macs,
+            timings=timings,
+            max_depth=cfg.t_max,
+            logits=logits_store,
         )
 
-        # Line 3: supporting-node sampling up to T_max hops.
+    def _legacy_support(self, batch: np.ndarray, depth: int) -> tuple[np.ndarray, np.ndarray, sp.csr_matrix]:
+        """Seed-faithful supporting-node sampling for the reference engine.
+
+        Replicates the pre-optimisation pipeline exactly — per-hop scipy row
+        slicing with ``np.unique`` deduplication, a Python-dict local index,
+        and two fancy-indexed ``[ids][:, ids]`` submatrix extractions (the
+        local graph adjacency that the seed built and discarded, plus the
+        normalized adjacency the loop actually propagates) — so that
+        ``benchmarks/bench_hot_path.py`` measures against the true
+        pre-change baseline rather than one sped up by the shared sampling
+        improvements.
+        """
+        assert self._graph is not None and self._a_hat is not None
+        adjacency = self._graph.adjacency
+        visited = np.zeros(self._graph.num_nodes, dtype=bool)
+        frontier = np.unique(batch)
+        visited[frontier] = True
+        order = [frontier]
+        for _ in range(depth):
+            if frontier.size == 0:
+                break
+            neighbor_ids = adjacency[frontier].indices
+            new = np.unique(neighbor_ids[~visited[neighbor_ids]])
+            if new.size == 0:
+                frontier = new
+                continue
+            visited[new] = True
+            order.append(new)
+            frontier = new
+        node_ids = np.concatenate(order)
+        local_index = {int(g): i for i, g in enumerate(node_ids)}
+        target_local = np.asarray([local_index[int(t)] for t in batch], dtype=np.int64)
+        adjacency[node_ids][:, node_ids].tocsr()  # the seed built (and never used) this
+        local_adj = self._a_hat[node_ids][:, node_ids].tocsr()
+        return node_ids, target_local, local_adj
+
+    def _predict_batch_reference(
+        self, batch: np.ndarray, *, keep_logits: bool
+    ) -> InferenceResult:
+        """The naive engine: per-depth BFS + fancy-indexed CSR submatrices.
+
+        Kept verbatim as the equivalence oracle for the fused engine and as
+        the baseline that ``benchmarks/bench_hot_path.py`` measures against.
+        """
+        assert self._graph is not None and self._a_hat is not None
+        assert self._features is not None and self._stationary is not None
+        cfg = self.config
+        num_features = self._features.shape[1]
+        macs = MACBreakdown()
+        timings = TimingBreakdown()
+
+        stationary_batch = self._batch_stationary(batch, macs, timings)
+
+        # Line 3: supporting-node sampling up to T_max hops (seed-faithful).
         start = time.perf_counter()
-        support = k_hop_neighborhood(self._graph, batch, cfg.t_max)
-        local_adj = self._a_hat[support.node_ids][:, support.node_ids].tocsr()
+        node_ids, target_local, local_adj = self._legacy_support(batch, cfg.t_max)
         timings.sampling += time.perf_counter() - start
 
-        local_features = self._features[support.node_ids]
-        num_local = support.node_ids.shape[0]
-        target_local = support.target_local
+        local_features = self._features[node_ids]
 
         predictions = np.full(batch.shape[0], -1, dtype=np.int64)
         assigned_depth = np.zeros(batch.shape[0], dtype=np.int64)
@@ -283,8 +490,6 @@ class NAIPredictor:
         target_history: list[np.ndarray] = [local_features[target_local].copy()]
 
         current = local_features
-        # Rows of the local subgraph that still need to be updated at each step.
-        needed_rows = np.ones(num_local, dtype=bool)
 
         for depth in range(1, cfg.t_max + 1):
             # Which local rows can still influence a remaining target within

@@ -166,14 +166,23 @@ class NAI:
         t_max: int | None = None,
         distance_threshold: float = 0.0,
         batch_size: int = 500,
+        dtype: str = "float64",
+        engine: str = "fused",
     ) -> NAIConfig:
-        """Build an :class:`NAIConfig` validated against the backbone depth."""
+        """Build an :class:`NAIConfig` validated against the backbone depth.
+
+        ``dtype`` selects the floating precision of the propagation hot path
+        (``"float32"`` halves its memory traffic); ``engine`` switches between
+        the zero-copy ``"fused"`` engine and the naive ``"reference"`` one.
+        """
         depth = self.backbone.depth if t_max is None else t_max
         config = NAIConfig(
             t_min=t_min,
             t_max=depth,
             distance_threshold=distance_threshold,
             batch_size=batch_size,
+            dtype=dtype,
+            engine=engine,
         )
         return config.validated_against_depth(self.backbone.depth)
 

@@ -84,22 +84,26 @@ def compute_stationary_state(
     features: np.ndarray,
     *,
     gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+    dtype: np.dtype | str = np.float64,
 ) -> StationaryState:
     """Compute the cached stationary state for ``graph`` and ``features``.
 
     The global weighted feature sum costs ``O(n · f)`` multiply-accumulates;
     this is the dominant part of the "stationary state computation" term in
-    the paper's complexity analysis (Table I).
+    the paper's complexity analysis (Table I).  ``dtype`` selects the
+    floating precision of the cached vectors (``NAIConfig.dtype`` threads the
+    inference engine's precision through here so the whole hot path runs in
+    one dtype).
     """
-    features = np.asarray(features, dtype=np.float64)
+    features = np.asarray(features, dtype=np.dtype(dtype))
     if features.ndim != 2 or features.shape[0] != graph.num_nodes:
         raise ShapeError(
             f"features must have shape (n, f) with n={graph.num_nodes}, got {features.shape}"
         )
     coeff = resolve_gamma(gamma)
-    degrees = graph.degrees() + 1.0
+    degrees = (graph.degrees() + 1.0).astype(features.dtype)
     normalizer = 2.0 * graph.num_edges + graph.num_nodes
-    weights = np.power(degrees, 1.0 - coeff)
+    weights = np.power(degrees, np.asarray(1.0 - coeff, dtype=features.dtype))
     weighted_sum = weights @ features
     return StationaryState(
         weighted_feature_sum=weighted_sum,

@@ -1,6 +1,19 @@
 """Sparse graph substrate: containers, normalization, propagation, sampling."""
 
 from .generators import SyntheticGraphSpec, generate_community_graph, generate_features
+from .kernels import (
+    auto_masked_spmm,
+    contiguous_runs,
+    extract_local_csr_arrays,
+    extract_submatrix,
+    gather_columns,
+    gathered_row_spmm,
+    global_to_local_map,
+    hop_distances,
+    masked_row_spmm,
+    masked_row_spmm_reference,
+    runs_nnz,
+)
 from .normalization import (
     NormalizationScheme,
     laplacian,
@@ -36,14 +49,25 @@ __all__ = [
     "SupportingSubgraph",
     "InductivePartition",
     "InductiveSplit",
+    "auto_masked_spmm",
     "batch_iterator",
     "build_inductive_partition",
+    "contiguous_runs",
+    "extract_local_csr_arrays",
+    "extract_submatrix",
+    "gather_columns",
+    "gathered_row_spmm",
     "generate_community_graph",
     "generate_features",
+    "global_to_local_map",
+    "hop_distances",
     "k_hop_neighborhood",
     "laplacian",
     "make_inductive_split",
+    "masked_row_spmm",
+    "masked_row_spmm_reference",
     "normalized_adjacency",
+    "runs_nnz",
     "propagate_features",
     "propagation_steps",
     "resolve_gamma",

@@ -18,8 +18,10 @@ from .normalization import NormalizationScheme, normalized_adjacency
 from .sparse import CSRGraph
 
 
-def _check_features(graph_or_matrix, features: np.ndarray) -> np.ndarray:
-    features = np.asarray(features, dtype=np.float64)
+def _check_features(
+    graph_or_matrix, features: np.ndarray, dtype: np.dtype | str = np.float64
+) -> np.ndarray:
+    features = np.asarray(features, dtype=np.dtype(dtype))
     if features.ndim != 2:
         raise ShapeError(f"features must be 2-D, got shape {features.shape}")
     n = (
@@ -41,6 +43,7 @@ def propagate_features(
     *,
     gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
     return_all: bool = True,
+    dtype: np.dtype | str = np.float64,
 ) -> list[np.ndarray] | np.ndarray:
     """Compute propagated features ``X^(0..depth)`` (or only ``X^(depth)``).
 
@@ -57,11 +60,14 @@ def propagate_features(
     return_all:
         When true, return the list ``[X^(0), X^(1), ..., X^(depth)]``;
         otherwise only the deepest matrix.
+    dtype:
+        Floating precision of the propagation (``NAIConfig.dtype`` uses this
+        to run the whole offline precomputation in float32 when requested).
     """
     if depth < 0:
         raise ValueError(f"depth must be non-negative, got {depth}")
-    features = _check_features(graph, features)
-    a_hat = normalized_adjacency(graph, gamma=gamma)
+    features = _check_features(graph, features, dtype)
+    a_hat = normalized_adjacency(graph, gamma=gamma).astype(features.dtype, copy=False)
     outputs = [features]
     current = features
     for _ in range(depth):
@@ -76,13 +82,15 @@ def propagation_steps(
     a_hat: sp.csr_matrix,
     features: np.ndarray,
     depth: int,
+    *,
+    dtype: np.dtype | str = np.float64,
 ) -> Iterator[np.ndarray]:
     """Yield ``X^(1), X^(2), ..., X^(depth)`` one step at a time.
 
     This is the online form used by Algorithm 1: the caller can stop early
     once every node in the batch has been assigned a personalised depth.
     """
-    current = _check_features(a_hat, features)
+    current = _check_features(a_hat, features, dtype)
     for _ in range(depth):
         current = np.asarray(a_hat @ current)
         yield current

@@ -5,6 +5,16 @@ features of every node within ``k`` hops of the batch (the *supporting nodes*)
 are touched.  This module extracts those neighbourhoods and builds the local
 sub-adjacency over which online propagation runs — the number of supporting
 nodes is exactly the quantity the paper's acceleration attacks.
+
+Hot-path architecture
+---------------------
+:func:`k_hop_neighborhood` returns the local nodes **sorted by hop distance**
+(targets first, then the hop-1 frontier, and so on).  The inference engine
+relies on this ordering: the set of rows within ``h`` hops of the targets is
+always a *prefix* of the local row range, so per-depth support pruning is a
+single ``searchsorted`` over :attr:`SupportingSubgraph.hops` instead of a BFS
+(see :mod:`repro.graph.kernels` and :mod:`repro.core.inference`).  All index
+maps are vectorised numpy inverse permutations — no Python dict lookups.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import GraphConstructionError
+from .kernels import extract_submatrix, gather_columns, global_to_local_map
 from .sparse import CSRGraph
 
 
@@ -25,29 +36,49 @@ class SupportingSubgraph:
     Attributes
     ----------
     node_ids:
-        Global ids of all nodes in the subgraph.  The first
-        ``len(target_local)`` entries are the batch targets.
+        Global ids of all nodes in the subgraph, **sorted by hop distance**
+        from the batch (targets occupy the leading positions).
     target_local:
         Local indices (into ``node_ids``) of the batch targets.
     adjacency:
-        Local adjacency matrix restricted to ``node_ids``.
+        Local adjacency matrix restricted to ``node_ids``, or ``None`` when
+        the caller requested ``include_adjacency=False`` (the inference
+        engine extracts the *normalized* adjacency itself and never needs
+        this one).
     hops:
         The hop distance from the batch at which each local node was first
-        reached (0 for targets).
+        reached (0 for targets).  Non-decreasing by construction.
+    global_to_local:
+        Inverse-permutation map of length ``num_nodes`` with
+        ``global_to_local[node_ids[i]] == i`` and ``-1`` elsewhere.
     """
 
     node_ids: np.ndarray
     target_local: np.ndarray
-    adjacency: sp.csr_matrix
+    adjacency: sp.csr_matrix | None
     hops: np.ndarray
+    global_to_local: np.ndarray | None = None
 
     @property
     def num_supporting_nodes(self) -> int:
         """Total number of nodes touched, including the targets themselves."""
         return int(self.node_ids.shape[0])
 
+    def prefix_within(self, hop: int) -> int:
+        """Number of leading local rows within ``hop`` hops of the targets.
+
+        Because ``hops`` is sorted, the rows needing an update at a given
+        remaining depth form the prefix ``[0, prefix_within(h))`` — this is
+        the hop-indexed support pruning used by the fused inference engine.
+        """
+        return int(np.searchsorted(self.hops, hop, side="right"))
+
     def as_graph(self) -> CSRGraph:
         """Wrap the local adjacency in a :class:`CSRGraph`."""
+        if self.adjacency is None:
+            raise GraphConstructionError(
+                "this SupportingSubgraph was extracted with include_adjacency=False"
+            )
         return CSRGraph(self.adjacency)
 
 
@@ -55,6 +86,8 @@ def k_hop_neighborhood(
     graph: CSRGraph,
     targets: np.ndarray,
     depth: int,
+    *,
+    include_adjacency: bool = True,
 ) -> SupportingSubgraph:
     """Extract the ``depth``-hop supporting subgraph around ``targets``.
 
@@ -67,6 +100,11 @@ def k_hop_neighborhood(
     depth:
         Maximum propagation depth ``T_max``; supporting nodes further than
         this many hops away cannot influence the batch.
+    include_adjacency:
+        When false, skip building the local adjacency matrix (the inference
+        engine only needs the node ordering and hop distances — it extracts
+        the normalized adjacency itself, so building this one would double
+        the sampling cost).
     """
     targets = np.asarray(targets, dtype=np.int64)
     if targets.size == 0:
@@ -77,7 +115,9 @@ def k_hop_neighborhood(
         raise ValueError(f"depth must be non-negative, got {depth}")
 
     adjacency = graph.adjacency
+    indptr, indices = adjacency.indptr, adjacency.indices
     visited = np.zeros(graph.num_nodes, dtype=bool)
+    newly = np.zeros(graph.num_nodes, dtype=bool)
     hop_of = np.full(graph.num_nodes, -1, dtype=np.int64)
     frontier = np.unique(targets)
     visited[frontier] = True
@@ -86,26 +126,34 @@ def k_hop_neighborhood(
     for hop in range(1, depth + 1):
         if frontier.size == 0:
             break
-        # All neighbours of the current frontier in one sparse slice.
-        neighbor_ids = adjacency[frontier].indices
-        new = np.unique(neighbor_ids[~visited[neighbor_ids]])
-        if new.size == 0:
-            frontier = new
+        # All neighbours of the current frontier, gathered from the raw CSR
+        # arrays; the boolean scatter deduplicates them without the sort that
+        # np.unique would pay on the (duplicate-heavy) neighbour list.
+        neighbor_ids = gather_columns(indptr, indices, frontier)
+        neighbor_ids = neighbor_ids[~visited[neighbor_ids]]
+        if neighbor_ids.size == 0:
+            frontier = neighbor_ids
             continue
+        newly[neighbor_ids] = True
+        new = np.flatnonzero(newly)
+        newly[new] = False
         visited[new] = True
         hop_of[new] = hop
         order.append(new)
         frontier = new
 
     node_ids = np.concatenate(order) if order else np.unique(targets)
-    local_index = {int(g): i for i, g in enumerate(node_ids)}
-    target_local = np.asarray([local_index[int(t)] for t in targets], dtype=np.int64)
-    local_adj = adjacency[node_ids][:, node_ids].tocsr()
+    lookup = global_to_local_map(node_ids, graph.num_nodes)
+    target_local = lookup[targets]
+    local_adj = None
+    if include_adjacency:
+        local_adj = extract_submatrix(adjacency, node_ids, lookup=lookup)
     return SupportingSubgraph(
         node_ids=node_ids,
         target_local=target_local,
         adjacency=local_adj,
         hops=hop_of[node_ids],
+        global_to_local=lookup,
     )
 
 
@@ -120,11 +168,8 @@ def supporting_node_counts(
     exponentially with depth until it saturates at the connected component
     size.
     """
-    sub = k_hop_neighborhood(graph, targets, max_depth)
-    counts = []
-    for depth in range(max_depth + 1):
-        counts.append(int(np.count_nonzero(sub.hops <= depth)))
-    return counts
+    sub = k_hop_neighborhood(graph, targets, max_depth, include_adjacency=False)
+    return [sub.prefix_within(depth) for depth in range(max_depth + 1)]
 
 
 def batch_iterator(node_ids: np.ndarray, batch_size: int) -> list[np.ndarray]:

@@ -126,8 +126,15 @@ class CSRGraph:
 
     @property
     def num_edges(self) -> int:
-        """Number of undirected edges ``m`` (directed edge count // 2)."""
-        return int(self.adjacency.nnz // 2 + np.count_nonzero(self.adjacency.diagonal()))
+        """Number of undirected edges ``m``, counting each self loop once.
+
+        The ``nnz`` count stores every off-diagonal edge twice and every self
+        loop once, so ``m = (nnz + diag_count) / 2`` — the previously used
+        ``nnz // 2 + diag_count`` overcounted whenever two or more self loops
+        were present.
+        """
+        diag_count = int(np.count_nonzero(self.adjacency.diagonal()))
+        return int((self.adjacency.nnz + diag_count) // 2)
 
     @property
     def num_directed_edges(self) -> int:
@@ -163,17 +170,34 @@ class CSRGraph:
     # Transformations
     # ------------------------------------------------------------------ #
     def add_self_loops(self, weight: float = 1.0) -> "CSRGraph":
-        """Return a new graph whose adjacency is ``Ã = A + weight * I``."""
+        """Return a new graph whose adjacency is ``Ã = A + weight * I``.
+
+        Existing diagonal entries larger than ``weight`` are preserved.  Built
+        by direct COO construction: the former ``tolil`` round-trip allocated
+        one Python list per row and dominated preprocessing on large graphs.
+        """
         n = self.num_nodes
-        adj = self.adjacency.tolil(copy=True)
-        adj.setdiag(np.maximum(adj.diagonal(), weight))
-        return CSRGraph(adj.tocsr())
+        coo = self.adjacency.tocoo()
+        off_diag = coo.row != coo.col
+        diag_ids = np.arange(n, dtype=np.int64)
+        rows = np.concatenate([coo.row[off_diag], diag_ids])
+        cols = np.concatenate([coo.col[off_diag], diag_ids])
+        data = np.concatenate(
+            [coo.data[off_diag], np.maximum(self.adjacency.diagonal(), weight)]
+        )
+        return CSRGraph(sp.csr_matrix((data, (rows, cols)), shape=(n, n)))
 
     def remove_self_loops(self) -> "CSRGraph":
-        """Return a new graph with the diagonal zeroed out."""
-        adj = self.adjacency.tolil(copy=True)
-        adj.setdiag(0.0)
-        return CSRGraph(adj.tocsr())
+        """Return a new graph with the diagonal zeroed out (direct COO filter)."""
+        n = self.num_nodes
+        coo = self.adjacency.tocoo()
+        off_diag = coo.row != coo.col
+        return CSRGraph(
+            sp.csr_matrix(
+                (coo.data[off_diag], (coo.row[off_diag], coo.col[off_diag])),
+                shape=(n, n),
+            )
+        )
 
     def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "CSRGraph":
         """Induced subgraph on ``nodes`` (rows/columns restricted and relabelled)."""

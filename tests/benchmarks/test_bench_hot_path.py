@@ -1,0 +1,40 @@
+"""Smoke test for the hot-path microbenchmark.
+
+Runs ``benchmarks/bench_hot_path.py --quick`` end to end (tiny workload,
+deterministic seed) so tier-1 catches regressions in the bench harness and in
+the fused/reference engine equivalence it asserts.  The real perf numbers are
+produced by the full run, which writes ``BENCH_hot_path.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.mark.hot_path_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_hot_path
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    assert bench_hot_path.main(["--quick", "--output", str(output)]) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    assert len(report["workloads"]) == 3
+    for record in report["workloads"]:
+        for variant in record["variants"].values():
+            # run_workload raises on divergence; double-check the record too.
+            assert variant["predictions_equal"]
+            assert variant["depths_equal"]
+            assert variant["macs_equal"]
+            assert variant["hot_path_speedup"] > 0
+    aggregate = report["aggregate"]
+    assert aggregate["fused_float32"]["all_outputs_equal"]

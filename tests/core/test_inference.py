@@ -160,3 +160,67 @@ class TestAdaptiveInference:
         ).prepare(tiny_dataset.graph, tiny_dataset.features)
         result = predictor.predict(tiny_dataset.split.test_idx)
         assert result.macs.feature_processing < result.macs.total
+
+
+class TestEngineAndDtypeEquivalence:
+    """The fused zero-copy engine must reproduce the reference engine exactly."""
+
+    @pytest.mark.parametrize("policy", ["none", "distance", "gate"])
+    def test_fused_matches_reference(self, trained_nai, tiny_dataset, policy):
+        kwargs = {}
+        if policy == "distance":
+            kwargs["distance_threshold"] = trained_nai.suggest_distance_threshold(0.6)
+        test_idx = tiny_dataset.split.test_idx
+        results = {}
+        for engine in ("reference", "fused"):
+            predictor = trained_nai.build_predictor(
+                policy=policy,
+                config=trained_nai.inference_config(engine=engine, **kwargs),
+            ).prepare(tiny_dataset.graph, tiny_dataset.features)
+            results[engine] = predictor.predict(test_idx)
+        ref, fused = results["reference"], results["fused"]
+        assert np.array_equal(ref.predictions, fused.predictions)
+        assert np.array_equal(ref.depths, fused.depths)
+        assert ref.macs.total == pytest.approx(fused.macs.total)
+        assert ref.macs.propagation == pytest.approx(fused.macs.propagation)
+
+    @pytest.mark.parametrize("policy", ["none", "distance"])
+    def test_float32_matches_float64_predictions(self, trained_nai, tiny_dataset, policy):
+        kwargs = {}
+        if policy == "distance":
+            kwargs["distance_threshold"] = trained_nai.suggest_distance_threshold(0.6)
+        test_idx = tiny_dataset.split.test_idx
+        results = {}
+        for dtype in ("float64", "float32"):
+            predictor = trained_nai.build_predictor(
+                policy=policy,
+                config=trained_nai.inference_config(dtype=dtype, **kwargs),
+            ).prepare(tiny_dataset.graph, tiny_dataset.features)
+            results[dtype] = predictor.predict(test_idx)
+        assert np.array_equal(
+            results["float64"].predictions, results["float32"].predictions
+        )
+        assert np.array_equal(results["float64"].depths, results["float32"].depths)
+
+    def test_float32_logits_close_to_float64(self, trained_nai, tiny_dataset):
+        test_idx = tiny_dataset.split.test_idx[:25]
+        logits = {}
+        for dtype in ("float64", "float32"):
+            predictor = trained_nai.build_predictor(
+                policy="none", config=trained_nai.inference_config(dtype=dtype)
+            ).prepare(tiny_dataset.graph, tiny_dataset.features)
+            result = predictor.predict(test_idx, keep_logits=True)
+            logits[dtype] = np.stack([result.logits[int(n)] for n in test_idx])
+        assert np.allclose(logits["float64"], logits["float32"], atol=1e-3)
+
+    def test_invalid_dtype_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            NAIConfig(dtype="float16")
+
+    def test_invalid_engine_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            NAIConfig(engine="turbo")

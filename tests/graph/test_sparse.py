@@ -89,6 +89,26 @@ class TestProperties:
         assert graph.num_edges == 2
         assert graph.num_directed_edges == 4
 
+    def test_num_edges_with_multiple_self_loops(self):
+        """Regression: nnz // 2 + diag overcounted once >= 2 self loops exist.
+
+        Three self loops plus one undirected edge store 5 nonzeros; the true
+        undirected edge count is 4, the old formula reported 5.
+        """
+        graph = CSRGraph.from_edges(
+            [(0, 0), (1, 1), (2, 2), (0, 1)], num_nodes=3
+        )
+        assert graph.num_directed_edges == 5
+        assert graph.num_edges == 4
+
+    def test_num_edges_with_even_self_loops(self):
+        graph = CSRGraph.from_edges([(0, 0), (1, 1), (0, 1)], num_nodes=2)
+        assert graph.num_edges == 3
+
+    def test_num_edges_single_self_loop_unchanged(self):
+        graph = CSRGraph.from_edges(TRIANGLE + [(0, 0)], num_nodes=3)
+        assert graph.num_edges == 4
+
     def test_has_self_loops(self):
         plain = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
         assert not plain.has_self_loops()
@@ -122,6 +142,29 @@ class TestTransformations:
     def test_remove_self_loops(self):
         graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3).add_self_loops()
         assert not graph.remove_self_loops().has_self_loops()
+
+    def test_add_self_loops_preserves_larger_diagonal(self):
+        graph = CSRGraph.from_dense(
+            np.array([[5.0, 1.0], [1.0, 0.0]])
+        ).add_self_loops()
+        assert graph.adjacency[0, 0] == 5.0
+        assert graph.adjacency[1, 1] == 1.0
+
+    def test_add_self_loops_custom_weight(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3).add_self_loops(weight=2.0)
+        assert np.allclose(graph.adjacency.diagonal(), 2.0)
+
+    def test_add_remove_roundtrip_preserves_off_diagonal(self):
+        graph = CSRGraph.from_edges(TRIANGLE, num_nodes=3)
+        roundtrip = graph.add_self_loops().remove_self_loops()
+        assert roundtrip == graph
+
+    def test_remove_self_loops_keeps_weights(self):
+        graph = CSRGraph.from_dense(
+            np.array([[3.0, 2.5], [2.5, 0.0]])
+        ).remove_self_loops()
+        assert graph.adjacency[0, 1] == 2.5
+        assert graph.adjacency.diagonal().sum() == 0.0
 
     def test_subgraph_relabels(self):
         graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
