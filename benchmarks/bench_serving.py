@@ -1,0 +1,419 @@
+"""Serving benchmark: the online subsystem vs. sequential ``NAIPredictor.predict``.
+
+Three suites, each on the synthetic paper datasets, recorded to
+``BENCH_serving.json``:
+
+``streaming`` (equivalence + cache)
+    A tick stream whose batches recur (sessions / hot queries).  The server
+    (4 workers, subgraph cache) must produce **bit-identical predictions,
+    depth distributions and MAC counts** to running ``predict`` over the
+    same tick stream — the cache only skips MAC-free sampling work — while
+    finishing faster.  Records the cache hit rate and the sampling-time
+    reduction.
+
+``online`` (micro-batching throughput)
+    The serving workload the paper motivates: many small requests arriving
+    independently.  The baseline answers each request with its own
+    ``predict`` call; the server coalesces them into micro-batches whose
+    supporting subgraphs are shared.  Predictions and depth distributions
+    stay bit-identical (per-node results are batch-independent); total MACs
+    *drop* — the paper's Figure-5 batch-size effect captured by the serving
+    layer — and throughput is the headline ``>= 2x``.
+
+``scaling`` (worker-pool)
+    The streaming workload at 1 vs. 4 workers, recording how much the pool
+    adds on this machine (on a single-core container the speedup comes from
+    the cache and batching; on multi-core hardware the workers multiply it).
+
+Every equivalence claim is asserted, not just recorded: a divergence fails
+the benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full run
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick    # smoke run
+    PYTHONPATH=src python benchmarks/bench_serving.py --sweep-run-dispatch
+
+The ``--quick`` mode is wired into tier-1 as the ``serving_bench`` pytest
+marker (see ``tests/benchmarks/test_bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ServingConfig
+from repro.experiments import ExperimentProfile
+from repro.experiments.context import TrainedContext, get_context
+from repro.graph.sampling import batch_iterator
+from repro.serving import InferenceServer
+
+#: Full profile: the three synthetic paper datasets.
+FULL_PROFILE = ExperimentProfile(
+    dataset_scale=1.0,
+    depth=5,
+    classifier_epochs=40,
+    gate_epochs=15,
+    batch_size=500,
+    seed=0,
+)
+FULL_DATASETS = ("flickr-sim", "arxiv-sim", "products-sim")
+
+#: Quick profile: one small dataset, enough to exercise every code path.
+QUICK_PROFILE = ExperimentProfile(
+    dataset_scale=0.3,
+    depth=3,
+    classifier_epochs=20,
+    gate_epochs=10,
+    batch_size=200,
+    seed=0,
+)
+QUICK_DATASETS = ("flickr-sim",)
+
+WORKERS = 4
+
+
+def _predictor(context: TrainedContext, *, batch_size: int):
+    config = context.nai_config(threshold_quantile=0.5, batch_size=batch_size)
+    predictor = context.nai.build_predictor(policy="distance", config=config)
+    predictor.prepare(context.dataset.graph, context.dataset.features)
+    return predictor
+
+
+def _streaming_ticks(context: TrainedContext, *, tick_size: int, num_ticks: int,
+                     distinct: int, seed: int = 3) -> list[np.ndarray]:
+    """A stream drawn (with recurrence) from a pool of ``distinct`` sessions.
+
+    Every session is exactly ``tick_size`` nodes so the micro-batcher (whose
+    node budget is ``tick_size`` in the streaming suite) maps each request to
+    one micro-batch — the served batch composition matches the sequential
+    baseline exactly, which the bit-identical MAC assertion requires.
+    """
+    rng = np.random.default_rng(seed)
+    test_idx = np.asarray(context.dataset.split.test_idx)
+    pool = [
+        batch for batch in batch_iterator(rng.permutation(test_idx), tick_size)
+        if batch.shape[0] == tick_size
+    ][:distinct]
+    # First visit every distinct session once (cold), then recur.
+    order = list(range(len(pool)))
+    order += list(rng.integers(0, len(pool), size=num_ticks - len(pool)))
+    return [pool[i] for i in order]
+
+
+def _assert_equal(label: str, name: str, lhs, rhs) -> None:
+    if not np.array_equal(lhs, rhs):
+        raise AssertionError(f"{label}: served {name} diverged from sequential")
+
+
+def _merge_batches(responses) -> tuple[float, float, float]:
+    """(total MACs, total engine seconds, sampling seconds), deduped by batch."""
+    seen: dict[int, object] = {}
+    for response in responses:
+        seen[response.batch_id] = response
+    macs = sum(r.batch_macs.total for r in seen.values())
+    total = sum(r.batch_timings.total for r in seen.values())
+    sampling = sum(r.batch_timings.sampling for r in seen.values())
+    return macs, total, sampling
+
+
+def run_streaming_suite(
+    context: TrainedContext, dataset_name: str, *, tick_size: int,
+    num_ticks: int, distinct: int,
+) -> dict:
+    """Equivalence + cache suite: identical tick streams through both paths."""
+    predictor = _predictor(context, batch_size=tick_size)
+    ticks = _streaming_ticks(
+        context, tick_size=tick_size, num_ticks=num_ticks, distinct=distinct
+    )
+
+    start = time.perf_counter()
+    sequential = [predictor.predict(tick) for tick in ticks]
+    sequential_wall = time.perf_counter() - start
+
+    config = ServingConfig(
+        num_workers=WORKERS, max_batch_size=tick_size, max_wait_ms=0.5,
+        cache_capacity=max(2 * distinct, 8),
+    )
+    with InferenceServer(predictor, config) as server:
+        start = time.perf_counter()
+        responses = server.predict_many(ticks, timeout=600.0)
+        served_wall = time.perf_counter() - start
+        stats = server.stats()
+
+    label = f"{dataset_name}/streaming"
+    _assert_equal(
+        label, "predictions",
+        np.concatenate([r.predictions for r in responses]),
+        np.concatenate([r.predictions for r in sequential]),
+    )
+    _assert_equal(
+        label, "depths",
+        np.concatenate([r.depths for r in responses]),
+        np.concatenate([r.depths for r in sequential]),
+    )
+    sequential_macs = sum(r.macs.total for r in sequential)
+    served_macs, _, served_sampling = _merge_batches(responses)
+    macs_equal = abs(served_macs - sequential_macs) < 1e-6
+    if not macs_equal:
+        raise AssertionError(f"{label}: MAC counts diverged")
+    sequential_sampling = sum(r.timings.sampling for r in sequential)
+    num_nodes = sum(t.shape[0] for t in ticks)
+    return {
+        "dataset": dataset_name,
+        "suite": "streaming",
+        "ticks": len(ticks),
+        "distinct_batches": len({t.tobytes() for t in ticks}),
+        "nodes": num_nodes,
+        "sequential_wall_seconds": sequential_wall,
+        "served_wall_seconds": served_wall,
+        "throughput_speedup": sequential_wall / served_wall if served_wall else float("inf"),
+        "predictions_equal": True,
+        "depths_equal": True,
+        "macs_equal": True,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "sequential_sampling_seconds": sequential_sampling,
+        "served_sampling_seconds": served_sampling,
+        "sampling_time_reduction": (
+            1.0 - served_sampling / sequential_sampling if sequential_sampling else 0.0
+        ),
+        "served_latency_ms": stats.latency.scaled(1e3).as_dict(),
+    }
+
+
+def run_online_suite(
+    context: TrainedContext, dataset_name: str, *, request_size: int,
+    max_batch_size: int, num_requests: int,
+) -> dict:
+    """Micro-batching suite: tiny requests, per-request predict as baseline."""
+    predictor = _predictor(context, batch_size=max_batch_size)
+    rng = np.random.default_rng(5)
+    test_idx = rng.permutation(np.asarray(context.dataset.split.test_idx))
+    requests = batch_iterator(test_idx, request_size)[:num_requests]
+
+    start = time.perf_counter()
+    sequential = [predictor.predict(request) for request in requests]
+    sequential_wall = time.perf_counter() - start
+
+    config = ServingConfig(
+        num_workers=WORKERS, max_batch_size=max_batch_size, max_wait_ms=2.0,
+        cache_capacity=0,  # isolate the micro-batching effect
+    )
+    with InferenceServer(predictor, config) as server:
+        start = time.perf_counter()
+        responses = server.predict_many(requests, timeout=600.0)
+        served_wall = time.perf_counter() - start
+        stats = server.stats()
+
+    label = f"{dataset_name}/online"
+    _assert_equal(
+        label, "predictions",
+        np.concatenate([r.predictions for r in responses]),
+        np.concatenate([r.predictions for r in sequential]),
+    )
+    _assert_equal(
+        label, "depths",
+        np.concatenate([r.depths for r in responses]),
+        np.concatenate([r.depths for r in sequential]),
+    )
+    sequential_macs = sum(r.macs.total for r in sequential)
+    served_macs, _, _ = _merge_batches(responses)
+    num_nodes = sum(r.shape[0] for r in requests)
+    return {
+        "dataset": dataset_name,
+        "suite": "online",
+        "requests": len(requests),
+        "request_size": request_size,
+        "nodes": num_nodes,
+        "avg_coalesced_batch_nodes": stats.avg_batch_nodes,
+        "sequential_wall_seconds": sequential_wall,
+        "served_wall_seconds": served_wall,
+        "throughput_speedup": sequential_wall / served_wall if served_wall else float("inf"),
+        "sequential_throughput_nodes_per_second": (
+            num_nodes / sequential_wall if sequential_wall else float("inf")
+        ),
+        "served_throughput_nodes_per_second": (
+            num_nodes / served_wall if served_wall else float("inf")
+        ),
+        "predictions_equal": True,
+        "depths_equal": True,
+        # Micro-batching shares supporting subgraphs, so the served MACs are
+        # *lower* than per-request sequential MACs (paper Figure 5); the
+        # ratio is a benefit, reported explicitly rather than asserted equal.
+        "sequential_macs": sequential_macs,
+        "served_macs": served_macs,
+        "mac_reduction": 1.0 - served_macs / sequential_macs if sequential_macs else 0.0,
+        "served_latency_ms": stats.latency.scaled(1e3).as_dict(),
+    }
+
+
+def run_scaling_suite(
+    context: TrainedContext, dataset_name: str, *, tick_size: int, num_ticks: int,
+    distinct: int,
+) -> dict:
+    """Worker-scaling record: same workload at 1 and WORKERS workers."""
+    predictor = _predictor(context, batch_size=tick_size)
+    ticks = _streaming_ticks(
+        context, tick_size=tick_size, num_ticks=num_ticks, distinct=distinct, seed=7
+    )
+    walls = {}
+    for workers in (1, WORKERS):
+        config = ServingConfig(
+            num_workers=workers, max_batch_size=tick_size, max_wait_ms=0.5,
+            cache_capacity=max(2 * distinct, 8),
+        )
+        with InferenceServer(predictor, config) as server:
+            start = time.perf_counter()
+            server.predict_many(ticks, timeout=600.0)
+            walls[workers] = time.perf_counter() - start
+    return {
+        "dataset": dataset_name,
+        "suite": "scaling",
+        "wall_seconds_1_worker": walls[1],
+        f"wall_seconds_{WORKERS}_workers": walls[WORKERS],
+        "worker_scaling_speedup": walls[1] / walls[WORKERS] if walls[WORKERS] else float("inf"),
+    }
+
+
+def sweep_run_dispatch(context: TrainedContext, dataset_name: str) -> list[dict]:
+    """Sweep ``NAIConfig.run_dispatch_threshold`` (ROADMAP tunable)."""
+    records = []
+    test_idx = np.asarray(context.dataset.split.test_idx)
+    for threshold in (0, 2, 8, 32, 128):
+        config = context.nai_config(threshold_quantile=0.5).with_updates(
+            run_dispatch_threshold=threshold
+        )
+        predictor = context.nai.build_predictor(policy="distance", config=config)
+        predictor.prepare(context.dataset.graph, context.dataset.features)
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            result = predictor.predict(test_idx)
+            best = min(best, time.perf_counter() - start)
+        records.append({
+            "dataset": dataset_name,
+            "run_dispatch_threshold": threshold,
+            "wall_seconds": best,
+            "propagation_seconds": result.timings.propagation,
+        })
+    return records
+
+
+def run_bench(*, quick: bool = False, sweep: bool = False) -> dict:
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    datasets = QUICK_DATASETS if quick else FULL_DATASETS
+    tick_size = 64 if quick else 100
+    num_ticks = 12 if quick else 40
+    distinct = 2 if quick else 4
+    request_size = 2 if quick else 4
+    num_requests = 30 if quick else 120
+
+    suites: list[dict] = []
+    sweeps: list[dict] = []
+    for dataset_name in datasets:
+        context = get_context(dataset_name, profile=profile)
+        streaming = run_streaming_suite(
+            context, dataset_name, tick_size=tick_size, num_ticks=num_ticks,
+            distinct=distinct,
+        )
+        online = run_online_suite(
+            context, dataset_name, request_size=request_size,
+            max_batch_size=tick_size, num_requests=num_requests,
+        )
+        scaling = run_scaling_suite(
+            context, dataset_name, tick_size=tick_size, num_ticks=num_ticks,
+            distinct=distinct,
+        )
+        suites.extend([streaming, online, scaling])
+        if sweep:
+            sweeps.extend(sweep_run_dispatch(context, dataset_name))
+        print(
+            f"{dataset_name:12s} streaming {streaming['throughput_speedup']:.2f}x "
+            f"(cache hit {streaming['cache_hit_rate']:.0%}, sampling "
+            f"-{streaming['sampling_time_reduction']:.0%}) | online "
+            f"{online['throughput_speedup']:.2f}x (MACs -{online['mac_reduction']:.0%}) "
+            f"| {WORKERS}-worker scaling {scaling['worker_scaling_speedup']:.2f}x"
+        )
+
+    streaming_records = [s for s in suites if s["suite"] == "streaming"]
+    online_records = [s for s in suites if s["suite"] == "online"]
+    seq_wall = sum(s["sequential_wall_seconds"] for s in online_records)
+    srv_wall = sum(s["served_wall_seconds"] for s in online_records)
+    aggregate = {
+        "workers": WORKERS,
+        "online_throughput_speedup": seq_wall / srv_wall if srv_wall else float("inf"),
+        "streaming_throughput_speedup": (
+            sum(s["sequential_wall_seconds"] for s in streaming_records)
+            / sum(s["served_wall_seconds"] for s in streaming_records)
+        ),
+        "all_predictions_equal": all(
+            s["predictions_equal"] for s in suites if "predictions_equal" in s
+        ),
+        "all_depths_equal": all(
+            s["depths_equal"] for s in suites if "depths_equal" in s
+        ),
+        "streaming_macs_equal": all(s["macs_equal"] for s in streaming_records),
+        "min_cache_hit_rate": min(s["cache_hit_rate"] for s in streaming_records),
+        "min_sampling_time_reduction": min(
+            s["sampling_time_reduction"] for s in streaming_records
+        ),
+    }
+    return {
+        "benchmark": "bench_serving",
+        "quick": quick,
+        "profile": {
+            "dataset_scale": profile.dataset_scale,
+            "depth": profile.depth,
+            "seed": profile.seed,
+        },
+        "workload": {
+            "tick_size": tick_size, "num_ticks": num_ticks, "distinct": distinct,
+            "request_size": request_size, "num_requests": num_requests,
+        },
+        "suites": suites,
+        "run_dispatch_sweep": sweeps,
+        "aggregate": aggregate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small deterministic smoke run (used by the tier-1 marker test)",
+    )
+    parser.add_argument(
+        "--sweep-run-dispatch", action="store_true",
+        help="also sweep NAIConfig.run_dispatch_threshold (ROADMAP tunable)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, sweep=args.sweep_run_dispatch)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    aggregate = report["aggregate"]
+    print(
+        f"aggregate: online {aggregate['online_throughput_speedup']:.2f}x, "
+        f"streaming {aggregate['streaming_throughput_speedup']:.2f}x "
+        f"({report['aggregate']['workers']} workers), outputs equal: "
+        f"{aggregate['all_predictions_equal'] and aggregate['all_depths_equal']}, "
+        f"min cache hit rate {aggregate['min_cache_hit_rate']:.0%}"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

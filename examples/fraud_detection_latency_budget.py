@@ -1,18 +1,19 @@
-"""Latency-constrained fraud detection with node-adaptive inference.
+"""Latency-constrained fraud detection on the online serving subsystem.
 
 The paper motivates NAI with latency-sensitive industrial workloads such as
 fraud and spam detection, where millisecond-level decisions must be made for
 *new* accounts (unseen nodes) joining a large transaction graph.  This
-example simulates that scenario:
+example simulates that scenario end to end:
 
 * the "transaction graph" is the products-sim synthetic graph (the densest
-  and largest of the built-in datasets, playing the role of a million-scale
-  industrial graph),
-* new accounts arrive in small batches and must be classified online,
-* the service has a per-node latency budget; we sweep the NAI threshold to
-  find the fastest operating point that still meets an accuracy floor,
-  demonstrating how the ``T_s`` / ``T_max`` knobs let one trained model serve
-  several latency tiers.
+  and largest of the built-in datasets),
+* new accounts arrive as **individual requests** at a paced rate (~70% of
+  each tier's calibrated capacity, so latency reflects batching and compute
+  rather than an unbounded backlog); the dynamic micro-batcher coalesces
+  them under a latency budget and a 4-worker pool scores the micro-batches,
+* the NAI operating point (``T_s`` / ``T_max``) is swept to find the
+  fastest configuration that still meets an accuracy floor — one trained
+  model serving several latency tiers behind one queue.
 
 Run with::
 
@@ -21,10 +22,18 @@ Run with::
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import NAI, SGC, load_dataset
-from repro.core import DistillationConfig, GateTrainingConfig, TrainingConfig
+from repro.core import (
+    DistillationConfig,
+    GateTrainingConfig,
+    ServingConfig,
+    TrainingConfig,
+)
+from repro.serving import InferenceServer
 
 
 def train_pipeline(dataset) -> NAI:
@@ -47,19 +56,29 @@ def main() -> None:
     print("transaction graph:", dataset.summary())
     nai = train_pipeline(dataset)
 
-    # New accounts arrive in small batches; the fraud service scores each
-    # batch online.  We evaluate a range of NAI operating points.
-    new_accounts = dataset.split.test_idx
+    # New accounts arrive one by one; the micro-batcher coalesces them into
+    # batches of up to 64 accounts or 3 ms of waiting, whichever comes first.
     rng = np.random.default_rng(0)
-    arrival_order = rng.permutation(new_accounts)
-    print(f"\nscoring {arrival_order.shape[0]} new accounts in batches of 100")
+    arrivals = rng.permutation(dataset.split.test_idx)[:512]
+    serving = ServingConfig(
+        num_workers=4,
+        max_batch_size=64,
+        max_wait_ms=3.0,
+        queue_capacity=1024,
+        overflow_policy="block",
+        cache_capacity=0,  # arrivals never repeat — caching cannot help here
+    )
+    print(
+        f"\nscoring {arrivals.shape[0]} new accounts as single-account requests "
+        f"(coalesced up to {serving.max_batch_size}/{serving.max_wait_ms:.0f}ms)"
+    )
 
     operating_points = {
-        "accuracy-first (no early exit)": ("none", nai.inference_config(batch_size=100)),
+        "accuracy-first (no early exit)": ("none", nai.inference_config()),
         "balanced (T_s @ q=0.45)": (
             "distance",
             nai.inference_config(
-                distance_threshold=nai.suggest_distance_threshold(0.45), batch_size=100
+                distance_threshold=nai.suggest_distance_threshold(0.45)
             ),
         ),
         "speed-first (T_s @ q=0.8, T_max=2)": (
@@ -67,34 +86,59 @@ def main() -> None:
             nai.inference_config(
                 t_max=2,
                 distance_threshold=nai.suggest_distance_threshold(0.8),
-                batch_size=100,
             ),
         ),
-        "gate-based": ("gate", nai.inference_config(batch_size=100)),
+        "gate-based": ("gate", nai.inference_config()),
     }
 
     accuracy_floor = 0.75
-    print(f"\n{'operating point':<36} {'ACC':>7} {'ms/node':>9} {'avg depth':>10}  meets floor?")
+    print(
+        f"\n{'operating point':<36} {'ACC':>7} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'p99 ms':>8} {'acct/s':>9}  meets floor?"
+    )
     best = None
     for label, (policy, config) in operating_points.items():
-        result = nai.evaluate(dataset, policy=policy, config=config, node_ids=arrival_order)
-        accuracy = result.accuracy(dataset.labels)
-        latency = result.time_per_node() * 1e3
+        predictor = nai.build_predictor(policy=policy, config=config)
+        predictor.prepare(dataset.graph, dataset.features)
+
+        # Calibrate this tier's capacity, then pace arrivals at ~70% of it so
+        # the measured latency is batching + compute, not backlog.
+        calibration = arrivals[:128]
+        start = time.perf_counter()
+        predictor.predict(calibration)
+        capacity = calibration.shape[0] / (time.perf_counter() - start)
+        chunk, rate = 8, 0.7 * capacity
+
+        with InferenceServer(predictor, serving) as server:
+            handles = []
+            for i in range(0, arrivals.shape[0], chunk):
+                for j in range(i, min(i + chunk, arrivals.shape[0])):
+                    handles.append(server.submit(arrivals[j:j + 1]))
+                time.sleep(chunk / rate)
+            responses = [handle.result(timeout=120.0) for handle in handles]
+            stats = server.stats()
+        predictions = np.concatenate([r.predictions for r in responses])
+        accuracy = float((predictions == dataset.labels[arrivals]).mean())
+        latency = stats.latency.scaled(1e3)
         meets = accuracy >= accuracy_floor
         print(
-            f"{label:<36} {accuracy:>7.4f} {latency:>9.3f} {result.average_depth():>10.2f}  "
+            f"{label:<36} {accuracy:>7.4f} {latency.p50:>8.2f} {latency.p95:>8.2f} "
+            f"{latency.p99:>8.2f} {stats.throughput_nodes_per_second:>9,.0f}  "
             f"{'yes' if meets else 'no'}"
         )
-        if meets and (best is None or latency < best[1]):
-            best = (label, latency)
+        if meets and (best is None or latency.p95 < best[1]):
+            best = (label, latency.p95)
 
     if best is not None:
         print(
-            f"\nfastest operating point meeting the {accuracy_floor:.0%} accuracy floor: "
-            f"{best[0]} ({best[1]:.3f} ms/node)"
+            f"\nfastest operating point meeting the {accuracy_floor:.0%} accuracy "
+            f"floor: {best[0]} (p95 {best[1]:.2f} ms per account)"
         )
     else:
         print("\nno operating point met the accuracy floor — raise T_max or lower T_s")
+    print("micro-batching shares supporting subgraphs across coalesced accounts,")
+    print("so per-account cost falls while every prediction stays identical to a")
+    print("dedicated predict() call.")
 
 
 if __name__ == "__main__":

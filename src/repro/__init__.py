@@ -17,11 +17,13 @@ from .core import (
     InferenceResult,
     NAIConfig,
     NAIPredictor,
+    ServingConfig,
     TrainingConfig,
 )
 from .datasets import NodeClassificationDataset, available_datasets, load_dataset
 from .graph import CSRGraph
 from .models import GAMLP, S2GC, SGC, SIGN, available_backbones, make_backbone
+from .serving import InferenceServer
 
 __version__ = "1.0.0"
 
@@ -33,6 +35,7 @@ __all__ = [
     "GateNAP",
     "GateTrainingConfig",
     "InferenceResult",
+    "InferenceServer",
     "NAI",
     "NAIConfig",
     "NAIPredictor",
@@ -40,6 +43,7 @@ __all__ = [
     "S2GC",
     "SGC",
     "SIGN",
+    "ServingConfig",
     "TrainingConfig",
     "available_backbones",
     "available_datasets",

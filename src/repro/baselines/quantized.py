@@ -78,6 +78,7 @@ class QuantizedInference(InferenceBaseline):
         num_bits: int = 8,
         gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
         batch_size: int = 500,
+        dtype: str = "float32",
     ) -> None:
         super().__init__()
         if not classifiers:
@@ -86,6 +87,7 @@ class QuantizedInference(InferenceBaseline):
         self.gamma = gamma
         self.batch_size = batch_size
         self.num_bits = num_bits
+        self.dtype = dtype
         self._quantized = quantize_depthwise_classifier(
             classifiers[self.depth - 1], num_bits=num_bits
         )
@@ -99,7 +101,8 @@ class QuantizedInference(InferenceBaseline):
         """Quantization is post-training: "fit" only deploys the predictor."""
         placeholders = [self._quantized] * self.depth
         config = NAIConfig(
-            t_min=self.depth, t_max=self.depth, batch_size=self.batch_size
+            t_min=self.depth, t_max=self.depth, batch_size=self.batch_size,
+            dtype=self.dtype,
         )
         self._predictor = NAIPredictor(
             placeholders, policy=None, config=config, gamma=self.gamma

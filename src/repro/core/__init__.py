@@ -1,10 +1,17 @@
 """NAI core: node-adaptive propagation, Inception Distillation, inference engine."""
 
-from .config import DistillationConfig, GateTrainingConfig, NAIConfig, TrainingConfig
+from .config import (
+    DistillationConfig,
+    GateTrainingConfig,
+    NAIConfig,
+    ServingConfig,
+    TrainingConfig,
+)
 from .distance_nap import DistanceNAP
 from .distillation import DistillationResult, InceptionDistillation
 from .gate_nap import GateNAP, GateTrainingHistory
 from .inference import (
+    BatchEngine,
     InferenceResult,
     MACBreakdown,
     NAIPredictor,
@@ -21,6 +28,7 @@ from .training import (
 )
 
 __all__ = [
+    "BatchEngine",
     "DistanceNAP",
     "DistillationConfig",
     "DistillationResult",
@@ -34,6 +42,7 @@ __all__ = [
     "NAI",
     "NAIConfig",
     "NAIPredictor",
+    "ServingConfig",
     "load_pipeline",
     "StationaryState",
     "TimingBreakdown",

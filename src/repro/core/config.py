@@ -93,23 +93,33 @@ class NAIConfig:
     batch_size:
         Inference batch size (the paper's default is 500).
     dtype:
-        Floating dtype of the propagation hot path (``"float64"`` or
-        ``"float32"``).  float32 halves the memory traffic of the sparse
-        kernels; classifier weights stay float64, so logits are computed in
-        double precision either way.
+        Floating dtype of the propagation hot path.  The default
+        ``"float32"`` halves the memory traffic of the sparse kernels and is
+        validated prediction-identical on the synthetic suite and on the
+        quantized baseline path; pass ``"float64"`` to restore full
+        precision.  Classifier weights stay float64, so logits are computed
+        in double precision either way.
     engine:
         ``"fused"`` (default) runs the zero-copy masked-SpMM engine with
         hop-indexed support pruning; ``"reference"`` keeps the naive
         per-depth submatrix implementation, retained as the equivalence and
         benchmarking baseline.
+    run_dispatch_threshold:
+        Run-count crossover of the fused engine's masked SpMM: row masks
+        with at most this many contiguous runs use zero-copy per-run kernel
+        dispatch, more fragmented masks compact their rows first
+        (:func:`repro.graph.kernels.auto_masked_spmm`).  The best value
+        depends on nnz-per-run and feature width; ``benchmarks/
+        bench_serving.py`` can sweep it.
     """
 
     t_min: int = 1
     t_max: int = 1
     distance_threshold: float = 0.0
     batch_size: int = 500
-    dtype: str = "float64"
+    dtype: str = "float32"
     engine: str = "fused"
+    run_dispatch_threshold: int = 8
 
     def __post_init__(self) -> None:
         if self.t_min < 1:
@@ -130,6 +140,11 @@ class NAIConfig:
             raise ConfigurationError(
                 f"engine must be 'fused' or 'reference', got {self.engine!r}"
             )
+        if self.run_dispatch_threshold < 0:
+            raise ConfigurationError(
+                f"run_dispatch_threshold must be non-negative, got "
+                f"{self.run_dispatch_threshold}"
+            )
 
     @property
     def np_dtype(self):
@@ -147,6 +162,97 @@ class NAIConfig:
         return self
 
     def with_updates(self, **kwargs) -> "NAIConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the online serving subsystem (:mod:`repro.serving`).
+
+    Attributes
+    ----------
+    num_workers:
+        Size of the inference worker pool.  Each worker owns a private
+        :class:`~repro.core.inference.BatchEngine` (its own double buffers
+        and raw CSR state), so independent micro-batches run concurrently.
+    backend:
+        ``"thread"`` (default — scipy's compiled SpMM kernels run outside
+        the interpreter lock) or ``"process"`` (fork-based pool for fully
+        GIL-free execution; supporting-subgraph cache reuse is disabled
+        because shipping CSR arrays across the process boundary costs more
+        than rebuilding them).
+    max_batch_size:
+        Node budget of one micro-batch: the dynamic batcher coalesces queued
+        requests until adding the next one would exceed this many nodes.  A
+        single request larger than the budget still forms its own batch.
+    max_wait_ms:
+        Latency budget of the batcher: once the oldest queued request has
+        waited this long, the micro-batch is dispatched regardless of fill.
+        ``0`` dispatches whatever is queued immediately (latency-first).
+    queue_capacity:
+        Bound of the request queue, counted in requests.
+    overflow_policy:
+        What happens when a request arrives at a full queue: ``"block"``
+        (default) makes the submitter wait, ``"reject"`` raises
+        :class:`~repro.exceptions.BackpressureError` at the submitter, and
+        ``"shed_oldest"`` admits the new request by failing the oldest
+        queued one with :class:`~repro.exceptions.BackpressureError`.
+    cache_capacity:
+        Number of supporting-subgraph bundles the LRU
+        :class:`~repro.serving.SubgraphCache` retains (``0`` disables
+        caching).  Streaming workloads that replay recurring batches skip
+        sampling entirely on a hit.
+    latency_sample_cap:
+        Maximum number of per-request latency samples retained for the
+        percentile statistics (oldest samples are dropped first).
+    """
+
+    num_workers: int = 4
+    backend: str = "thread"
+    max_batch_size: int = 256
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 1024
+    overflow_policy: str = "block"
+    cache_capacity: int = 64
+    latency_sample_cap: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+        if self.backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be positive, got {self.queue_capacity}"
+            )
+        if self.overflow_policy not in ("block", "reject", "shed_oldest"):
+            raise ConfigurationError(
+                "overflow_policy must be 'block', 'reject' or 'shed_oldest', "
+                f"got {self.overflow_policy!r}"
+            )
+        if self.cache_capacity < 0:
+            raise ConfigurationError(
+                f"cache_capacity must be non-negative, got {self.cache_capacity}"
+            )
+        if self.latency_sample_cap < 1:
+            raise ConfigurationError(
+                f"latency_sample_cap must be positive, got {self.latency_sample_cap}"
+            )
+
+    def with_updates(self, **kwargs) -> "ServingConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
 

@@ -47,6 +47,21 @@ target.  The fused engine removes every per-depth allocation from that loop:
 fancy-indexed submatrix per depth) as an equivalence oracle and benchmark
 baseline; ``benchmarks/bench_hot_path.py`` records the speedup between the
 two in ``BENCH_hot_path.json``.
+
+Worker-ownable engine state
+---------------------------
+All per-batch execution lives in :class:`BatchEngine`, which owns the
+mutable hot-path state (the grow-only double propagation buffers) while
+sharing the prepared read-only deployment state (features, normalized
+adjacency, stationary vectors, classifiers).  :class:`NAIPredictor` keeps
+one engine for its sequential :meth:`~NAIPredictor.predict` loop;
+:mod:`repro.serving` hands each pool worker its own engine via
+:meth:`NAIPredictor.make_engine`, so independent micro-batches run
+concurrently without sharing scratch memory.  The sampling products of a
+batch are packaged as a :class:`~repro.graph.sampling.SupportBundle` that
+:meth:`BatchEngine.run_batch` accepts pre-built — the serving layer's
+subgraph cache replays bundles across recurring batches, skipping BFS and
+feature gathering while every MAC-counted operation still executes.
 """
 
 from __future__ import annotations
@@ -66,7 +81,12 @@ from ..graph.kernels import (
     masked_row_spmm,
 )
 from ..graph.normalization import NormalizationScheme, normalized_adjacency
-from ..graph.sampling import batch_iterator, k_hop_neighborhood
+from ..graph.sampling import (
+    SupportBundle,
+    batch_iterator,
+    build_support_bundle,
+    k_hop_neighborhood,
+)
 from ..graph.sparse import CSRGraph
 from ..models.base import DepthwiseClassifier
 from ..nn.tensor import Tensor
@@ -185,151 +205,143 @@ class InferenceResult:
         return self.timings.feature_processing / max(self.num_nodes, 1)
 
 
-class NAIPredictor:
-    """Node-Adaptive Inference engine for a trained scalable-GNN backbone.
+class BatchEngine:
+    """Executes Algorithm 1 for one batch; owns all mutable per-batch state.
 
-    Parameters
-    ----------
-    classifiers:
-        ``[f^(1), ..., f^(k)]`` trained by
-        :class:`~repro.core.distillation.InceptionDistillation` (or plain CE).
-    policy:
-        :class:`DistanceNAP`, :class:`GateNAP` or ``None`` (no early exit).
-    config:
-        Inference hyper-parameters (``T_min``, ``T_max``, ``T_s``, batch size).
-    gamma:
-        Convolution coefficient of Eq. (1); must match the training-time
-        propagation.
+    An engine shares the prepared **read-only** deployment state — the
+    feature matrix, the normalized adjacency, the stationary vectors and the
+    trained classifiers — with its :class:`NAIPredictor` (and with every
+    sibling engine), while owning the **mutable** hot-path state privately:
+    the grow-only double propagation buffers that the fused engine writes
+    into.  That split is what makes engines worker-ownable: the serving
+    layer's pool gives each worker its own engine, so concurrent batches
+    never contend on scratch memory, and merging the per-engine
+    :class:`TimingBreakdown`/:class:`MACBreakdown` reproduces the sequential
+    accounting exactly.
+
+    Engines are *not* thread-safe individually — one engine runs one batch
+    at a time.  Use one engine per worker.
     """
 
     def __init__(
         self,
         classifiers: Sequence[DepthwiseClassifier],
-        *,
-        policy: DistanceNAP | GateNAP | None = None,
-        config: NAIConfig | None = None,
-        gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+        policy: DistanceNAP | GateNAP | None,
+        config: NAIConfig,
+        graph: CSRGraph,
+        features: np.ndarray,
+        a_hat: sp.csr_matrix,
+        stationary: StationaryState,
     ) -> None:
-        if not classifiers:
-            raise ConfigurationError("NAIPredictor needs at least one classifier")
         self.classifiers = list(classifiers)
-        self.depth = len(self.classifiers)
         self.policy = policy
-        self.gamma = gamma
-        self.config = (config if config is not None else NAIConfig(t_min=self.depth, t_max=self.depth))
-        self.config.validated_against_depth(self.depth)
-        self._graph: CSRGraph | None = None
-        self._features: np.ndarray | None = None
-        self._a_hat: sp.csr_matrix | None = None
-        self._stationary: StationaryState | None = None
+        self.config = config
+        self.graph = graph
+        self.features = features
+        self.a_hat = a_hat
+        self.stationary = stationary
+        for classifier in self.classifiers:
+            classifier.eval()
+        # Grow-only double buffers reused across batches (fused engine only).
+        self._buffer_a: np.ndarray | None = None
+        self._buffer_b: np.ndarray | None = None
+        #: Batches executed by this engine (used by pool-utilisation stats).
+        self.batches_run = 0
 
     # ------------------------------------------------------------------ #
-    # Deployment
+    # Sampling
     # ------------------------------------------------------------------ #
-    def prepare(self, graph: CSRGraph, features: np.ndarray) -> "NAIPredictor":
-        """Deploy the predictor on the full inference-time graph.
+    def build_support(self, batch: np.ndarray) -> SupportBundle:
+        """Extract the cacheable sampling products for ``batch``.
 
-        Builds the (global) normalized adjacency and caches the stationary
-        state, all cast to ``config.dtype`` so the inference hot path runs in
-        a single precision end to end.  Called once before any number of
-        :meth:`predict` calls.
+        The bundle can be handed back to :meth:`run_batch` any number of
+        times (by this or any sibling engine of the same predictor) — the
+        serving subgraph cache relies on this to amortise sampling across
+        recurring batches.
         """
-        dtype = self.config.np_dtype
-        self._graph = graph
-        self._features = np.ascontiguousarray(features, dtype=dtype)
-        self._a_hat = normalized_adjacency(graph, gamma=self.gamma).astype(dtype, copy=False)
-        self._stationary = compute_stationary_state(
-            graph, self._features, gamma=self.gamma, dtype=dtype
-        )
-        return self
-
-    def _require_prepared(self) -> None:
-        if self._graph is None or self._a_hat is None or self._stationary is None:
-            raise NotFittedError("call NAIPredictor.prepare(graph, features) before predict")
-
-    # ------------------------------------------------------------------ #
-    # Inference
-    # ------------------------------------------------------------------ #
-    def predict(self, node_ids: np.ndarray, *, keep_logits: bool = False) -> InferenceResult:
-        """Classify ``node_ids`` with node-adaptive propagation (Algorithm 1)."""
-        self._require_prepared()
-        node_ids = np.asarray(node_ids, dtype=np.int64)
-        if node_ids.size == 0:
-            raise ConfigurationError("predict requires at least one node")
-        predictions = np.full(node_ids.shape[0], -1, dtype=np.int64)
-        depths = np.zeros(node_ids.shape[0], dtype=np.int64)
-        logits_store: dict[int, np.ndarray] = {}
-        macs = MACBreakdown()
-        timings = TimingBreakdown()
-
-        # Batches are consecutive slices of ``node_ids``, so the results of
-        # batch i land in the matching slice of the output arrays — no
-        # per-node Python-dict position lookups.
-        offset = 0
-        for batch in batch_iterator(node_ids, self.config.batch_size):
-            batch_result = self._predict_batch(batch, keep_logits=keep_logits)
-            macs = macs.merged_with(batch_result.macs)
-            timings = timings.merged_with(batch_result.timings)
-            predictions[offset:offset + batch.shape[0]] = batch_result.predictions
-            depths[offset:offset + batch.shape[0]] = batch_result.depths
-            offset += batch.shape[0]
-            if keep_logits:
-                logits_store.update(batch_result.logits)
-
-        return InferenceResult(
-            node_ids=node_ids,
-            predictions=predictions,
-            depths=depths,
-            macs=macs,
-            timings=timings,
-            max_depth=self.config.t_max,
-            logits=logits_store,
+        return build_support_bundle(
+            self.graph, self.a_hat, self.features, batch, self.config.t_max
         )
 
     # ------------------------------------------------------------------ #
     # One batch of Algorithm 1
     # ------------------------------------------------------------------ #
-    def _predict_batch(self, batch: np.ndarray, *, keep_logits: bool) -> InferenceResult:
+    def run_batch(
+        self,
+        batch: np.ndarray,
+        *,
+        keep_logits: bool = False,
+        bundle: SupportBundle | None = None,
+    ) -> InferenceResult:
+        """Classify one batch, optionally reusing a pre-built support bundle."""
+        batch = np.asarray(batch, dtype=np.int64)
+        if batch.size == 0:
+            raise ConfigurationError("run_batch requires at least one node")
+        self.batches_run += 1
         if self.config.engine == "reference":
-            return self._predict_batch_reference(batch, keep_logits=keep_logits)
-        return self._predict_batch_fused(batch, keep_logits=keep_logits)
+            if bundle is not None:
+                raise ConfigurationError(
+                    "the reference engine rebuilds sampling per depth and "
+                    "cannot reuse a SupportBundle"
+                )
+            return self._run_reference(batch, keep_logits=keep_logits)
+        return self._run_fused(batch, keep_logits=keep_logits, bundle=bundle)
 
     def _batch_stationary(
         self, batch: np.ndarray, macs: MACBreakdown, timings: TimingBreakdown
     ) -> np.ndarray:
         """Line 2: stationary state of the batch, from the entire graph."""
-        assert self._graph is not None and self._stationary is not None
-        num_features = self._stationary.num_features
+        num_features = self.stationary.num_features
         start = time.perf_counter()
-        stationary_batch = self._stationary.features_for(batch)
+        stationary_batch = self.stationary.features_for(batch)
         timings.stationary += time.perf_counter() - start
         macs.stationary += (
-            self._graph.num_nodes * num_features + batch.shape[0] * num_features
+            self.graph.num_nodes * num_features + batch.shape[0] * num_features
         )
         return stationary_batch
 
-    def _predict_batch_fused(self, batch: np.ndarray, *, keep_logits: bool) -> InferenceResult:
+    def _propagation_buffers(self, num_local: int, width: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views over the engine-owned double buffers, grown as needed.
+
+        Stale contents from a previous batch are harmless: every row a depth
+        step reads was either written by the previous step or (at depth 1)
+        comes from the bundle's hop-0 features, never from the raw buffer.
+        """
+        dtype = self.config.np_dtype
+        if (
+            self._buffer_a is None
+            or self._buffer_a.shape[0] < num_local
+            or self._buffer_a.shape[1] != width
+            or self._buffer_a.dtype != dtype
+        ):
+            self._buffer_a = np.empty((num_local, width), dtype=dtype)
+            self._buffer_b = np.empty((num_local, width), dtype=dtype)
+        assert self._buffer_b is not None
+        return self._buffer_a[:num_local], self._buffer_b[:num_local]
+
+    def _run_fused(
+        self,
+        batch: np.ndarray,
+        *,
+        keep_logits: bool,
+        bundle: SupportBundle | None,
+    ) -> InferenceResult:
         """Zero-copy masked-SpMM engine with hop-indexed support pruning."""
-        assert self._graph is not None and self._a_hat is not None
-        assert self._features is not None and self._stationary is not None
         cfg = self.config
-        num_features = self._features.shape[1]
+        num_features = self.features.shape[1]
         macs = MACBreakdown()
         timings = TimingBreakdown()
 
         stationary_batch = self._batch_stationary(batch, macs, timings)
 
-        # Line 3: supporting-node sampling up to T_max hops.  The subgraph's
-        # own adjacency is skipped — only the *normalized* local adjacency is
-        # propagated, extracted once and used as raw CSR arrays from here on.
-        start = time.perf_counter()
-        support = k_hop_neighborhood(
-            self._graph, batch, cfg.t_max, include_adjacency=False
-        )
-        indptr, indices, data = extract_local_csr_arrays(
-            self._a_hat, support.node_ids, lookup=support.global_to_local
-        )
-        timings.sampling += time.perf_counter() - start
+        # Line 3: supporting-node sampling up to T_max hops — or a replay of
+        # a cached bundle, which skips the BFS, the local-CSR extraction and
+        # the hop-0 feature gather (pure data movement; MACs are unaffected).
+        if bundle is None:
+            bundle = self.build_support(batch)
+            timings.sampling += bundle.build_seconds
+        support = bundle.support
+        indptr, indices, data = bundle.indptr, bundle.indices, bundle.data
         num_local = support.num_supporting_nodes
         target_local = support.target_local
 
@@ -338,15 +350,17 @@ class NAIPredictor:
         logits_store: dict[int, np.ndarray] = {}
         remaining = np.arange(batch.shape[0])
 
-        # Double propagation buffer: ``current`` always holds fresh values for
-        # every row that can still influence a remaining target; rows outside
-        # that set go stale but are provably never read again (the needed sets
-        # are nested and closed under in-neighbours).
-        current = np.ascontiguousarray(self._features[support.node_ids])
-        scratch = np.empty_like(current)
+        # Double propagation buffer: ``current`` always holds fresh values
+        # for every row that can still influence a remaining target; rows
+        # outside that set go stale but are provably never read again (the
+        # needed sets are nested and closed under in-neighbours).  The
+        # bundle's hop-0 rows are read-only — depth 1 reads them as the SpMM
+        # source, so the buffers never need the feature copy the seed made.
+        current, scratch = self._propagation_buffers(num_local, num_features)
+        source: np.ndarray = bundle.local_features
 
         # Per-depth history of the *batch rows* only (needed by SIGN/S2GC/GAMLP).
-        target_history: list[np.ndarray] = [current[target_local].copy()]
+        target_history: list[np.ndarray] = [bundle.local_features[target_local]]
 
         # Hop distance of every local row to the nearest *remaining* target.
         # While nobody has exited this is exactly ``support.hops`` — sorted by
@@ -368,14 +382,22 @@ class NAIPredictor:
                 prefix_mode = False
                 dist_stale = False
             start = time.perf_counter()
+            # The bundle's local CSR columns are < num_local by construction
+            # (extract_local_csr_arrays remaps and drops outside columns), so
+            # the per-depth O(nnz) bounds rescan is skipped.
             if prefix_mode:
                 runs = np.array([[0, support.prefix_within(hop_budget)]], dtype=np.int64)
-                nnz = masked_row_spmm(indptr, indices, data, current, scratch, runs)
+                nnz = masked_row_spmm(
+                    indptr, indices, data, source, scratch, runs, assume_bounded=True
+                )
             else:
                 nnz = auto_masked_spmm(
-                    indptr, indices, data, current, scratch, dist <= hop_budget
+                    indptr, indices, data, source, scratch, dist <= hop_budget,
+                    max_zero_copy_runs=cfg.run_dispatch_threshold,
+                    assume_bounded=True,
                 )
             current, scratch = scratch, current
+            source = current
             timings.propagation += time.perf_counter() - start
             macs.propagation += float(nnz) * num_features
 
@@ -433,9 +455,8 @@ class NAIPredictor:
         pre-change baseline rather than one sped up by the shared sampling
         improvements.
         """
-        assert self._graph is not None and self._a_hat is not None
-        adjacency = self._graph.adjacency
-        visited = np.zeros(self._graph.num_nodes, dtype=bool)
+        adjacency = self.graph.adjacency
+        visited = np.zeros(self.graph.num_nodes, dtype=bool)
         frontier = np.unique(batch)
         visited[frontier] = True
         order = [frontier]
@@ -454,21 +475,17 @@ class NAIPredictor:
         local_index = {int(g): i for i, g in enumerate(node_ids)}
         target_local = np.asarray([local_index[int(t)] for t in batch], dtype=np.int64)
         adjacency[node_ids][:, node_ids].tocsr()  # the seed built (and never used) this
-        local_adj = self._a_hat[node_ids][:, node_ids].tocsr()
+        local_adj = self.a_hat[node_ids][:, node_ids].tocsr()
         return node_ids, target_local, local_adj
 
-    def _predict_batch_reference(
-        self, batch: np.ndarray, *, keep_logits: bool
-    ) -> InferenceResult:
+    def _run_reference(self, batch: np.ndarray, *, keep_logits: bool) -> InferenceResult:
         """The naive engine: per-depth BFS + fancy-indexed CSR submatrices.
 
         Kept verbatim as the equivalence oracle for the fused engine and as
         the baseline that ``benchmarks/bench_hot_path.py`` measures against.
         """
-        assert self._graph is not None and self._a_hat is not None
-        assert self._features is not None and self._stationary is not None
         cfg = self.config
-        num_features = self._features.shape[1]
+        num_features = self.features.shape[1]
         macs = MACBreakdown()
         timings = TimingBreakdown()
 
@@ -479,7 +496,7 @@ class NAIPredictor:
         node_ids, target_local, local_adj = self._legacy_support(batch, cfg.t_max)
         timings.sampling += time.perf_counter() - start
 
-        local_features = self._features[node_ids]
+        local_features = self.features[node_ids]
 
         predictions = np.full(batch.shape[0], -1, dtype=np.int64)
         assigned_depth = np.zeros(batch.shape[0], dtype=np.int64)
@@ -583,7 +600,6 @@ class NAIPredictor:
     ) -> None:
         """Classify the batch rows ``local_positions`` with ``f^(depth)``."""
         classifier = self.classifiers[depth - 1]
-        classifier.eval()
         inputs = [Tensor(history[local_positions]) for history in target_history[: depth + 1]]
         start = time.perf_counter()
         logits = classifier(inputs)
@@ -596,3 +612,135 @@ class NAIPredictor:
         if keep_logits:
             for row, position in enumerate(local_positions):
                 logits_store[int(batch[position])] = logits.data[row].copy()
+
+
+class NAIPredictor:
+    """Node-Adaptive Inference engine for a trained scalable-GNN backbone.
+
+    Parameters
+    ----------
+    classifiers:
+        ``[f^(1), ..., f^(k)]`` trained by
+        :class:`~repro.core.distillation.InceptionDistillation` (or plain CE).
+    policy:
+        :class:`DistanceNAP`, :class:`GateNAP` or ``None`` (no early exit).
+    config:
+        Inference hyper-parameters (``T_min``, ``T_max``, ``T_s``, batch size).
+    gamma:
+        Convolution coefficient of Eq. (1); must match the training-time
+        propagation.
+    """
+
+    def __init__(
+        self,
+        classifiers: Sequence[DepthwiseClassifier],
+        *,
+        policy: DistanceNAP | GateNAP | None = None,
+        config: NAIConfig | None = None,
+        gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+    ) -> None:
+        if not classifiers:
+            raise ConfigurationError("NAIPredictor needs at least one classifier")
+        self.classifiers = list(classifiers)
+        self.depth = len(self.classifiers)
+        self.policy = policy
+        self.gamma = gamma
+        self.config = (config if config is not None else NAIConfig(t_min=self.depth, t_max=self.depth))
+        self.config.validated_against_depth(self.depth)
+        self._graph: CSRGraph | None = None
+        self._features: np.ndarray | None = None
+        self._a_hat: sp.csr_matrix | None = None
+        self._stationary: StationaryState | None = None
+        self._engine: BatchEngine | None = None
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+    def prepare(self, graph: CSRGraph, features: np.ndarray) -> "NAIPredictor":
+        """Deploy the predictor on the full inference-time graph.
+
+        Builds the (global) normalized adjacency and caches the stationary
+        state, all cast to ``config.dtype`` so the inference hot path runs in
+        a single precision end to end.  Called once before any number of
+        :meth:`predict` calls.
+        """
+        dtype = self.config.np_dtype
+        self._graph = graph
+        self._features = np.ascontiguousarray(features, dtype=dtype)
+        self._a_hat = normalized_adjacency(graph, gamma=self.gamma).astype(dtype, copy=False)
+        self._stationary = compute_stationary_state(
+            graph, self._features, gamma=self.gamma, dtype=dtype
+        )
+        self._engine = self.make_engine()
+        return self
+
+    def make_engine(self) -> BatchEngine:
+        """Create a fresh :class:`BatchEngine` over the prepared state.
+
+        Every engine shares the read-only deployment state (features,
+        normalized adjacency, stationary vectors, classifiers) but owns its
+        propagation buffers privately, so one engine per worker thread runs
+        concurrent batches without contention.  Requires :meth:`prepare`.
+        """
+        self._require_prepared()
+        assert self._graph is not None and self._features is not None
+        assert self._a_hat is not None and self._stationary is not None
+        return BatchEngine(
+            self.classifiers,
+            self.policy,
+            self.config,
+            self._graph,
+            self._features,
+            self._a_hat,
+            self._stationary,
+        )
+
+    @property
+    def prepared(self) -> bool:
+        """Whether :meth:`prepare` has deployed this predictor on a graph."""
+        return self._graph is not None and self._a_hat is not None and self._stationary is not None
+
+    def _require_prepared(self) -> None:
+        if not self.prepared:
+            raise NotFittedError("call NAIPredictor.prepare(graph, features) before predict")
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict(self, node_ids: np.ndarray, *, keep_logits: bool = False) -> InferenceResult:
+        """Classify ``node_ids`` with node-adaptive propagation (Algorithm 1)."""
+        self._require_prepared()
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            raise ConfigurationError("predict requires at least one node")
+        predictions = np.full(node_ids.shape[0], -1, dtype=np.int64)
+        depths = np.zeros(node_ids.shape[0], dtype=np.int64)
+        logits_store: dict[int, np.ndarray] = {}
+        macs = MACBreakdown()
+        timings = TimingBreakdown()
+
+        assert self._engine is not None
+        # Batches are consecutive slices of ``node_ids``, so the results of
+        # batch i land in the matching slice of the output arrays — no
+        # per-node Python-dict position lookups.
+        offset = 0
+        for batch in batch_iterator(node_ids, self.config.batch_size):
+            batch_result = self._engine.run_batch(batch, keep_logits=keep_logits)
+            macs = macs.merged_with(batch_result.macs)
+            timings = timings.merged_with(batch_result.timings)
+            predictions[offset:offset + batch.shape[0]] = batch_result.predictions
+            depths[offset:offset + batch.shape[0]] = batch_result.depths
+            offset += batch.shape[0]
+            if keep_logits:
+                logits_store.update(batch_result.logits)
+
+        return InferenceResult(
+            node_ids=node_ids,
+            predictions=predictions,
+            depths=depths,
+            macs=macs,
+            timings=timings,
+            max_depth=self.config.t_max,
+            logits=logits_store,
+        )
+

@@ -38,3 +38,11 @@ class ConfigurationError(ReproError):
 
 class AutogradError(ReproError):
     """Raised on invalid operations in the autograd engine."""
+
+
+class BackpressureError(ReproError):
+    """Raised when the serving request queue rejects or sheds a request."""
+
+
+class ServingError(ReproError):
+    """Raised on invalid operations against the online serving subsystem."""

@@ -67,6 +67,8 @@ def _check_spmm_buffers(
     data: np.ndarray,
     source: np.ndarray,
     out: np.ndarray,
+    *,
+    assume_bounded: bool = False,
 ) -> None:
     num_rows = indptr.shape[0] - 1
     if source.ndim != 2 or out.ndim != 2:
@@ -76,9 +78,12 @@ def _check_spmm_buffers(
             f"buffer shapes {source.shape} -> {out.shape} do not match a "
             f"{num_rows}-row CSR matrix"
         )
-    if indices.size and int(indices.max()) >= source.shape[0]:
+    if not assume_bounded and indices.size and int(indices.max()) >= source.shape[0]:
         # The compiled kernel does no bounds checking: a short source buffer
-        # would be read out of bounds in C rather than raise.
+        # would be read out of bounds in C rather than raise.  The scan is
+        # O(nnz) per call, so hot loops dispatching the *same* immutable CSR
+        # arrays every depth (whose columns are bounded by construction —
+        # see extract_local_csr_arrays) pass assume_bounded=True to skip it.
         raise ShapeError(
             f"source has {source.shape[0]} rows but the CSR matrix references "
             f"column {int(indices.max())}"
@@ -121,6 +126,8 @@ def masked_row_spmm(
     source: np.ndarray,
     out: np.ndarray,
     runs: np.ndarray,
+    *,
+    assume_bounded: bool = False,
 ) -> int:
     """``out[a:b] = (A @ source)[a:b]`` for every run ``(a, b)``; returns nnz.
 
@@ -128,8 +135,10 @@ def masked_row_spmm(
     untouched (the caller's double-buffering contract guarantees they are
     never read again).  Returns the number of stored entries visited, which
     is exactly the MAC count of the product divided by the feature width.
+    ``assume_bounded`` skips the O(nnz) column-bounds scan for CSR arrays
+    whose columns are known < ``source.shape[0]`` by construction.
     """
-    _check_spmm_buffers(indptr, indices, data, source, out)
+    _check_spmm_buffers(indptr, indices, data, source, out, assume_bounded=assume_bounded)
     num_cols = source.shape[0]
     width = source.shape[1]
     flat_source = source.reshape(-1)
@@ -165,6 +174,8 @@ def gathered_row_spmm(
     source: np.ndarray,
     out: np.ndarray,
     rows: np.ndarray,
+    *,
+    assume_bounded: bool = False,
 ) -> int:
     """``out[rows] = (A @ source)[rows]`` for an arbitrary (sorted) row set.
 
@@ -173,7 +184,7 @@ def gathered_row_spmm(
     extra pass over the selected nnz, but issues exactly one kernel call —
     the right trade once a row mask fragments into many contiguous runs.
     """
-    _check_spmm_buffers(indptr, indices, data, source, out)
+    _check_spmm_buffers(indptr, indices, data, source, out, assume_bounded=assume_bounded)
     rows = np.asarray(rows, dtype=np.int64)
     if rows.size == 0:
         return 0
@@ -202,7 +213,9 @@ def gathered_row_spmm(
 
 
 #: Above this many contiguous runs, per-run kernel dispatch overhead exceeds
-#: the extra gather pass of :func:`gathered_row_spmm`.
+#: the extra gather pass of :func:`gathered_row_spmm`.  The crossover depends
+#: on nnz-per-run and feature width; ``NAIConfig.run_dispatch_threshold``
+#: exposes it as a tunable so benchmarks can sweep it.
 _MAX_ZERO_COPY_RUNS = 8
 
 
@@ -213,18 +226,27 @@ def auto_masked_spmm(
     source: np.ndarray,
     out: np.ndarray,
     mask: np.ndarray,
+    *,
+    max_zero_copy_runs: int = _MAX_ZERO_COPY_RUNS,
+    assume_bounded: bool = False,
 ) -> int:
     """Masked SpMM choosing the cheaper strategy for the mask's shape.
 
     Clustered masks (the common case — rows are hop-ordered) go through the
     zero-copy per-run path; fragmented masks compact their rows first so a
-    single kernel call covers them.  Either way exactly the masked rows are
-    computed, so the returned nnz count equals the algorithmic MAC count.
+    single kernel call covers them.  ``max_zero_copy_runs`` sets the run-count
+    crossover between the two strategies.  Either way exactly the masked rows
+    are computed, so the returned nnz count equals the algorithmic MAC count.
     """
     runs = contiguous_runs(mask)
-    if len(runs) <= _MAX_ZERO_COPY_RUNS:
-        return masked_row_spmm(indptr, indices, data, source, out, runs)
-    return gathered_row_spmm(indptr, indices, data, source, out, np.flatnonzero(mask))
+    if len(runs) <= max_zero_copy_runs:
+        return masked_row_spmm(
+            indptr, indices, data, source, out, runs, assume_bounded=assume_bounded
+        )
+    return gathered_row_spmm(
+        indptr, indices, data, source, out, np.flatnonzero(mask),
+        assume_bounded=assume_bounded,
+    )
 
 
 def gather_columns(indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:

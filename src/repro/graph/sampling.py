@@ -19,13 +19,19 @@ maps are vectorised numpy inverse permutations — no Python dict lookups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import GraphConstructionError
-from .kernels import extract_submatrix, gather_columns, global_to_local_map
+from .kernels import (
+    extract_local_csr_arrays,
+    extract_submatrix,
+    gather_columns,
+    global_to_local_map,
+)
 from .sparse import CSRGraph
 
 
@@ -154,6 +160,100 @@ def k_hop_neighborhood(
         adjacency=local_adj,
         hops=hop_of[node_ids],
         global_to_local=lookup,
+    )
+
+
+@dataclass(frozen=True)
+class SupportBundle:
+    """Everything the inference engine needs from sampling, in one reusable unit.
+
+    A bundle packages the *data-movement* products of supporting-node
+    extraction — the hop-ordered neighbourhood, the local normalized-adjacency
+    CSR arrays and the gathered hop-0 feature rows — so a serving layer can
+    build it once and replay it for every later batch with the same node
+    composition (see :class:`repro.serving.SubgraphCache`).  Bundles carry no
+    arithmetic: reusing one skips BFS, index remapping and feature gathering
+    only, so MAC accounting is unaffected.
+
+    All arrays are treated as read-only by the engine: propagation reads the
+    hop-0 rows from :attr:`local_features` and writes depth ≥ 1 states into
+    worker-owned double buffers, never back into the bundle.
+    """
+
+    support: SupportingSubgraph
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    local_features: np.ndarray
+    build_seconds: float
+
+    @property
+    def num_local(self) -> int:
+        return self.support.num_supporting_nodes
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint (used for cache sizing diagnostics)."""
+        arrays = (
+            self.support.node_ids,
+            self.support.target_local,
+            self.support.hops,
+            self.indptr,
+            self.indices,
+            self.data,
+            self.local_features,
+        )
+        total = sum(a.nbytes for a in arrays)
+        if self.support.global_to_local is not None:
+            total += self.support.global_to_local.nbytes
+        return int(total)
+
+
+def support_cache_key(targets: np.ndarray, depth: int) -> bytes:
+    """Cache key identifying a batch's supporting subgraph.
+
+    The key is **order-sensitive**: the hop-ordered local numbering and the
+    ``target_local`` positions baked into a :class:`SupportBundle` depend on
+    the exact target sequence, so only byte-identical batches may share an
+    entry.  Streaming workloads that replay recurring node-sets (sessions,
+    hot queries) hit naturally; permuted repeats of the same set rebuild.
+    """
+    targets = np.ascontiguousarray(targets, dtype=np.int64)
+    return depth.to_bytes(8, "little") + targets.tobytes()
+
+
+def build_support_bundle(
+    graph: CSRGraph,
+    normalized_adjacency: sp.csr_matrix,
+    features: np.ndarray,
+    targets: np.ndarray,
+    depth: int,
+) -> SupportBundle:
+    """Extract the cacheable sampling products for one inference batch.
+
+    One BFS (:func:`k_hop_neighborhood`), one zero-copy local-CSR extraction
+    and one contiguous gather of the hop-0 feature rows.  ``features`` must
+    already carry the inference dtype — the bundle stores whatever it is
+    given, so a cache holds exactly one precision per deployment.
+
+    The graph-sized ``global_to_local`` lookup is only needed *during*
+    extraction; it is dropped from the stored subgraph so a cached bundle
+    costs O(subgraph), not O(num_nodes) — on a large deployment the lookup
+    would otherwise dominate every entry of the serving cache.
+    """
+    start = time.perf_counter()
+    support = k_hop_neighborhood(graph, targets, depth, include_adjacency=False)
+    indptr, indices, data = extract_local_csr_arrays(
+        normalized_adjacency, support.node_ids, lookup=support.global_to_local
+    )
+    local_features = np.ascontiguousarray(features[support.node_ids])
+    return SupportBundle(
+        support=replace(support, global_to_local=None),
+        indptr=indptr,
+        indices=indices,
+        data=data,
+        local_features=local_features,
+        build_seconds=time.perf_counter() - start,
     )
 
 

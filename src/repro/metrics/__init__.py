@@ -13,13 +13,15 @@ from .report import (
     method_result_from_inference,
     summarize_accuracy,
 )
-from .timing import Stopwatch, time_callable
+from .timing import LatencySummary, Stopwatch, latency_summary, time_callable
 
 __all__ = [
     "ComplexityInputs",
+    "LatencySummary",
     "MethodResult",
     "Stopwatch",
     "format_table",
+    "latency_summary",
     "method_result_from_inference",
     "nai_macs",
     "summarize_accuracy",

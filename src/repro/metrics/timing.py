@@ -40,6 +40,63 @@ class Stopwatch:
         self.laps.clear()
 
 
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Same summary in different units (e.g. ``scaled(1e3)`` for ms)."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            max=self.max * factor,
+        )
+
+
+def latency_summary(samples) -> LatencySummary:
+    """p50/p95/p99 latency summary of ``samples`` (any float iterable, seconds).
+
+    The serving stats surface uses this for per-request latencies; an empty
+    sample set yields an all-zero summary rather than an error so callers can
+    snapshot statistics before the first request completes.
+    """
+    import numpy as np
+
+    values = np.asarray(list(samples) if not hasattr(samples, "__len__") else samples,
+                        dtype=np.float64)
+    if values.size == 0:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+    p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
+    return LatencySummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        max=float(values.max()),
+    )
+
+
 def time_callable(fn, *args, repeats: int = 1, **kwargs) -> tuple[object, float]:
     """Run ``fn`` ``repeats`` times and return ``(last_result, best_seconds)``."""
     if repeats < 1:

@@ -1,0 +1,45 @@
+"""Online serving subsystem for node-adaptive inference.
+
+The paper's deployment scenario (Sec. V) is *online*: latency-critical
+services must classify unseen nodes as they arrive.  This package turns the
+offline :class:`~repro.core.NAIPredictor` into that service:
+
+* :class:`RequestQueue` — bounded FIFO with configurable backpressure
+  (block / reject / shed-oldest);
+* :class:`MicroBatcher` — dynamic micro-batching under a latency budget
+  (``max_batch_size`` nodes, ``max_wait_ms`` of the oldest request);
+* :class:`SubgraphCache` — LRU reuse of supporting-subgraph bundles across
+  recurring batches of a streaming workload;
+* :class:`WorkerPool` — thread (default) or fork-process workers, each
+  owning a private :class:`~repro.core.inference.BatchEngine`;
+* :class:`InferenceServer` — the glue, exposing ``submit`` / ``result``
+  semantics plus a :class:`ServingStatsSnapshot` observability surface
+  (throughput, p50/p95/p99 latency, cache hit rate, queue depth).
+
+Every knob lives in :class:`~repro.core.config.ServingConfig`; see
+``docs/serving.md`` for a guided tour and ``benchmarks/bench_serving.py``
+for the throughput/equivalence benchmark behind ``BENCH_serving.json``.
+"""
+
+from .batcher import MicroBatch, MicroBatcher
+from .cache import SubgraphCache
+from .queue import InferenceRequest, RequestQueue, ServingResponse
+from .server import InferenceServer
+from .stats import ServingStats, ServingStatsSnapshot, WorkerStats
+from .worker import WorkerPool, WorkItem, WorkOutput
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceServer",
+    "MicroBatch",
+    "MicroBatcher",
+    "RequestQueue",
+    "ServingResponse",
+    "ServingStats",
+    "ServingStatsSnapshot",
+    "SubgraphCache",
+    "WorkItem",
+    "WorkOutput",
+    "WorkerPool",
+    "WorkerStats",
+]

@@ -1,0 +1,95 @@
+"""LRU cache of supporting-subgraph bundles for streaming workloads.
+
+Consecutive batches of a streaming workload often repeat: recommendation
+sessions re-score the same item sets, fraud services re-check the same
+account cohorts, dashboards re-issue identical queries.  The sampling
+products of such a batch — the k-hop BFS ordering, the local normalized
+adjacency in raw CSR form and the gathered hop-0 feature rows, packaged as a
+:class:`~repro.graph.sampling.SupportBundle` — depend only on the (ordered)
+node-id sequence and the deployment, so they can be replayed verbatim.
+
+A cache hit removes the *entire* sampling stage from a served batch while
+every MAC-counted operation (propagation, exit decisions, classification)
+still executes, so predictions, depth distributions and MAC accounting are
+bit-identical to a cold run; only ``timings.sampling`` (and wall-clock)
+shrink.  Keys are order-sensitive (see
+:func:`~repro.graph.sampling.support_cache_key`): the hop-ordered local
+numbering baked into a bundle is only valid for a byte-identical batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..graph.sampling import SupportBundle, support_cache_key
+
+
+class SubgraphCache:
+    """Thread-safe LRU of ``key -> SupportBundle`` with hit/miss accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"SubgraphCache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, SupportBundle] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(node_ids: np.ndarray, depth: int) -> bytes:
+        """Cache key of a batch (order-sensitive; see module docstring)."""
+        return support_cache_key(node_ids, depth)
+
+    def get(self, key: bytes) -> SupportBundle | None:
+        """Look up a bundle, refreshing its recency; counts the hit or miss."""
+        with self._lock:
+            bundle = self._entries.get(key)
+            if bundle is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return bundle
+
+    def put(self, key: bytes, bundle: SupportBundle) -> None:
+        """Insert (or refresh) a bundle, evicting the LRU entry beyond capacity.
+
+        Concurrent workers may race to insert the same key after missing
+        together; the second insert simply refreshes the first — bundles for
+        the same key are interchangeable by construction.
+        """
+        with self._lock:
+            self._entries[key] = bundle
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory held by the cached bundles."""
+        with self._lock:
+            return sum(bundle.nbytes for bundle in self._entries.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

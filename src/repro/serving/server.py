@@ -1,0 +1,308 @@
+"""The online inference server: queue → micro-batcher → worker pool → stats.
+
+:class:`InferenceServer` turns a prepared :class:`~repro.core.NAIPredictor`
+into a service.  Callers :meth:`~InferenceServer.submit` node-id arrays and
+receive a request handle whose :meth:`~repro.serving.queue.InferenceRequest.
+result` blocks for the :class:`~repro.serving.queue.ServingResponse`.
+Internally a dispatcher thread drains the bounded request queue through the
+dynamic micro-batcher, consults the supporting-subgraph cache, and fans the
+resulting micro-batches out across the worker pool; completions are split
+back into per-request responses and folded into the serving statistics.
+
+Served predictions are bit-identical to ``NAIPredictor.predict``: batching
+changes *which* supporting subgraph is propagated, never the per-node
+result, and cache replays skip only MAC-free sampling work.
+
+    >>> from repro.core import ServingConfig
+    >>> from repro.serving import InferenceServer
+    >>> with InferenceServer(predictor, ServingConfig()) as server:  # doctest: +SKIP
+    ...     handles = [server.submit(ids) for ids in request_stream]
+    ...     responses = [h.result() for h in handles]
+    ...     print(server.stats().throughput_nodes_per_second)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.config import ServingConfig
+from ..core.inference import NAIPredictor
+from ..exceptions import ServingError
+from .batcher import MicroBatch, MicroBatcher
+from .cache import SubgraphCache
+from .queue import InferenceRequest, RequestQueue, ServingResponse
+from .stats import ServingStats, ServingStatsSnapshot
+from .worker import WorkerPool, WorkItem, WorkOutput
+
+
+class InferenceServer:
+    """Request queue + dynamic micro-batching + worker pool + subgraph cache."""
+
+    def __init__(
+        self,
+        predictor: NAIPredictor,
+        config: ServingConfig | None = None,
+    ) -> None:
+        if not predictor.prepared:
+            raise ServingError(
+                "prepare the predictor (NAIPredictor.prepare) before serving it"
+            )
+        self.predictor = predictor
+        self.config = config if config is not None else ServingConfig()
+        self.queue = RequestQueue(
+            self.config.queue_capacity, self.config.overflow_policy
+        )
+        self.queue.on_shed = self._on_request_shed
+        self.batcher = MicroBatcher(
+            self.queue,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_seconds=self.config.max_wait_ms / 1e3,
+        )
+        # Bundle reuse needs the fused engine (the reference engine resamples
+        # per depth) and in-process workers (bundles are not shipped across
+        # the process boundary).
+        self.cache: SubgraphCache | None = None
+        if (
+            self.config.cache_capacity > 0
+            and self.config.backend == "thread"
+            and predictor.config.engine == "fused"
+        ):
+            self.cache = SubgraphCache(self.config.cache_capacity)
+        self.pool = WorkerPool(
+            predictor,
+            num_workers=self.config.num_workers,
+            backend=self.config.backend,
+        )
+        # Dispatcher-owned engine, used only for bundle building on cache
+        # misses (build_support touches no propagation buffers).
+        self._sampler = predictor.make_engine() if self.cache is not None else None
+        self._stats = ServingStats(self.config.latency_sample_cap)
+        self._request_ids = itertools.count()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+        self._accepting = True
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="nai-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Client surface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, node_ids: np.ndarray, *, timeout: float | None = None
+    ) -> InferenceRequest:
+        """Enqueue one request; returns its handle immediately.
+
+        Raises :class:`~repro.exceptions.BackpressureError` under the
+        ``"reject"`` overflow policy (or after ``timeout`` under
+        ``"block"``) when the queue is full.
+        """
+        if not self._accepting:
+            raise ServingError("the server is closed to new requests")
+        request = InferenceRequest(next(self._request_ids), node_ids)
+        self._stats.mark_submission()
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            self.queue.put(request, timeout=timeout)
+        except BaseException:
+            with self._inflight_lock:
+                self._inflight -= 1
+                self._idle.notify_all()
+            raise
+        return request
+
+    def predict_many(
+        self,
+        batches: Iterable[np.ndarray],
+        *,
+        timeout: float | None = None,
+    ) -> list[ServingResponse]:
+        """Submit every batch, then gather the responses in submission order."""
+        handles = [self.submit(batch) for batch in batches]
+        return [handle.result(timeout=timeout) for handle in handles]
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every accepted request has been answered."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._inflight_lock:
+            while self._inflight > 0:
+                wait = None if deadline is None else deadline - time.perf_counter()
+                if wait is not None and wait <= 0:
+                    raise ServingError(
+                        f"{self._inflight} requests still in flight after {timeout}s"
+                    )
+                self._idle.wait(wait)
+
+    def stats(self) -> ServingStatsSnapshot:
+        """Current throughput/latency/cache/queue statistics."""
+        return self._stats.snapshot(
+            queue_depth=self.queue.depth,
+            queue_max_depth=self.queue.max_depth,
+            requests_rejected=self.queue.rejected,
+            requests_shed=self.queue.shed,
+            cache_hits=self.cache.hits if self.cache else 0,
+            cache_misses=self.cache.misses if self.cache else 0,
+            cache_entries=len(self.cache) if self.cache else 0,
+        )
+
+    def close(self) -> None:
+        """Serve everything already accepted, then stop all machinery."""
+        if self._closed:
+            return
+        self._accepting = False
+        try:
+            self.drain()
+        finally:
+            self._closed = True
+            self.queue.close()
+            # A submit racing close() can slip into the queue after drain()
+            # returned; fail it here *and* release its in-flight slot so a
+            # later drain() cannot wait on it forever.
+            stranded = self.queue.drain_pending()
+            for request in stranded:
+                request._fail(ServingError("server shut down before dispatch"))
+            if stranded:
+                with self._inflight_lock:
+                    self._inflight -= len(stranded)
+                    if self._inflight <= 0:
+                        self._idle.notify_all()
+            self._dispatcher.join()
+            self.pool.shutdown()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _on_request_shed(self, request: InferenceRequest) -> None:
+        """Release the in-flight slot of a request failed by load shedding."""
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        depth = self.predictor.config.t_max
+        while not (self._closed and self.queue.depth == 0):
+            micro_batch = self.batcher.next_batch(poll_timeout=0.02)
+            if micro_batch is None:
+                if self.queue.is_closed:
+                    break
+                continue
+            # Resolve the sampling products here, in the dispatcher: a miss
+            # is built and inserted *before* dispatch, so identical batches
+            # already in flight behind this one hit deterministically, and
+            # sampling pipelines with the workers' propagation compute.
+            # Any failure (e.g. out-of-range node ids surfacing in the BFS)
+            # fails this micro-batch's requests only — the dispatcher must
+            # outlive every malformed request.
+            try:
+                bundle = None
+                cache_hit = False
+                bundle_is_fresh = False
+                if self.cache is not None:
+                    key = self.cache.key_for(micro_batch.node_ids, depth)
+                    bundle = self.cache.get(key)
+                    cache_hit = bundle is not None
+                    if bundle is None:
+                        bundle = self._sampler.build_support(micro_batch.node_ids)
+                        self.cache.put(key, bundle)
+                        bundle_is_fresh = True
+                dispatched_at = time.perf_counter()
+                queue_waits = [
+                    dispatched_at - request.enqueued_at
+                    for request in micro_batch.requests
+                ]
+                self.pool.submit(
+                    WorkItem(
+                        batch_id=micro_batch.batch_id,
+                        node_ids=micro_batch.node_ids,
+                        bundle=bundle,
+                        bundle_is_fresh=bundle_is_fresh,
+                        callback=lambda output, mb=micro_batch, waits=queue_waits,
+                        hit=cache_hit: self._on_batch_done(mb, waits, hit, output),
+                    )
+                )
+            except BaseException as error:  # noqa: BLE001 - forwarded per request
+                self._fail_micro_batch(micro_batch, error)
+
+    def _fail_micro_batch(self, micro_batch: MicroBatch, error: BaseException) -> None:
+        """Fail every request of a batch that never reached a worker."""
+        for request in micro_batch.requests:
+            request._fail(error)
+        self._stats.record_failure(micro_batch.num_requests)
+        with self._inflight_lock:
+            self._inflight -= micro_batch.num_requests
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Completion path (runs on worker / pool-result threads)
+    # ------------------------------------------------------------------ #
+    def _on_batch_done(
+        self,
+        micro_batch: MicroBatch,
+        queue_waits: Sequence[float],
+        cache_hit: bool,
+        output: WorkOutput,
+    ) -> None:
+        try:
+            if output.error is not None or output.result is None:
+                error = output.error if output.error is not None else ServingError(
+                    f"micro-batch {micro_batch.batch_id} produced no result"
+                )
+                for request in micro_batch.requests:
+                    request._fail(error)
+                self._stats.record_failure(micro_batch.num_requests)
+                return
+            result = output.result
+            completed_at = time.perf_counter()
+            latencies = []
+            for index, request in enumerate(micro_batch.requests):
+                rows = micro_batch.request_slice(index)
+                latency = completed_at - request.enqueued_at
+                latencies.append(latency)
+                request._fulfill(
+                    ServingResponse(
+                        request_id=request.request_id,
+                        node_ids=request.node_ids,
+                        predictions=result.predictions[rows],
+                        depths=result.depths[rows],
+                        latency_seconds=latency,
+                        queue_seconds=queue_waits[index],
+                        cache_hit=cache_hit,
+                        worker_id=output.worker_id,
+                        batch_id=micro_batch.batch_id,
+                        batch_num_nodes=micro_batch.num_nodes,
+                        batch_num_requests=micro_batch.num_requests,
+                        batch_macs=result.macs,
+                        batch_timings=result.timings,
+                    )
+                )
+            self._stats.record_batch(
+                worker_id=output.worker_id,
+                num_nodes=micro_batch.num_nodes,
+                num_requests=micro_batch.num_requests,
+                macs=result.macs,
+                timings=result.timings,
+                latencies=latencies,
+                queue_waits=list(queue_waits),
+            )
+        finally:
+            with self._inflight_lock:
+                self._inflight -= micro_batch.num_requests
+                if self._inflight <= 0:
+                    self._idle.notify_all()

@@ -1,0 +1,204 @@
+"""Observability surface of the serving subsystem.
+
+:class:`ServingStats` accumulates per-request latencies, per-worker
+MAC/timing breakdowns and batch/cache/queue counters as responses complete;
+:meth:`ServingStats.snapshot` renders them into an immutable
+:class:`ServingStatsSnapshot` with the numbers an operator watches: nodes/s
+throughput, p50/p95/p99 latency, cache hit rate, queue depth and
+backpressure counts.
+
+The per-worker breakdowns exist for more than dashboards: summing them must
+reproduce the sequential accounting exactly (MACs are deterministic per
+batch), which is how the serving benchmark proves the pool computes the same
+work as ``NAIPredictor.predict`` — see ``tests/core/test_breakdowns.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.inference import MACBreakdown, TimingBreakdown
+from ..metrics.timing import LatencySummary, latency_summary
+
+
+@dataclass
+class WorkerStats:
+    """Work attributed to one pool worker."""
+
+    batches: int = 0
+    nodes: int = 0
+    macs: MACBreakdown = field(default_factory=MACBreakdown)
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+
+@dataclass(frozen=True)
+class ServingStatsSnapshot:
+    """Immutable view of the serving metrics at one instant."""
+
+    requests_completed: int
+    requests_failed: int
+    requests_rejected: int
+    requests_shed: int
+    nodes_completed: int
+    batches_dispatched: int
+    avg_batch_nodes: float
+    avg_batch_requests: float
+    throughput_nodes_per_second: float
+    latency: LatencySummary
+    queue_wait: LatencySummary
+    queue_depth: int
+    queue_max_depth: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    cache_entries: int
+    macs: MACBreakdown
+    timings: TimingBreakdown
+    per_worker: dict[int, WorkerStats]
+
+    def as_dict(self) -> dict:
+        """JSON-ready dictionary (used by the serving benchmark report)."""
+        return {
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "requests_rejected": self.requests_rejected,
+            "requests_shed": self.requests_shed,
+            "nodes_completed": self.nodes_completed,
+            "batches_dispatched": self.batches_dispatched,
+            "avg_batch_nodes": self.avg_batch_nodes,
+            "avg_batch_requests": self.avg_batch_requests,
+            "throughput_nodes_per_second": self.throughput_nodes_per_second,
+            "latency_ms": self.latency.scaled(1e3).as_dict(),
+            "queue_wait_ms": self.queue_wait.scaled(1e3).as_dict(),
+            "queue_depth": self.queue_depth,
+            "queue_max_depth": self.queue_max_depth,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_entries": self.cache_entries,
+            "sampling_seconds": self.timings.sampling,
+            "total_seconds": self.timings.total,
+            "per_worker": {
+                str(worker): {"batches": stats.batches, "nodes": stats.nodes}
+                for worker, stats in sorted(self.per_worker.items())
+            },
+        }
+
+
+class ServingStats:
+    """Mutable, thread-safe accumulator behind the snapshot surface."""
+
+    def __init__(self, latency_sample_cap: int = 100_000) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_sample_cap)
+        self._queue_waits: deque[float] = deque(maxlen=latency_sample_cap)
+        self._per_worker: dict[int, WorkerStats] = {}
+        self._macs = MACBreakdown()
+        self._timings = TimingBreakdown()
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.nodes_completed = 0
+        self.batches_dispatched = 0
+        self.batch_requests_total = 0
+        self._first_activity: float | None = None
+        self._last_activity: float | None = None
+
+    def mark_submission(self) -> None:
+        """Open the throughput window at the first accepted request."""
+        now = time.perf_counter()
+        with self._lock:
+            if self._first_activity is None:
+                self._first_activity = now
+
+    def record_batch(
+        self,
+        *,
+        worker_id: int,
+        num_nodes: int,
+        num_requests: int,
+        macs: MACBreakdown,
+        timings: TimingBreakdown,
+        latencies: list[float],
+        queue_waits: list[float],
+    ) -> None:
+        """Fold one completed micro-batch into the accumulators."""
+        now = time.perf_counter()
+        with self._lock:
+            worker = self._per_worker.setdefault(worker_id, WorkerStats())
+            worker.batches += 1
+            worker.nodes += num_nodes
+            worker.macs = worker.macs.merged_with(macs)
+            worker.timings = worker.timings.merged_with(timings)
+            self._macs = self._macs.merged_with(macs)
+            self._timings = self._timings.merged_with(timings)
+            self.batches_dispatched += 1
+            self.batch_requests_total += num_requests
+            self.requests_completed += num_requests
+            self.nodes_completed += num_nodes
+            self._latencies.extend(latencies)
+            self._queue_waits.extend(queue_waits)
+            if self._first_activity is None:
+                self._first_activity = now
+            self._last_activity = now
+
+    def record_failure(self, num_requests: int) -> None:
+        with self._lock:
+            self.requests_failed += num_requests
+            self._last_activity = time.perf_counter()
+
+    def snapshot(
+        self,
+        *,
+        queue_depth: int = 0,
+        queue_max_depth: int = 0,
+        requests_rejected: int = 0,
+        requests_shed: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        cache_entries: int = 0,
+    ) -> ServingStatsSnapshot:
+        """Render the current counters (plus queue/cache gauges) immutably."""
+        with self._lock:
+            if self._first_activity is not None and self._last_activity is not None:
+                window = self._last_activity - self._first_activity
+            else:
+                window = 0.0
+            throughput = self.nodes_completed / window if window > 0 else 0.0
+            batches = self.batches_dispatched
+            lookups = cache_hits + cache_misses
+            per_worker = {
+                worker: WorkerStats(
+                    batches=stats.batches,
+                    nodes=stats.nodes,
+                    macs=stats.macs.merged_with(MACBreakdown()),
+                    timings=stats.timings.merged_with(TimingBreakdown()),
+                )
+                for worker, stats in self._per_worker.items()
+            }
+            return ServingStatsSnapshot(
+                requests_completed=self.requests_completed,
+                requests_failed=self.requests_failed,
+                requests_rejected=requests_rejected,
+                requests_shed=requests_shed,
+                nodes_completed=self.nodes_completed,
+                batches_dispatched=batches,
+                avg_batch_nodes=self.nodes_completed / batches if batches else 0.0,
+                avg_batch_requests=(
+                    self.batch_requests_total / batches if batches else 0.0
+                ),
+                throughput_nodes_per_second=throughput,
+                latency=latency_summary(self._latencies),
+                queue_wait=latency_summary(self._queue_waits),
+                queue_depth=queue_depth,
+                queue_max_depth=queue_max_depth,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+                cache_entries=cache_entries,
+                macs=self._macs.merged_with(MACBreakdown()),
+                timings=self._timings.merged_with(TimingBreakdown()),
+                per_worker=per_worker,
+            )

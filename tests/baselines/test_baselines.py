@@ -150,6 +150,30 @@ class TestQuantization:
         vanilla_result = trained_nai.evaluate(tiny_dataset, policy="none")
         assert quant_result.macs.total == pytest.approx(vanilla_result.macs.total, rel=0.01)
 
+    def test_float32_default_matches_float64_predictions(self, trained_nai, tiny_dataset):
+        """The float32 default dtype is prediction-identical on the INT8 path.
+
+        This is the validation gating the ROADMAP's "flip the default
+        inference dtype" item: the quantized baseline stacks INT8 classifier
+        error on top of float32 propagation error, and even then the argmax
+        decisions must not move.  float64 stays one config flag away.
+        """
+        single = QuantizedInference(trained_nai.classifiers, batch_size=200)
+        double = QuantizedInference(
+            trained_nai.classifiers, batch_size=200, dtype="float64"
+        )
+        single.fit(tiny_dataset)
+        double.fit(tiny_dataset)
+        single_result = single.evaluate(tiny_dataset)
+        double_result = double.evaluate(tiny_dataset)
+        assert single._predictor.config.dtype == "float32"
+        assert double._predictor.config.dtype == "float64"
+        np.testing.assert_array_equal(
+            single_result.predictions, double_result.predictions
+        )
+        np.testing.assert_array_equal(single_result.depths, double_result.depths)
+        assert single_result.macs.total == pytest.approx(double_result.macs.total)
+
 
 class TestSGCQuantizationAcrossBackbones:
     @pytest.mark.parametrize("attribute", ["mlp"])

@@ -1,0 +1,50 @@
+"""Smoke test for the serving benchmark.
+
+Runs ``benchmarks/bench_serving.py --quick`` end to end (tiny workload,
+deterministic seed) so tier-1 catches regressions in the serving harness and
+in the served-vs-sequential equivalences it asserts.  The real perf numbers
+are produced by the full run, which writes ``BENCH_serving.json``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.mark.serving_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_serving
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    assert bench_serving.main(["--quick", "--output", str(output)]) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    suites = {record["suite"] for record in report["suites"]}
+    assert suites == {"streaming", "online", "scaling"}
+    for record in report["suites"]:
+        if record["suite"] == "streaming":
+            # The suites raise on divergence; double-check the record too.
+            assert record["predictions_equal"]
+            assert record["depths_equal"]
+            assert record["macs_equal"]
+            assert record["cache_hit_rate"] > 0
+            assert record["sampling_time_reduction"] > 0
+        elif record["suite"] == "online":
+            assert record["predictions_equal"]
+            assert record["depths_equal"]
+            assert record["mac_reduction"] > 0
+            assert record["throughput_speedup"] > 1
+    aggregate = report["aggregate"]
+    assert aggregate["all_predictions_equal"]
+    assert aggregate["all_depths_equal"]
+    assert aggregate["streaming_macs_equal"]
+    assert aggregate["min_cache_hit_rate"] > 0

@@ -1,0 +1,106 @@
+"""Merging semantics of TimingBreakdown / MACBreakdown.
+
+The serving layer's contract is that fanning batches out across N workers
+and merging their per-worker breakdowns reproduces the sequential
+accounting: MAC counts are deterministic per batch, so the merge must be
+*exact*; timings are additive by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ServingConfig
+from repro.core.inference import MACBreakdown, TimingBreakdown
+from repro.graph.sampling import batch_iterator
+from repro.serving import InferenceServer
+
+
+class TestBreakdownAlgebra:
+    def test_mac_merge_is_fieldwise_addition(self):
+        left = MACBreakdown(stationary=1.0, propagation=2.0, decision=3.0, classification=4.0)
+        right = MACBreakdown(stationary=10.0, propagation=20.0, decision=30.0, classification=40.0)
+        merged = left.merged_with(right)
+        assert merged.stationary == 11.0
+        assert merged.propagation == 22.0
+        assert merged.decision == 33.0
+        assert merged.classification == 44.0
+        assert merged.total == 110.0
+        assert merged.feature_processing == 55.0
+
+    def test_timing_merge_is_fieldwise_addition(self):
+        left = TimingBreakdown(sampling=0.1, stationary=0.2, propagation=0.3,
+                               decision=0.4, classification=0.5)
+        right = TimingBreakdown(sampling=1.0, stationary=2.0, propagation=3.0,
+                                decision=4.0, classification=5.0)
+        merged = left.merged_with(right)
+        assert merged.sampling == pytest.approx(1.1)
+        assert merged.total == pytest.approx(16.5)
+        assert merged.feature_processing == pytest.approx(7.7)
+
+    def test_merge_does_not_mutate_operands(self):
+        left = MACBreakdown(propagation=1.0)
+        right = MACBreakdown(propagation=2.0)
+        left.merged_with(right)
+        assert left.propagation == 1.0 and right.propagation == 2.0
+
+    def test_merge_is_associative_and_commutative(self):
+        parts = [
+            TimingBreakdown(sampling=s, propagation=p)
+            for s, p in [(0.5, 1.5), (0.25, 0.75), (1.0, 2.0)]
+        ]
+        forward = parts[0].merged_with(parts[1]).merged_with(parts[2])
+        backward = parts[2].merged_with(parts[1]).merged_with(parts[0])
+        assert forward.total == pytest.approx(backward.total)
+        assert forward.sampling == pytest.approx(backward.sampling)
+
+
+class TestMergedEqualsSequential:
+    """Merging per-batch / per-worker breakdowns == one sequential breakdown."""
+
+    @pytest.fixture(scope="class")
+    def deployed(self, trained_nai, tiny_dataset):
+        predictor = trained_nai.build_predictor(
+            policy="distance",
+            config=trained_nai.inference_config(
+                distance_threshold=trained_nai.suggest_distance_threshold(0.5),
+                batch_size=25,
+            ),
+        )
+        predictor.prepare(tiny_dataset.graph, tiny_dataset.features)
+        return predictor
+
+    def test_per_batch_merge_matches_predict(self, deployed, tiny_dataset):
+        """predict() merges its internal batches; doing it by hand must agree."""
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        sequential = deployed.predict(test_idx)
+        engine = deployed.make_engine()
+        merged = MACBreakdown()
+        for batch in batch_iterator(test_idx, deployed.config.batch_size):
+            merged = merged.merged_with(engine.run_batch(batch).macs)
+        assert merged.stationary == pytest.approx(sequential.macs.stationary)
+        assert merged.propagation == pytest.approx(sequential.macs.propagation)
+        assert merged.decision == pytest.approx(sequential.macs.decision)
+        assert merged.classification == pytest.approx(sequential.macs.classification)
+
+    def test_n_worker_merge_matches_sequential(self, deployed, tiny_dataset):
+        """The served pool's merged per-worker MACs equal the sequential run."""
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        sequential = deployed.predict(test_idx)
+        config = ServingConfig(
+            num_workers=4, max_batch_size=25, max_wait_ms=1.0, cache_capacity=0
+        )
+        with InferenceServer(deployed, config) as server:
+            server.predict_many(batch_iterator(test_idx, 25))
+            stats = server.stats()
+        assert len(stats.per_worker) >= 1
+        merged = MACBreakdown()
+        for worker in stats.per_worker.values():
+            merged = merged.merged_with(worker.macs)
+        assert merged.stationary == pytest.approx(sequential.macs.stationary)
+        assert merged.propagation == pytest.approx(sequential.macs.propagation)
+        assert merged.decision == pytest.approx(sequential.macs.decision)
+        assert merged.classification == pytest.approx(sequential.macs.classification)
+        assert merged.total == pytest.approx(sequential.macs.total)
+        # Timing merges are additive: worker totals sum to the stats total.
+        timing_sum = sum(w.timings.total for w in stats.per_worker.values())
+        assert timing_sum == pytest.approx(stats.timings.total)

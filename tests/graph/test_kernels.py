@@ -103,6 +103,42 @@ class TestMaskedSpMM:
             expected = masked_row_spmm_reference(random_csr, source_matrix, rows)
             assert np.allclose(out[rows], expected, atol=1e-12)
 
+    def test_run_dispatch_threshold_is_a_pure_perf_knob(self, random_csr, source_matrix):
+        """Both dispatch strategies compute identical rows and nnz counts.
+
+        ``max_zero_copy_runs=0`` forces the compacting gather for every mask;
+        a huge threshold forces per-run zero-copy dispatch.  The tunable
+        (exposed as ``NAIConfig.run_dispatch_threshold``) must never change
+        results, only performance.
+        """
+        rng = np.random.default_rng(23)
+        mask = rng.random(60) < 0.4
+        rows = np.flatnonzero(mask)
+        expected = masked_row_spmm_reference(random_csr, source_matrix, rows)
+        nnz_counts = []
+        for threshold in (0, 1_000_000):
+            out = np.zeros((60, 9))
+            nnz = auto_masked_spmm(
+                random_csr.indptr, random_csr.indices, random_csr.data,
+                source_matrix, out, mask, max_zero_copy_runs=threshold,
+            )
+            nnz_counts.append(nnz)
+            assert np.allclose(out[rows], expected, atol=1e-12)
+        assert nnz_counts[0] == nnz_counts[1]
+
+    def test_assume_bounded_skips_only_the_bounds_scan(self, random_csr, source_matrix):
+        """assume_bounded must not change results for in-bounds arrays."""
+        mask = np.zeros(60, dtype=bool)
+        mask[5:25] = True
+        rows = np.flatnonzero(mask)
+        expected = masked_row_spmm_reference(random_csr, source_matrix, rows)
+        out = np.zeros((60, 9))
+        auto_masked_spmm(
+            random_csr.indptr, random_csr.indices, random_csr.data,
+            source_matrix, out, mask, assume_bounded=True,
+        )
+        assert np.allclose(out[rows], expected, atol=1e-12)
+
     def test_empty_runs_are_noops(self, random_csr, source_matrix):
         out = np.full((60, 9), 3.14)
         nnz = masked_row_spmm(

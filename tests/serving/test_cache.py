@@ -1,0 +1,132 @@
+"""Tests for the supporting-subgraph LRU cache and bundle reuse."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.sampling import SupportBundle, build_support_bundle, support_cache_key
+from repro.serving import SubgraphCache
+
+
+@pytest.fixture(scope="module")
+def deployed(trained_nai, tiny_dataset):
+    predictor = trained_nai.build_predictor(policy="distance")
+    predictor.prepare(tiny_dataset.graph, tiny_dataset.features)
+    return predictor
+
+
+def bundle_for(deployed, batch) -> SupportBundle:
+    return build_support_bundle(
+        deployed._graph,
+        deployed._a_hat,
+        deployed._features,
+        batch,
+        deployed.config.t_max,
+    )
+
+
+class TestCacheKey:
+    def test_key_is_order_sensitive(self):
+        a = support_cache_key(np.array([1, 2, 3]), depth=3)
+        b = support_cache_key(np.array([3, 2, 1]), depth=3)
+        assert a != b
+
+    def test_key_depends_on_depth(self):
+        ids = np.array([1, 2, 3])
+        assert support_cache_key(ids, 2) != support_cache_key(ids, 3)
+
+    def test_identical_batches_share_a_key(self):
+        assert support_cache_key(np.array([4, 5]), 2) == support_cache_key(
+            np.array([4, 5]), 2
+        )
+
+
+class TestSubgraphCacheLRU:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SubgraphCache(0)
+
+    def test_miss_then_hit_accounting(self):
+        cache = SubgraphCache(4)
+        key = support_cache_key(np.array([1]), 1)
+        assert cache.get(key) is None
+        cache.put(key, "bundle-stub")
+        assert cache.get(key) == "bundle-stub"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = SubgraphCache(2)
+        keys = [support_cache_key(np.array([i]), 1) for i in range(3)]
+        cache.put(keys[0], "a")
+        cache.put(keys[1], "b")
+        cache.get(keys[0])  # refresh: key 1 becomes least recently used
+        cache.put(keys[2], "c")
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == "a"
+        assert cache.get(keys[2]) == "c"
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_clear_empties_entries_but_keeps_counters(self):
+        cache = SubgraphCache(2)
+        key = support_cache_key(np.array([7]), 1)
+        cache.put(key, "x")
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestBundleReuse:
+    def test_bundle_replay_gives_identical_results(self, deployed, tiny_dataset):
+        """run_batch with a cached bundle must be bit-identical to a cold run."""
+        batch = np.asarray(tiny_dataset.split.test_idx[:25])
+        engine = deployed.make_engine()
+        cold = engine.run_batch(batch)
+        bundle = bundle_for(deployed, batch)
+        for _ in range(2):  # replaying twice also proves bundles stay pristine
+            warm = engine.run_batch(batch, bundle=bundle)
+            np.testing.assert_array_equal(warm.predictions, cold.predictions)
+            np.testing.assert_array_equal(warm.depths, cold.depths)
+            assert warm.macs.total == pytest.approx(cold.macs.total, abs=1e-9)
+
+    def test_bundle_replay_on_sibling_engine(self, deployed, tiny_dataset):
+        """Bundles built by one engine are valid on any sibling engine."""
+        batch = np.asarray(tiny_dataset.split.test_idx[:25])
+        bundle = deployed.make_engine().build_support(batch)
+        sibling = deployed.make_engine()
+        cold = deployed.make_engine().run_batch(batch)
+        warm = sibling.run_batch(batch, bundle=bundle)
+        np.testing.assert_array_equal(warm.predictions, cold.predictions)
+        np.testing.assert_array_equal(warm.depths, cold.depths)
+
+    def test_replay_skips_sampling_time(self, deployed, tiny_dataset):
+        batch = np.asarray(tiny_dataset.split.test_idx[:25])
+        engine = deployed.make_engine()
+        cold = engine.run_batch(batch)
+        warm = engine.run_batch(batch, bundle=bundle_for(deployed, batch))
+        assert cold.timings.sampling > 0
+        assert warm.timings.sampling == 0.0
+
+    def test_bundle_nbytes_positive(self, deployed, tiny_dataset):
+        bundle = bundle_for(deployed, np.asarray(tiny_dataset.split.test_idx[:10]))
+        assert bundle.nbytes > 0
+        assert bundle.num_local >= 10
+
+    def test_bundle_drops_graph_sized_lookup(self, deployed, tiny_dataset):
+        """Cached bundles must cost O(subgraph), not O(num_nodes): the
+        global→local lookup is only needed during extraction and is dropped
+        before the bundle is stored."""
+        bundle = bundle_for(deployed, np.asarray(tiny_dataset.split.test_idx[:10]))
+        assert bundle.support.global_to_local is None
+
+    def test_reference_engine_rejects_bundles(self, trained_nai, tiny_dataset):
+        predictor = trained_nai.build_predictor(
+            policy="none", config=trained_nai.inference_config(engine="reference")
+        )
+        predictor.prepare(tiny_dataset.graph, tiny_dataset.features)
+        batch = np.asarray(tiny_dataset.split.test_idx[:5])
+        bundle = bundle_for(predictor, batch)
+        with pytest.raises(ConfigurationError):
+            predictor.make_engine().run_batch(batch, bundle=bundle)

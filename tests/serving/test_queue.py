@@ -1,0 +1,225 @@
+"""Tests for the bounded request queue and the dynamic micro-batcher."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackpressureError, ConfigurationError, ServingError
+from repro.serving import InferenceRequest, MicroBatcher, RequestQueue
+
+
+def make_request(request_id: int, num_nodes: int = 1) -> InferenceRequest:
+    return InferenceRequest(request_id, np.arange(num_nodes, dtype=np.int64))
+
+
+class TestInferenceRequest:
+    def test_rejects_empty_node_ids(self):
+        with pytest.raises(ConfigurationError):
+            InferenceRequest(0, np.array([], dtype=np.int64))
+
+    def test_rejects_2d_node_ids(self):
+        with pytest.raises(ConfigurationError):
+            InferenceRequest(0, np.zeros((2, 2), dtype=np.int64))
+
+    def test_result_times_out_until_fulfilled(self):
+        request = make_request(0)
+        with pytest.raises(ServingError):
+            request.result(timeout=0.01)
+        assert not request.done()
+
+    def test_result_raises_recorded_failure(self):
+        request = make_request(0)
+        request._fail(BackpressureError("shed"))
+        assert request.done()
+        with pytest.raises(BackpressureError):
+            request.result(timeout=1.0)
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(capacity=4)
+        for i in range(3):
+            queue.put(make_request(i))
+        assert [queue.pop(0.01).request_id for _ in range(3)] == [0, 1, 2]
+        assert queue.pop(timeout=0.01) is None
+
+    def test_reject_policy_raises_and_counts(self):
+        queue = RequestQueue(capacity=1, overflow_policy="reject")
+        queue.put(make_request(0))
+        with pytest.raises(BackpressureError):
+            queue.put(make_request(1))
+        assert queue.rejected == 1
+        assert queue.depth == 1
+
+    def test_shed_oldest_policy_fails_the_victim(self):
+        queue = RequestQueue(capacity=2, overflow_policy="shed_oldest")
+        victims = []
+        queue.on_shed = victims.append
+        first, second, third = make_request(0), make_request(1), make_request(2)
+        queue.put(first)
+        queue.put(second)
+        queue.put(third)
+        assert queue.shed == 1
+        assert victims == [first]
+        with pytest.raises(BackpressureError):
+            first.result(timeout=0.1)
+        assert [queue.pop(0.01).request_id for _ in range(2)] == [1, 2]
+
+    def test_block_policy_times_out(self):
+        queue = RequestQueue(capacity=1, overflow_policy="block")
+        queue.put(make_request(0))
+        with pytest.raises(BackpressureError):
+            queue.put(make_request(1), timeout=0.02)
+
+    def test_block_timeout_bounds_total_wait_across_wakeups(self):
+        """A wakeup that finds the queue refilled must not re-arm the timeout."""
+        queue = RequestQueue(capacity=1, overflow_policy="block")
+        queue.put(make_request(0))
+        stop = threading.Event()
+
+        def churn():
+            # Keep the queue full: every pop is immediately replaced, so the
+            # blocked producer keeps waking up to a full queue.
+            refill_id = 100
+            nonlocal_refill = [refill_id]
+            while not stop.is_set():
+                popped = queue.pop(timeout=0.01)
+                if popped is not None:
+                    nonlocal_refill[0] += 1
+                    queue.put(make_request(nonlocal_refill[0]))
+                time.sleep(0.005)
+
+        thread = threading.Thread(target=churn, daemon=True)
+        thread.start()
+        start = time.perf_counter()
+        try:
+            with pytest.raises(BackpressureError):
+                queue.put(make_request(1), timeout=0.1)
+        finally:
+            stop.set()
+            thread.join(2.0)
+        assert time.perf_counter() - start < 1.0
+
+    def test_block_policy_unblocks_when_space_frees(self):
+        queue = RequestQueue(capacity=1, overflow_policy="block")
+        queue.put(make_request(0))
+        done = threading.Event()
+
+        def producer():
+            queue.put(make_request(1), timeout=2.0)
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.02)
+        assert not done.is_set()
+        assert queue.pop(0.1).request_id == 0
+        assert done.wait(2.0)
+        assert queue.pop(0.1).request_id == 1
+
+    def test_pop_within_respects_node_budget(self):
+        queue = RequestQueue(capacity=4)
+        queue.put(make_request(0, num_nodes=5))
+        status, request = queue.pop_within(node_budget=4, timeout=0.01)
+        assert (status, request) == ("too_big", None)
+        status, request = queue.pop_within(node_budget=5, timeout=0.01)
+        assert status == "ok" and request.request_id == 0
+
+    def test_close_wakes_consumers(self):
+        queue = RequestQueue(capacity=2)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(queue.pop(timeout=5.0)), daemon=True
+        )
+        thread.start()
+        time.sleep(0.02)
+        queue.close()
+        thread.join(2.0)
+        assert results == [None]
+        with pytest.raises(ServingError):
+            queue.put(make_request(0))
+
+    def test_max_depth_high_water_mark(self):
+        queue = RequestQueue(capacity=8)
+        for i in range(5):
+            queue.put(make_request(i))
+        queue.pop(0.01)
+        assert queue.max_depth == 5
+
+
+class TestMicroBatcher:
+    def test_returns_none_when_idle(self):
+        queue = RequestQueue(capacity=4)
+        batcher = MicroBatcher(queue, max_batch_size=8, max_wait_seconds=0.0)
+        assert batcher.next_batch(poll_timeout=0.01) is None
+
+    def test_coalesces_up_to_node_budget(self):
+        queue = RequestQueue(capacity=16)
+        for i in range(6):
+            queue.put(make_request(i, num_nodes=3))
+        batcher = MicroBatcher(queue, max_batch_size=10, max_wait_seconds=0.5)
+        batch = batcher.next_batch(poll_timeout=0.1)
+        # 3 + 3 + 3 fits, the fourth request would overflow the budget.
+        assert batch.num_requests == 3
+        assert batch.num_nodes == 9
+        assert [r.request_id for r in batch.requests] == [0, 1, 2]
+        assert batch.request_slice(1) == slice(3, 6)
+        np.testing.assert_array_equal(
+            batch.node_ids, np.concatenate([r.node_ids for r in batch.requests])
+        )
+
+    def test_oversized_request_forms_its_own_batch(self):
+        queue = RequestQueue(capacity=4)
+        queue.put(make_request(0, num_nodes=20))
+        batcher = MicroBatcher(queue, max_batch_size=8, max_wait_seconds=0.0)
+        batch = batcher.next_batch(poll_timeout=0.1)
+        assert batch.num_requests == 1
+        assert batch.num_nodes == 20
+
+    def test_zero_wait_dispatches_immediately(self):
+        queue = RequestQueue(capacity=4)
+        queue.put(make_request(0, num_nodes=1))
+        batcher = MicroBatcher(queue, max_batch_size=100, max_wait_seconds=0.0)
+        batch = batcher.next_batch(poll_timeout=0.1)
+        assert batch.num_requests == 1
+
+    def test_expired_budget_still_drains_the_backlog(self):
+        """An expired latency budget stops waiting, not draining: everything
+        already queued is still coalesced up to the node budget (the whole
+        point of batching under backlog)."""
+        queue = RequestQueue(capacity=16)
+        for i in range(6):
+            queue.put(make_request(i, num_nodes=1))
+        time.sleep(0.01)  # every request is now past a 0-second budget
+        batcher = MicroBatcher(queue, max_batch_size=4, max_wait_seconds=0.0)
+        first = batcher.next_batch(poll_timeout=0.1)
+        second = batcher.next_batch(poll_timeout=0.1)
+        assert first.num_requests == 4  # full node budget, not a 1-request batch
+        assert second.num_requests == 2
+        assert queue.depth == 0
+
+    def test_waits_out_the_latency_budget_for_stragglers(self):
+        queue = RequestQueue(capacity=4)
+        queue.put(make_request(0, num_nodes=1))
+        batcher = MicroBatcher(queue, max_batch_size=100, max_wait_seconds=0.25)
+
+        def straggler():
+            time.sleep(0.05)
+            queue.put(make_request(1, num_nodes=1))
+
+        thread = threading.Thread(target=straggler, daemon=True)
+        thread.start()
+        batch = batcher.next_batch(poll_timeout=0.1)
+        thread.join()
+        assert batch.num_requests == 2
+
+    def test_batch_ids_are_sequential(self):
+        queue = RequestQueue(capacity=4)
+        batcher = MicroBatcher(queue, max_batch_size=4, max_wait_seconds=0.0)
+        queue.put(make_request(0))
+        first = batcher.next_batch(poll_timeout=0.1)
+        queue.put(make_request(1))
+        second = batcher.next_batch(poll_timeout=0.1)
+        assert (first.batch_id, second.batch_id) == (0, 1)

@@ -1,0 +1,219 @@
+"""End-to-end tests for the InferenceServer (queue → batcher → pool → stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ServingConfig
+from repro.exceptions import BackpressureError, ConfigurationError, ServingError
+from repro.graph.sampling import batch_iterator
+from repro.serving import InferenceServer
+
+
+@pytest.fixture(scope="module")
+def deployed(trained_nai, tiny_dataset):
+    predictor = trained_nai.build_predictor(
+        policy="distance",
+        config=trained_nai.inference_config(
+            distance_threshold=trained_nai.suggest_distance_threshold(0.5),
+            batch_size=32,
+        ),
+    )
+    predictor.prepare(tiny_dataset.graph, tiny_dataset.features)
+    return predictor
+
+
+@pytest.fixture(scope="module")
+def sequential(deployed, tiny_dataset):
+    return deployed.predict(np.asarray(tiny_dataset.split.test_idx))
+
+
+def serving_config(**overrides) -> ServingConfig:
+    base = dict(
+        num_workers=3, max_batch_size=32, max_wait_ms=1.0, cache_capacity=16
+    )
+    base.update(overrides)
+    return ServingConfig(**base)
+
+
+class TestServerValidation:
+    def test_requires_prepared_predictor(self, trained_nai):
+        with pytest.raises(ServingError):
+            InferenceServer(trained_nai.build_predictor(policy="none"))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig(backend="fiber")
+        with pytest.raises(ConfigurationError):
+            ServingConfig(overflow_policy="drop")
+        with pytest.raises(ConfigurationError):
+            ServingConfig(max_wait_ms=-1)
+
+    def test_submit_after_close_raises(self, deployed):
+        server = InferenceServer(deployed, serving_config())
+        server.close()
+        with pytest.raises(ServingError):
+            server.submit(np.array([0]))
+
+
+class TestServedEquivalence:
+    def test_same_batches_give_bit_identical_results(
+        self, deployed, sequential, tiny_dataset
+    ):
+        """Server responses must reproduce NAIPredictor.predict exactly."""
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        ticks = batch_iterator(test_idx, 32)
+        with InferenceServer(deployed, serving_config()) as server:
+            responses = server.predict_many(ticks)
+        predictions = np.concatenate([r.predictions for r in responses])
+        depths = np.concatenate([r.depths for r in responses])
+        np.testing.assert_array_equal(predictions, sequential.predictions)
+        np.testing.assert_array_equal(depths, sequential.depths)
+        per_batch = {r.batch_id: r.batch_macs for r in responses}
+        macs = sum(m.total for m in per_batch.values())
+        assert macs == pytest.approx(sequential.macs.total, abs=1e-6)
+
+    def test_coalesced_single_node_requests_match_sequential(
+        self, deployed, sequential, tiny_dataset
+    ):
+        """Micro-batching single-node requests must not change any output."""
+        test_idx = np.asarray(tiny_dataset.split.test_idx)[:40]
+        with InferenceServer(
+            deployed, serving_config(max_batch_size=16, max_wait_ms=20.0)
+        ) as server:
+            responses = server.predict_many([np.array([n]) for n in test_idx])
+            batched = {r.batch_num_requests for r in responses}
+        predictions = np.concatenate([r.predictions for r in responses])
+        depths = np.concatenate([r.depths for r in responses])
+        np.testing.assert_array_equal(predictions, sequential.predictions[:40])
+        np.testing.assert_array_equal(depths, sequential.depths[:40])
+        assert max(batched) > 1  # coalescing actually happened
+
+    def test_recurring_batches_hit_the_cache(self, deployed, tiny_dataset):
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        ticks = batch_iterator(test_idx, 32) * 3
+        with InferenceServer(deployed, serving_config()) as server:
+            responses = server.predict_many(ticks)
+            stats = server.stats()
+        assert stats.cache_hits > 0
+        assert stats.cache_hit_rate > 0.5
+        assert any(r.cache_hit for r in responses)
+        # Cache-hit batches skip sampling entirely.
+        hit_sampling = [
+            r.batch_timings.sampling for r in responses if r.cache_hit
+        ]
+        assert hit_sampling and max(hit_sampling) == 0.0
+
+
+class TestServingStats:
+    def test_snapshot_counters(self, deployed, tiny_dataset):
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        ticks = batch_iterator(test_idx, 32)
+        with InferenceServer(deployed, serving_config()) as server:
+            server.predict_many(ticks)
+            stats = server.stats()
+        assert stats.requests_completed == len(ticks)
+        assert stats.nodes_completed == test_idx.shape[0]
+        assert stats.batches_dispatched >= 1
+        assert stats.latency.count == len(ticks)
+        assert stats.latency.p99 >= stats.latency.p50 > 0
+        assert stats.throughput_nodes_per_second >= 0
+        assert sum(w.nodes for w in stats.per_worker.values()) == stats.nodes_completed
+        payload = stats.as_dict()
+        assert payload["requests_completed"] == len(ticks)
+        assert payload["latency_ms"]["p50"] > 0
+
+    def test_per_worker_breakdowns_merge_to_totals(self, deployed, tiny_dataset):
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        with InferenceServer(deployed, serving_config(cache_capacity=0)) as server:
+            server.predict_many(batch_iterator(test_idx, 32))
+            stats = server.stats()
+        merged = sum((w.macs.total for w in stats.per_worker.values()))
+        assert merged == pytest.approx(stats.macs.total, abs=1e-9)
+
+
+class TestDispatcherResilience:
+    @pytest.mark.parametrize("cache_capacity", [16, 0])
+    def test_invalid_node_ids_fail_only_their_request(
+        self, deployed, tiny_dataset, cache_capacity
+    ):
+        """A malformed request must not kill the dispatcher or hang close().
+
+        With the cache enabled the out-of-range id surfaces in the
+        dispatcher's bundle build; without it, in the worker — either way
+        only the offending request fails and the server keeps serving.
+        """
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        with InferenceServer(
+            deployed, serving_config(cache_capacity=cache_capacity, max_wait_ms=0.0)
+        ) as server:
+            # Await each response before the next submit so the malformed
+            # request cannot be coalesced with a healthy one (a shared
+            # micro-batch fails as a unit, by design).
+            bad = server.submit(np.array([10**9]))
+            with pytest.raises(Exception) as excinfo:
+                bad.result(timeout=10.0)
+            assert "out of range" in str(excinfo.value)
+            response = server.submit(test_idx[:8]).result(timeout=10.0)
+            assert response.predictions.shape == (8,)
+            late = server.submit(test_idx[8:16]).result(timeout=10.0)
+            assert late.predictions.shape == (8,)
+            stats = server.stats()
+        assert stats.requests_failed == 1
+        assert stats.requests_completed == 2
+
+
+class TestBackpressure:
+    def test_reject_policy_surfaces_to_submitter(self, deployed, tiny_dataset):
+        config = serving_config(
+            queue_capacity=1, overflow_policy="reject", max_wait_ms=50.0,
+            num_workers=1,
+        )
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        with InferenceServer(deployed, config) as server:
+            rejected = 0
+            handles = []
+            for start in range(0, 64):
+                try:
+                    handles.append(server.submit(test_idx[start:start + 1]))
+                except BackpressureError:
+                    rejected += 1
+            for handle in handles:
+                handle.result(timeout=10.0)
+            stats = server.stats()
+        assert rejected == stats.requests_rejected
+        # Accepted requests all completed despite the pressure.
+        assert stats.requests_completed == len(handles)
+
+    def test_shed_oldest_fails_the_oldest_request(self, deployed, tiny_dataset):
+        config = serving_config(
+            queue_capacity=1, overflow_policy="shed_oldest", max_wait_ms=50.0,
+            num_workers=1,
+        )
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        with InferenceServer(deployed, config) as server:
+            handles = [server.submit(test_idx[i:i + 1]) for i in range(32)]
+            outcomes = {"served": 0, "shed": 0}
+            for handle in handles:
+                try:
+                    handle.result(timeout=10.0)
+                    outcomes["served"] += 1
+                except BackpressureError:
+                    outcomes["shed"] += 1
+            stats = server.stats()
+        assert outcomes["shed"] == stats.requests_shed
+        assert outcomes["served"] == stats.requests_completed
+        assert outcomes["served"] + outcomes["shed"] == 32
+
+
+class TestProcessBackend:
+    def test_process_pool_matches_sequential(self, deployed, sequential, tiny_dataset):
+        pytest.importorskip("multiprocessing")
+        test_idx = np.asarray(tiny_dataset.split.test_idx)
+        config = serving_config(backend="process", num_workers=2, cache_capacity=16)
+        with InferenceServer(deployed, config) as server:
+            assert server.cache is None  # bundles do not cross the fork boundary
+            responses = server.predict_many(batch_iterator(test_idx, 32), timeout=60.0)
+        predictions = np.concatenate([r.predictions for r in responses])
+        np.testing.assert_array_equal(predictions, sequential.predictions)
