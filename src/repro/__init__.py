@@ -18,12 +18,14 @@ from .core import (
     NAIConfig,
     NAIPredictor,
     ServingConfig,
+    ShardConfig,
     TrainingConfig,
 )
 from .datasets import NodeClassificationDataset, available_datasets, load_dataset
 from .graph import CSRGraph
 from .models import GAMLP, S2GC, SGC, SIGN, available_backbones, make_backbone
 from .serving import InferenceServer
+from .shard import ShardRouter, ShardedPredictor
 
 __version__ = "1.0.0"
 
@@ -44,6 +46,9 @@ __all__ = [
     "SGC",
     "SIGN",
     "ServingConfig",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardedPredictor",
     "TrainingConfig",
     "available_backbones",
     "available_datasets",

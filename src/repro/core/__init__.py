@@ -5,6 +5,7 @@ from .config import (
     GateTrainingConfig,
     NAIConfig,
     ServingConfig,
+    ShardConfig,
     TrainingConfig,
 )
 from .distance_nap import DistanceNAP
@@ -43,6 +44,7 @@ __all__ = [
     "NAIConfig",
     "NAIPredictor",
     "ServingConfig",
+    "ShardConfig",
     "load_pipeline",
     "StationaryState",
     "TimingBreakdown",

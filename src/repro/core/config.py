@@ -202,7 +202,16 @@ class ServingConfig:
         Number of supporting-subgraph bundles the LRU
         :class:`~repro.serving.SubgraphCache` retains (``0`` disables
         caching).  Streaming workloads that replay recurring batches skip
-        sampling entirely on a hit.
+        sampling entirely on a hit.  Keys are canonical (sorted node ids +
+        depth), so permuted repeats of the same node-set hit too.
+    result_cache_capacity:
+        Opt-in result-level LRU (:class:`~repro.serving.ResultCache`;
+        default ``0`` = disabled): micro-batches whose canonical node-set
+        was served before are answered from the recorded result without
+        touching a worker.  Replayed work is accounted separately from
+        computed work in :class:`~repro.serving.ServingStatsSnapshot`
+        (``macs`` vs ``replayed_macs``), keeping the computed-MAC numbers
+        honest.
     latency_sample_cap:
         Maximum number of per-request latency samples retained for the
         percentile statistics (oldest samples are dropped first).
@@ -215,6 +224,7 @@ class ServingConfig:
     queue_capacity: int = 1024
     overflow_policy: str = "block"
     cache_capacity: int = 64
+    result_cache_capacity: int = 0
     latency_sample_cap: int = 100_000
 
     def __post_init__(self) -> None:
@@ -247,12 +257,54 @@ class ServingConfig:
             raise ConfigurationError(
                 f"cache_capacity must be non-negative, got {self.cache_capacity}"
             )
+        if self.result_cache_capacity < 0:
+            raise ConfigurationError(
+                f"result_cache_capacity must be non-negative, got "
+                f"{self.result_cache_capacity}"
+            )
         if self.latency_sample_cap < 1:
             raise ConfigurationError(
                 f"latency_sample_cap must be positive, got {self.latency_sample_cap}"
             )
 
     def with_updates(self, **kwargs) -> "ServingConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of the sharded graph store (:mod:`repro.shard`).
+
+    Attributes
+    ----------
+    num_shards:
+        Number of shards the node set is partitioned into.  ``1`` keeps the
+        whole graph in one shard (useful as the sharded-path oracle).
+    strategy:
+        ``"hash"`` (default) assigns nodes by a deterministic multiplicative
+        hash of the node id — stateless, so any party can compute ownership
+        without the partition table.  ``"degree_balanced"`` greedily assigns
+        nodes in decreasing-degree order to the shard with the least
+        accumulated degree (LPT scheduling), balancing per-shard *edge* load
+        on skewed-degree graphs at the cost of an explicit owner table.
+    """
+
+    num_shards: int = 2
+    strategy: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be positive, got {self.num_shards}"
+            )
+        if self.strategy not in ("hash", "degree_balanced"):
+            raise ConfigurationError(
+                f"strategy must be 'hash' or 'degree_balanced', got "
+                f"{self.strategy!r}"
+            )
+
+    def with_updates(self, **kwargs) -> "ShardConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
 

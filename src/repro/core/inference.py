@@ -228,11 +228,22 @@ class BatchEngine:
         classifiers: Sequence[DepthwiseClassifier],
         policy: DistanceNAP | GateNAP | None,
         config: NAIConfig,
-        graph: CSRGraph,
-        features: np.ndarray,
-        a_hat: sp.csr_matrix,
+        graph: CSRGraph | None,
+        features: np.ndarray | None,
+        a_hat: sp.csr_matrix | None,
         stationary: StationaryState,
     ) -> None:
+        # graph/features/a_hat may be None for engines whose sampling is
+        # served elsewhere (repro.shard overrides build_support and runs the
+        # fused path, which reads only the stationary state and the bundle).
+        if (graph is None or features is None or a_hat is None) and (
+            config.engine != "fused"
+        ):
+            raise ConfigurationError(
+                "an engine without the full graph/features/Â requires "
+                "engine='fused' (the reference engine resamples from the "
+                "in-process graph every depth)"
+            )
         self.classifiers = list(classifiers)
         self.policy = policy
         self.config = config
@@ -295,8 +306,10 @@ class BatchEngine:
         start = time.perf_counter()
         stationary_batch = self.stationary.features_for(batch)
         timings.stationary += time.perf_counter() - start
+        # The stationary state knows the deployment's global node count even
+        # when the engine itself holds no full graph (sharded engines don't).
         macs.stationary += (
-            self.graph.num_nodes * num_features + batch.shape[0] * num_features
+            self.stationary.num_nodes * num_features + batch.shape[0] * num_features
         )
         return stationary_batch
 
@@ -328,7 +341,7 @@ class BatchEngine:
     ) -> InferenceResult:
         """Zero-copy masked-SpMM engine with hop-indexed support pruning."""
         cfg = self.config
-        num_features = self.features.shape[1]
+        num_features = self.stationary.num_features
         macs = MACBreakdown()
         timings = TimingBreakdown()
 

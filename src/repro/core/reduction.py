@@ -1,0 +1,289 @@
+"""Reproducible (order- and partition-independent) exact summation.
+
+Floating-point addition is not associative, so the global weighted feature
+sum behind the stationary state (Eq. 6) depends on *how* it is summed: a BLAS
+matvec over the whole graph and a shard-wise partial-sum-then-reduce disagree
+in the last bits, and those bits feed the NAP exit decisions.  A sharded
+deployment therefore needs a reduction whose result is **independent of the
+partition** — otherwise re-sharding a service would change its predictions.
+
+This module implements an exact fixed-point superaccumulator (in the spirit
+of reproducible-BLAS binned summation):
+
+1. every float64 term is decomposed into 32-bit *limbs* on a shared
+   power-of-two grid (:class:`SumGrid`) — an exact, vectorised float-to-fixed
+   split;
+2. limbs are accumulated per column into ``int64`` counters
+   (:func:`limb_partials`) — integer addition is associative, so partials
+   from any number of shards, in any order, merge exactly
+   (:func:`merge_limb_partials`);
+3. the merged integer is converted back to the nearest float
+   (:func:`reconstruct_sums`) with one correctly-rounded conversion.
+
+Because every step is exact, ``sum(shard partials)`` is *bit-identical* to
+the single-process sum for every partition of the terms — the property the
+sharded stationary state (:mod:`repro.shard.stationary`) is built on.
+
+The grid must be shared by all participants: it is planned from the global
+exponent range of the terms (:func:`plan_sum_grid`), which composes across
+shards by a trivial min/max reduce of :func:`exponent_range` results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+#: Bits per limb.  With 32-bit limbs an ``int64`` column accumulator holds
+#: ``2^31`` terms before overflowing — far beyond any single machine's graph.
+LIMB_WIDTH = 32
+
+#: Hard cap on limbs per grid.  80 limbs span 2560 bits, covering the entire
+#: float64 range (including denormals) with room to spare; hitting the cap
+#: indicates corrupted input, not a legitimate workload.
+MAX_LIMBS = 80
+
+
+@dataclass(frozen=True)
+class SumGrid:
+    """A shared fixed-point grid: ``num_limbs`` limbs below ``2^top_exponent``.
+
+    Limb ``l`` counts multiples of ``2^(top_exponent - LIMB_WIDTH*(l+1))``;
+    together the limbs represent every term exactly, so the grid fully
+    determines the accumulator format two shards must agree on.
+    """
+
+    top_exponent: int
+    num_limbs: int
+
+    @property
+    def lowest_exponent(self) -> int:
+        """Exponent of the smallest representable bit of the grid."""
+        return self.top_exponent - LIMB_WIDTH * self.num_limbs
+
+
+def exponent_range(block: np.ndarray) -> tuple[int, int] | None:
+    """``(max, min)`` binary exponents of the non-zero entries of ``block``.
+
+    Returns ``None`` for an all-zero (or empty) block.  Exponents follow the
+    :func:`math.frexp` convention (``|x| < 2^e``), so ranges from different
+    shards combine with a plain ``max``/``min`` — the only collective step
+    needed to agree on a :class:`SumGrid`.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if not np.all(np.isfinite(block)):
+        raise ShapeError("reproducible summation requires finite inputs")
+    magnitudes = np.abs(block[block != 0.0])
+    if magnitudes.size == 0:
+        return None
+    _, exponents = np.frexp(magnitudes)
+    return int(exponents.max()), int(exponents.min())
+
+
+def merge_exponent_ranges(
+    ranges: list[tuple[int, int] | None],
+) -> tuple[int, int] | None:
+    """Combine per-shard :func:`exponent_range` results into the global one."""
+    present = [r for r in ranges if r is not None]
+    if not present:
+        return None
+    return max(r[0] for r in present), min(r[1] for r in present)
+
+
+def plan_sum_grid(exponents: tuple[int, int] | None) -> SumGrid | None:
+    """Plan the shared grid covering every bit of terms in ``exponents``.
+
+    The lowest set bit of any float64 with frexp-exponent ``e`` is at least
+    ``2^(e - 53)``, so limbs reaching ``min_exponent - 53`` represent every
+    term exactly.  ``None`` (no non-zero terms) needs no grid at all.
+    """
+    if exponents is None:
+        return None
+    max_exponent, min_exponent = exponents
+    # Every float64 is an integer multiple of 2^-1074, so the grid never
+    # needs bits below that even when the inputs graze the denormal range.
+    span = max_exponent - max(min_exponent - 53, -1074)
+    num_limbs = -(-span // LIMB_WIDTH)
+    if num_limbs > MAX_LIMBS:
+        raise ShapeError(
+            f"reproducible sum grid would need {num_limbs} limbs "
+            f"(exponent span {span}); input looks corrupted"
+        )
+    return SumGrid(top_exponent=max_exponent, num_limbs=num_limbs)
+
+
+def limb_partials(block: np.ndarray, grid: SumGrid) -> np.ndarray:
+    """Exact ``int64`` limb sums of the columns of ``block`` on ``grid``.
+
+    Returns an array of shape ``(2, num_limbs, num_columns)`` holding the
+    positive (index 0) and negative (index 1) contributions separately.
+    Every arithmetic step is exact: dividing by a power of two, flooring a
+    quotient below ``2^32`` and subtracting ``q * scale`` from the remainder
+    all round to nothing, so the partials are an exact integer encoding of
+    the block's column sums.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ShapeError(f"limb_partials expects a 2-D block, got shape {block.shape}")
+    out = np.zeros((2, grid.num_limbs, block.shape[1]), dtype=np.int64)
+    for sign, part in ((0, np.maximum(block, 0.0)), (1, np.maximum(-block, 0.0))):
+        remainder = part.copy()
+        for limb in range(grid.num_limbs):
+            # Scale via ldexp exponents rather than a materialised 2^e float:
+            # the limb unit may lie below the smallest normal number, where a
+            # literal scale would underflow to zero.  Up-scaling is always
+            # exact (results stay < 2^LIMB_WIDTH); the down-scaled subtrahend
+            # is an exact multiple of the limb unit clamped at 2^-1074.
+            unit_exponent = grid.top_exponent - LIMB_WIDTH * (limb + 1)
+            quotient = np.floor(np.ldexp(remainder, -unit_exponent))
+            out[sign, limb] = quotient.astype(np.int64).sum(axis=0)
+            remainder -= np.ldexp(quotient, unit_exponent)
+        if np.any(remainder != 0.0):
+            raise ShapeError(
+                "sum grid does not cover every input bit; plan it from the "
+                "global exponent_range of all participating blocks"
+            )
+    return out
+
+
+def merge_limb_partials(partials: list[np.ndarray]) -> np.ndarray:
+    """Sum per-shard limb partials — exact, order-independent integer adds."""
+    if not partials:
+        raise ShapeError("merge_limb_partials needs at least one partial")
+    merged = partials[0].copy()
+    for partial in partials[1:]:
+        merged += partial
+    return merged
+
+
+def reconstruct_sums(
+    partials: np.ndarray, grid: SumGrid, dtype: np.dtype | str = np.float64
+) -> np.ndarray:
+    """Convert merged limb partials into column sums, rounding exactly once.
+
+    The limbs encode each column's sum as an exact integer multiple of
+    ``2^grid.lowest_exponent``; the conversion to float64 goes through
+    :class:`fractions.Fraction`, whose ``float()`` is correctly rounded.  The
+    optional narrowing cast to ``dtype`` is the same elementwise cast every
+    participant performs, so the end result is reproducible bit for bit.
+    """
+    num_columns = partials.shape[2]
+    shift = grid.lowest_exponent
+    values = np.empty(num_columns, dtype=np.float64)
+    for column in range(num_columns):
+        total = 0
+        for limb in range(grid.num_limbs):
+            limb_shift = LIMB_WIDTH * (grid.num_limbs - 1 - limb)
+            total += (
+                int(partials[0, limb, column]) - int(partials[1, limb, column])
+            ) << limb_shift
+        if total == 0:
+            values[column] = 0.0
+        elif shift >= 0:
+            values[column] = float(total << shift)
+        else:
+            values[column] = float(Fraction(total, 1 << -shift))
+    return values.astype(np.dtype(dtype), copy=False)
+
+
+def exact_columnwise_sum(
+    block: np.ndarray, dtype: np.dtype | str = np.float64
+) -> np.ndarray:
+    """Column sums of ``block``, exact and independent of row order/partition."""
+    block = np.asarray(block, dtype=np.float64)
+    grid = plan_sum_grid(exponent_range(block))
+    if grid is None:
+        return np.zeros(block.shape[1], dtype=np.dtype(dtype))
+    return reconstruct_sums(limb_partials(block, grid), grid, dtype)
+
+
+def weighted_feature_products(weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+    """The float64 product terms ``w_i * x_ij`` of the weighted feature sum.
+
+    Products are computed elementwise in float64 from float64-cast operands,
+    so a shard computing the products of its owned rows obtains bit-identical
+    terms to a single process computing all of them — the precondition for
+    the exact reduction to make the *sums* match too.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or weights.shape[0] != features.shape[0]:
+        raise ShapeError(
+            f"weights {weights.shape} do not match features {features.shape}"
+        )
+    return weights[:, None] * features
+
+
+#: Row-chunk budget (elements) for the streaming weighted sum: bounds the
+#: transient float64 product block to ~32 MB regardless of graph size.
+_CHUNK_ELEMENTS = 4_000_000
+
+
+def _chunk_rows(num_rows: int, num_columns: int) -> int:
+    return max(1, min(num_rows, _CHUNK_ELEMENTS // max(num_columns, 1)))
+
+
+def weighted_sum_exponent_range(
+    weights: np.ndarray, features: np.ndarray
+) -> tuple[int, int] | None:
+    """Exponent range of the product terms, streamed over row chunks."""
+    step = _chunk_rows(features.shape[0], features.shape[1])
+    ranges = [
+        exponent_range(
+            weighted_feature_products(weights[start:start + step], features[start:start + step])
+        )
+        for start in range(0, features.shape[0], step)
+    ]
+    return merge_exponent_ranges(ranges)
+
+
+def weighted_sum_limb_partials(
+    weights: np.ndarray, features: np.ndarray, grid: SumGrid
+) -> np.ndarray:
+    """Limb partials of the product terms on ``grid``, streamed over chunks.
+
+    Chunking changes only which rows share a vectorised pass; the integer
+    partials are summed, so the result is bit-identical to a one-shot
+    decomposition (and to any other chunking).
+    """
+    step = _chunk_rows(features.shape[0], features.shape[1])
+    partials: np.ndarray | None = None
+    for start in range(0, features.shape[0], step):
+        chunk = limb_partials(
+            weighted_feature_products(
+                weights[start:start + step], features[start:start + step]
+            ),
+            grid,
+        )
+        partials = chunk if partials is None else partials + chunk
+    assert partials is not None
+    return partials
+
+
+def reproducible_weighted_sum(
+    weights: np.ndarray, features: np.ndarray, dtype: np.dtype | str = np.float64
+) -> np.ndarray:
+    """``Σ_i w_i x_i`` summed exactly — the single-process reduction path.
+
+    Streams over row chunks (two passes: grid planning, then accumulation),
+    so peak transient memory is bounded regardless of graph size — the
+    product terms are recomputed rather than materialised whole.  Exactness
+    makes the chunking invisible: any partition of the rows, including the
+    per-shard one in :mod:`repro.shard.stationary`, reduces to the bit-same
+    vector.
+    """
+    if features.ndim != 2 or np.asarray(weights).shape[0] != features.shape[0]:
+        raise ShapeError(
+            f"weights {np.asarray(weights).shape} do not match features "
+            f"{features.shape}"
+        )
+    grid = plan_sum_grid(weighted_sum_exponent_range(weights, features))
+    if grid is None:
+        return np.zeros(features.shape[1], dtype=np.dtype(dtype))
+    return reconstruct_sums(
+        weighted_sum_limb_partials(weights, features, grid), grid, dtype
+    )

@@ -25,6 +25,7 @@ import numpy as np
 from ..exceptions import ShapeError
 from ..graph.normalization import NormalizationScheme, resolve_gamma
 from ..graph.sparse import CSRGraph
+from .reduction import reproducible_weighted_sum
 
 
 @dataclass(frozen=True)
@@ -104,7 +105,11 @@ def compute_stationary_state(
     degrees = (graph.degrees() + 1.0).astype(features.dtype)
     normalizer = 2.0 * graph.num_edges + graph.num_nodes
     weights = np.power(degrees, np.asarray(1.0 - coeff, dtype=features.dtype))
-    weighted_sum = weights @ features
+    # Exact, order-independent summation (see repro.core.reduction): a
+    # sharded deployment reduces per-shard partial sums of the very same
+    # product terms, and exactness is what makes that reduction bit-identical
+    # to this single-process path for every partition of the nodes.
+    weighted_sum = reproducible_weighted_sum(weights, features, features.dtype)
     return StationaryState(
         weighted_feature_sum=weighted_sum,
         degrees_with_loops=degrees,

@@ -35,9 +35,13 @@ from .propagation import (
     smoothness_distance,
 )
 from .sampling import (
+    SupportBundle,
     SupportingSubgraph,
     batch_iterator,
+    build_support_bundle,
+    canonical_order,
     k_hop_neighborhood,
+    support_cache_key,
     supporting_node_counts,
 )
 from .sparse import CSRGraph
@@ -45,6 +49,7 @@ from .sparse import CSRGraph
 __all__ = [
     "CSRGraph",
     "NormalizationScheme",
+    "SupportBundle",
     "SyntheticGraphSpec",
     "SupportingSubgraph",
     "InductivePartition",
@@ -52,6 +57,8 @@ __all__ = [
     "auto_masked_spmm",
     "batch_iterator",
     "build_inductive_partition",
+    "build_support_bundle",
+    "canonical_order",
     "contiguous_runs",
     "extract_local_csr_arrays",
     "extract_submatrix",
@@ -75,5 +82,6 @@ __all__ = [
     "second_largest_eigenvalue_magnitude",
     "sign_concatenate",
     "smoothness_distance",
+    "support_cache_key",
     "supporting_node_counts",
 ]

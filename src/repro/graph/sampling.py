@@ -191,6 +191,28 @@ class SupportBundle:
     def num_local(self) -> int:
         return self.support.num_supporting_nodes
 
+    def with_target_order(self, rank: np.ndarray) -> "SupportBundle":
+        """A view of this bundle whose targets are permuted by ``rank``.
+
+        Everything else about a bundle — the hop-ordered node list, the local
+        CSR arrays, the hop-0 feature rows — depends only on the *set* of
+        targets: BFS starts from ``np.unique(targets)`` and orders each hop
+        by ascending global id.  Only ``target_local`` (the local row of each
+        target occurrence, in batch order) is order-sensitive.  Given the
+        permutation from :func:`canonical_order`, this returns a shallow view
+        whose ``target_local`` matches the permuted batch, sharing every
+        array with the original — the serving cache stores one canonical
+        bundle per node-set and rebases it per hit.
+        """
+        rank = np.asarray(rank, dtype=np.int64)
+        if rank.shape != self.support.target_local.shape:
+            raise GraphConstructionError(
+                f"target permutation has length {rank.shape[0]}, bundle has "
+                f"{self.support.target_local.shape[0]} targets"
+            )
+        support = replace(self.support, target_local=self.support.target_local[rank])
+        return replace(self, support=support)
+
     @property
     def nbytes(self) -> int:
         """Approximate memory footprint (used for cache sizing diagnostics)."""
@@ -209,16 +231,35 @@ class SupportBundle:
         return int(total)
 
 
+def canonical_order(targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted_targets, rank)`` such that ``sorted_targets[rank] == targets``.
+
+    ``sorted_targets`` is the canonical (ascending, duplicates preserved)
+    form every permutation of a batch shares; ``rank`` re-permutes anything
+    computed in canonical batch order — most importantly a canonical
+    bundle's ``target_local`` — back to the actual request order (see
+    :meth:`SupportBundle.with_target_order`).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    order = np.argsort(targets, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    return targets[order], rank
+
+
 def support_cache_key(targets: np.ndarray, depth: int) -> bytes:
     """Cache key identifying a batch's supporting subgraph.
 
-    The key is **order-sensitive**: the hop-ordered local numbering and the
-    ``target_local`` positions baked into a :class:`SupportBundle` depend on
-    the exact target sequence, so only byte-identical batches may share an
-    entry.  Streaming workloads that replay recurring node-sets (sessions,
-    hot queries) hit naturally; permuted repeats of the same set rebuild.
+    The key is **canonical** — depth plus the *sorted* target ids — so every
+    permutation of the same node multiset maps to one entry.  The sampling
+    products genuinely depend only on the set (BFS starts from the unique
+    targets and orders each hop by ascending id); the one order-sensitive
+    piece, ``target_local``, is restored per use by rebasing the cached
+    bundle through :meth:`SupportBundle.with_target_order`.
     """
     targets = np.ascontiguousarray(targets, dtype=np.int64)
+    if targets.size and np.any(targets[1:] < targets[:-1]):
+        targets = np.sort(targets, kind="stable")
     return depth.to_bytes(8, "little") + targets.tobytes()
 
 

@@ -22,18 +22,20 @@ for the throughput/equivalence benchmark behind ``BENCH_serving.json``.
 """
 
 from .batcher import MicroBatch, MicroBatcher
-from .cache import SubgraphCache
+from .cache import CachedResult, ResultCache, SubgraphCache
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .server import InferenceServer
 from .stats import ServingStats, ServingStatsSnapshot, WorkerStats
 from .worker import WorkerPool, WorkItem, WorkOutput
 
 __all__ = [
+    "CachedResult",
     "InferenceRequest",
     "InferenceServer",
     "MicroBatch",
     "MicroBatcher",
     "RequestQueue",
+    "ResultCache",
     "ServingResponse",
     "ServingStats",
     "ServingStatsSnapshot",

@@ -50,6 +50,10 @@ class ServingResponse:
     batch_num_requests: int
     batch_macs: MACBreakdown
     batch_timings: TimingBreakdown
+    #: True when the batch was answered from the result cache: ``batch_macs``
+    #: then describes the *recorded* execution being replayed, not work done
+    #: for this response (``worker_id`` is -1 — no worker ran).
+    result_cache_hit: bool = False
 
 
 class InferenceRequest:

@@ -33,8 +33,9 @@ import numpy as np
 from ..core.config import ServingConfig
 from ..core.inference import NAIPredictor
 from ..exceptions import ServingError
+from ..graph.sampling import canonical_order
 from .batcher import MicroBatch, MicroBatcher
-from .cache import SubgraphCache
+from .cache import CachedResult, ResultCache, SubgraphCache
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .stats import ServingStats, ServingStatsSnapshot
 from .worker import WorkerPool, WorkItem, WorkOutput
@@ -73,6 +74,12 @@ class InferenceServer:
             and predictor.config.engine == "fused"
         ):
             self.cache = SubgraphCache(self.config.cache_capacity)
+        # The opt-in result cache replays recorded per-node outputs for exact
+        # canonical node-set repeats; it exchanges plain arrays only, so it
+        # works with every backend and engine.
+        self.result_cache: ResultCache | None = None
+        if self.config.result_cache_capacity > 0:
+            self.result_cache = ResultCache(self.config.result_cache_capacity)
         self.pool = WorkerPool(
             predictor,
             num_workers=self.config.num_workers,
@@ -126,8 +133,12 @@ class InferenceServer:
         *,
         timeout: float | None = None,
     ) -> list[ServingResponse]:
-        """Submit every batch, then gather the responses in submission order."""
-        handles = [self.submit(batch) for batch in batches]
+        """Submit every batch, then gather the responses in submission order.
+
+        ``timeout`` bounds each step: the submit (a full queue under the
+        ``"block"`` policy raises after waiting this long) and each result.
+        """
+        handles = [self.submit(batch, timeout=timeout) for batch in batches]
         return [handle.result(timeout=timeout) for handle in handles]
 
     def drain(self, timeout: float | None = None) -> None:
@@ -152,6 +163,9 @@ class InferenceServer:
             cache_hits=self.cache.hits if self.cache else 0,
             cache_misses=self.cache.misses if self.cache else 0,
             cache_entries=len(self.cache) if self.cache else 0,
+            result_cache_hits=self.result_cache.hits if self.result_cache else 0,
+            result_cache_misses=self.result_cache.misses if self.result_cache else 0,
+            result_cache_entries=len(self.result_cache) if self.result_cache else 0,
         )
 
     def close(self) -> None:
@@ -210,17 +224,42 @@ class InferenceServer:
             # fails this micro-batch's requests only — the dispatcher must
             # outlive every malformed request.
             try:
+                # Both caches key on the canonical (sorted) node multiset, so
+                # permuted repeats of a node-set share one entry; ``rank``
+                # rebases canonical-order artefacts back to batch order.
+                sorted_ids = rank = None
+                if self.cache is not None or self.result_cache is not None:
+                    sorted_ids, rank = canonical_order(micro_batch.node_ids)
+
+                result_key = canonical_idx = None
+                if self.result_cache is not None:
+                    assert sorted_ids is not None and rank is not None
+                    result_key = self.result_cache.key_for(sorted_ids, depth)
+                    recorded = self.result_cache.get(result_key)
+                    if recorded is not None:
+                        self._replay_micro_batch(micro_batch, rank, recorded)
+                        continue
+                    # Inverse of ``rank`` by scatter (no second sort): the
+                    # completion path stores the result in canonical order.
+                    canonical_idx = np.empty_like(rank)
+                    canonical_idx[rank] = np.arange(rank.shape[0], dtype=np.int64)
+
                 bundle = None
                 cache_hit = False
                 bundle_is_fresh = False
                 if self.cache is not None:
-                    key = self.cache.key_for(micro_batch.node_ids, depth)
+                    assert sorted_ids is not None and rank is not None
+                    key = self.cache.key_for(sorted_ids, depth)
                     bundle = self.cache.get(key)
                     cache_hit = bundle is not None
                     if bundle is None:
-                        bundle = self._sampler.build_support(micro_batch.node_ids)
+                        # Build (and insert) the canonical-order bundle; the
+                        # actual batch order is restored by rebasing below.
+                        bundle = self._sampler.build_support(sorted_ids)
                         self.cache.put(key, bundle)
                         bundle_is_fresh = True
+                    if not np.array_equal(sorted_ids, micro_batch.node_ids):
+                        bundle = bundle.with_target_order(rank)
                 dispatched_at = time.perf_counter()
                 queue_waits = [
                     dispatched_at - request.enqueued_at
@@ -233,11 +272,65 @@ class InferenceServer:
                         bundle=bundle,
                         bundle_is_fresh=bundle_is_fresh,
                         callback=lambda output, mb=micro_batch, waits=queue_waits,
-                        hit=cache_hit: self._on_batch_done(mb, waits, hit, output),
+                        hit=cache_hit, rkey=result_key, cidx=canonical_idx:
+                        self._on_batch_done(mb, waits, hit, output, rkey, cidx),
                     )
                 )
             except BaseException as error:  # noqa: BLE001 - forwarded per request
                 self._fail_micro_batch(micro_batch, error)
+
+    def _replay_micro_batch(
+        self, micro_batch: MicroBatch, rank: np.ndarray, recorded: CachedResult
+    ) -> None:
+        """Answer a micro-batch from the result cache, bypassing the pool.
+
+        Per-node predictions and exit depths are independent of batch order
+        and composition over the same node-set, so gathering the recorded
+        canonical-order arrays through ``rank`` reproduces exactly what a
+        worker would compute.  The recorded MAC/timing breakdowns describe
+        the original execution — the stats fold them into the *replayed*
+        accumulators, never into the computed ones.
+        """
+        predictions = recorded.predictions[rank]
+        depths = recorded.depths[rank]
+        completed_at = time.perf_counter()
+        # A replay is answered at dispatch, so the full latency *is* the
+        # queue wait — one list serves both stats channels.
+        latencies = [
+            completed_at - request.enqueued_at for request in micro_batch.requests
+        ]
+        for index, request in enumerate(micro_batch.requests):
+            rows = micro_batch.request_slice(index)
+            latency = latencies[index]
+            request._fulfill(
+                ServingResponse(
+                    request_id=request.request_id,
+                    node_ids=request.node_ids,
+                    predictions=predictions[rows],
+                    depths=depths[rows],
+                    latency_seconds=latency,
+                    queue_seconds=latency,
+                    cache_hit=False,
+                    worker_id=-1,
+                    batch_id=micro_batch.batch_id,
+                    batch_num_nodes=micro_batch.num_nodes,
+                    batch_num_requests=micro_batch.num_requests,
+                    batch_macs=recorded.macs,
+                    batch_timings=recorded.timings,
+                    result_cache_hit=True,
+                )
+            )
+        self._stats.record_replayed_batch(
+            num_nodes=micro_batch.num_nodes,
+            num_requests=micro_batch.num_requests,
+            macs=recorded.macs,
+            latencies=latencies,
+            queue_waits=latencies,
+        )
+        with self._inflight_lock:
+            self._inflight -= micro_batch.num_requests
+            if self._inflight <= 0:
+                self._idle.notify_all()
 
     def _fail_micro_batch(self, micro_batch: MicroBatch, error: BaseException) -> None:
         """Fail every request of a batch that never reached a worker."""
@@ -258,6 +351,8 @@ class InferenceServer:
         queue_waits: Sequence[float],
         cache_hit: bool,
         output: WorkOutput,
+        result_key: bytes | None = None,
+        canonical_idx: np.ndarray | None = None,
     ) -> None:
         try:
             if output.error is not None or output.result is None:
@@ -269,6 +364,22 @@ class InferenceServer:
                 self._stats.record_failure(micro_batch.num_requests)
                 return
             result = output.result
+            if self.result_cache is not None and result_key is not None:
+                # Record in canonical order (the dispatcher already computed
+                # the key and permutation) so any permutation of this
+                # node-set replays with one gather.
+                assert canonical_idx is not None
+                self.result_cache.put(
+                    result_key,
+                    CachedResult(
+                        predictions=np.ascontiguousarray(
+                            result.predictions[canonical_idx]
+                        ),
+                        depths=np.ascontiguousarray(result.depths[canonical_idx]),
+                        macs=result.macs,
+                        timings=result.timings,
+                    ),
+                )
             completed_at = time.perf_counter()
             latencies = []
             for index, request in enumerate(micro_batch.requests):

@@ -58,6 +58,18 @@ class ServingStatsSnapshot:
     macs: MACBreakdown
     timings: TimingBreakdown
     per_worker: dict[int, WorkerStats]
+    #: Result-cache replay accounting.  ``macs`` above counts only work that
+    #: actually executed on a worker; ``replayed_macs`` is the recorded cost
+    #: of the batches answered from the result cache instead — kept separate
+    #: so cached deployments cannot inflate their computed-MAC savings.
+    requests_replayed: int = 0
+    nodes_replayed: int = 0
+    batches_replayed: int = 0
+    replayed_macs: MACBreakdown = field(default_factory=MACBreakdown)
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    result_cache_hit_rate: float = 0.0
+    result_cache_entries: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready dictionary (used by the serving benchmark report)."""
@@ -81,6 +93,15 @@ class ServingStatsSnapshot:
             "cache_entries": self.cache_entries,
             "sampling_seconds": self.timings.sampling,
             "total_seconds": self.timings.total,
+            "requests_replayed": self.requests_replayed,
+            "nodes_replayed": self.nodes_replayed,
+            "batches_replayed": self.batches_replayed,
+            "computed_macs": self.macs.total,
+            "replayed_macs": self.replayed_macs.total,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "result_cache_hit_rate": self.result_cache_hit_rate,
+            "result_cache_entries": self.result_cache_entries,
             "per_worker": {
                 str(worker): {"batches": stats.batches, "nodes": stats.nodes}
                 for worker, stats in sorted(self.per_worker.items())
@@ -103,6 +124,10 @@ class ServingStats:
         self.nodes_completed = 0
         self.batches_dispatched = 0
         self.batch_requests_total = 0
+        self.requests_replayed = 0
+        self.nodes_replayed = 0
+        self.batches_replayed = 0
+        self._replayed_macs = MACBreakdown()
         self._first_activity: float | None = None
         self._last_activity: float | None = None
 
@@ -144,6 +169,35 @@ class ServingStats:
                 self._first_activity = now
             self._last_activity = now
 
+    def record_replayed_batch(
+        self,
+        *,
+        num_nodes: int,
+        num_requests: int,
+        macs: MACBreakdown,
+        latencies: list[float],
+        queue_waits: list[float],
+    ) -> None:
+        """Fold one result-cache replay into the accumulators.
+
+        Replays complete requests (their latencies count) but execute no
+        worker MACs; the recorded breakdown of the original execution lands
+        in the *replayed* accumulator so computed-MAC totals stay honest.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            self.batches_replayed += 1
+            self.requests_replayed += num_requests
+            self.nodes_replayed += num_nodes
+            self.requests_completed += num_requests
+            self.nodes_completed += num_nodes
+            self._replayed_macs = self._replayed_macs.merged_with(macs)
+            self._latencies.extend(latencies)
+            self._queue_waits.extend(queue_waits)
+            if self._first_activity is None:
+                self._first_activity = now
+            self._last_activity = now
+
     def record_failure(self, num_requests: int) -> None:
         with self._lock:
             self.requests_failed += num_requests
@@ -159,6 +213,9 @@ class ServingStats:
         cache_hits: int = 0,
         cache_misses: int = 0,
         cache_entries: int = 0,
+        result_cache_hits: int = 0,
+        result_cache_misses: int = 0,
+        result_cache_entries: int = 0,
     ) -> ServingStatsSnapshot:
         """Render the current counters (plus queue/cache gauges) immutably."""
         with self._lock:
@@ -201,4 +258,16 @@ class ServingStats:
                 macs=self._macs.merged_with(MACBreakdown()),
                 timings=self._timings.merged_with(TimingBreakdown()),
                 per_worker=per_worker,
+                requests_replayed=self.requests_replayed,
+                nodes_replayed=self.nodes_replayed,
+                batches_replayed=self.batches_replayed,
+                replayed_macs=self._replayed_macs.merged_with(MACBreakdown()),
+                result_cache_hits=result_cache_hits,
+                result_cache_misses=result_cache_misses,
+                result_cache_hit_rate=(
+                    result_cache_hits / (result_cache_hits + result_cache_misses)
+                    if (result_cache_hits + result_cache_misses)
+                    else 0.0
+                ),
+                result_cache_entries=result_cache_entries,
             )

@@ -1,0 +1,56 @@
+"""Sharded graph store and shard-parallel inference.
+
+The paper's online setting assumes one process holds the whole graph's
+state; this package removes that ceiling while keeping every output
+bit-identical to the single-process :class:`~repro.core.NAIPredictor`:
+
+* :class:`GraphPartitioner` — deterministic edge-cut partitioning (hash or
+  degree-balanced) into a :class:`ShardPlan`;
+* :class:`ShardedGraphStore` / :class:`GraphShard` — per-shard local CSR
+  blocks (raw + normalized rows, features, degrees) with halo/ghost maps,
+  serving cross-shard k-hop expansion and
+  :class:`~repro.graph.sampling.SupportBundle` assembly;
+* :class:`ShardedStationaryState` — the O(n) stationary state computed
+  shard-locally and reduced with the exact accumulator of
+  :mod:`repro.core.reduction` (partition-independent bit for bit);
+* :class:`ShardedPredictor` / :class:`ShardEngine` — the coordinator
+  surface mirroring ``NAIPredictor.prepare``/``predict``;
+* :class:`ShardRouter` — one :class:`~repro.serving.InferenceServer` worker
+  group per shard, ownership routing, fan-out of mixed-shard requests and
+  fleet-level stats merging (:class:`ShardedStatsSnapshot`).
+
+See ``docs/sharding.md`` for the guided tour and
+``benchmarks/bench_sharding.py`` for the equivalence/memory/traffic numbers
+behind ``BENCH_sharding.json``.
+"""
+
+from .partitioner import GraphPartitioner, ShardPlan
+from .predictor import ShardEngine, ShardServingView, ShardedPredictor
+from .router import RoutedRequest, RoutedResponse, ShardRouter
+from .stationary import (
+    ShardedStationaryState,
+    compute_shard_stationary_partial,
+    compute_sharded_stationary,
+)
+from .stats import ShardedStatsSnapshot, merge_latency_summaries, merge_serving_snapshots
+from .store import GraphShard, ShardTraffic, ShardedGraphStore
+
+__all__ = [
+    "GraphPartitioner",
+    "GraphShard",
+    "RoutedRequest",
+    "RoutedResponse",
+    "ShardEngine",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardServingView",
+    "ShardTraffic",
+    "ShardedGraphStore",
+    "ShardedPredictor",
+    "ShardedStationaryState",
+    "ShardedStatsSnapshot",
+    "compute_shard_stationary_partial",
+    "compute_sharded_stationary",
+    "merge_latency_summaries",
+    "merge_serving_snapshots",
+]

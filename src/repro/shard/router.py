@@ -1,0 +1,174 @@
+"""The shard router: one serving worker group per shard, ownership routing.
+
+:class:`ShardRouter` fronts a :class:`~repro.shard.predictor.ShardedPredictor`
+with one :class:`~repro.serving.InferenceServer` per shard — each with its
+own request queue, micro-batcher, caches and worker pool, all homed on that
+shard so halo traffic is attributed correctly.  A submitted request is split
+by node ownership: a single-owner request is forwarded whole; a mixed-shard
+request fans out one sub-request per owning shard, and the returned
+:class:`RoutedResponse` stitches the per-shard answers back into request
+order.
+
+Routing never changes per-node results: predictions and exit depths are
+independent of batch composition (the property micro-batching already
+relies on), so a routed response is bit-identical to the unsharded
+predictor's answer for the same nodes.  Batch *compositions* do change, so
+MAC totals follow serving semantics (shared supporting subgraphs), exactly
+as unsharded micro-batching does; the offline bit-equality oracle for MAC
+totals is :meth:`ShardedPredictor.predict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ServingConfig
+from ..exceptions import ConfigurationError, ServingError
+from ..serving.queue import InferenceRequest, ServingResponse
+from ..serving.server import InferenceServer
+from .predictor import ShardedPredictor
+from .stats import ShardedStatsSnapshot, merge_serving_snapshots
+
+
+@dataclass(frozen=True)
+class RoutedResponse:
+    """Per-request outcome reassembled from the owning shards.
+
+    ``predictions``/``depths`` cover ``node_ids`` in request order.
+    ``per_shard`` maps each participating shard to the
+    :class:`~repro.serving.ServingResponse` of its sub-request;
+    ``latency_seconds`` is the slowest sub-request (the caller-visible
+    latency of the fan-out).
+    """
+
+    node_ids: np.ndarray
+    predictions: np.ndarray
+    depths: np.ndarray
+    latency_seconds: float
+    per_shard: dict[int, ServingResponse]
+
+    @property
+    def num_shards_touched(self) -> int:
+        return len(self.per_shard)
+
+
+class RoutedRequest:
+    """Handle over the per-shard sub-requests of one routed submission."""
+
+    def __init__(
+        self,
+        node_ids: np.ndarray,
+        parts: list[tuple[int, np.ndarray, InferenceRequest]],
+    ) -> None:
+        self.node_ids = node_ids
+        self._parts = parts
+
+    def done(self) -> bool:
+        """Whether every sub-request has completed (or failed)."""
+        return all(handle.done() for _, _, handle in self._parts)
+
+    def result(self, timeout: float | None = None) -> RoutedResponse:
+        """Block for every shard's answer and reassemble request order."""
+        predictions = np.empty(self.node_ids.shape[0], dtype=np.int64)
+        depths = np.empty(self.node_ids.shape[0], dtype=np.int64)
+        per_shard: dict[int, ServingResponse] = {}
+        latency = 0.0
+        for shard_id, positions, handle in self._parts:
+            response = handle.result(timeout=timeout)
+            predictions[positions] = response.predictions
+            depths[positions] = response.depths
+            per_shard[shard_id] = response
+            latency = max(latency, response.latency_seconds)
+        return RoutedResponse(
+            node_ids=self.node_ids,
+            predictions=predictions,
+            depths=depths,
+            latency_seconds=latency,
+            per_shard=per_shard,
+        )
+
+
+class ShardRouter:
+    """Routes requests to per-shard inference servers and merges their stats."""
+
+    def __init__(
+        self,
+        predictor: ShardedPredictor,
+        config: ServingConfig | None = None,
+    ) -> None:
+        if not predictor.prepared:
+            raise ServingError(
+                "prepare the ShardedPredictor before routing requests to it"
+            )
+        self.predictor = predictor
+        self.config = config if config is not None else ServingConfig()
+        self.servers = {
+            shard_id: InferenceServer(predictor.shard_view(shard_id), self.config)
+            for shard_id in range(predictor.num_shards)
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, node_ids: np.ndarray, *, timeout: float | None = None
+    ) -> RoutedRequest:
+        """Split ``node_ids`` by owner and enqueue on the owning servers."""
+        if self._closed:
+            raise ServingError("the shard router is closed")
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.ndim != 1 or node_ids.size == 0:
+            raise ConfigurationError(
+                "a routed request needs a non-empty 1-D array of node ids"
+            )
+        owners = self.predictor.store.owner_of(node_ids)
+        parts: list[tuple[int, np.ndarray, InferenceRequest]] = []
+        for shard_id in np.unique(owners):
+            shard_id = int(shard_id)
+            positions = np.flatnonzero(owners == shard_id)
+            handle = self.servers[shard_id].submit(
+                node_ids[positions], timeout=timeout
+            )
+            parts.append((shard_id, positions, handle))
+        return RoutedRequest(node_ids, parts)
+
+    def predict_many(
+        self,
+        batches,
+        *,
+        timeout: float | None = None,
+    ) -> list[RoutedResponse]:
+        """Submit every batch, then gather responses in submission order.
+
+        ``timeout`` bounds each step — every sub-request's submit (a full
+        shard queue under the ``"block"`` policy raises instead of waiting
+        forever) and every result gather.
+        """
+        handles = [self.submit(batch, timeout=timeout) for batch in batches]
+        return [handle.result(timeout=timeout) for handle in handles]
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every shard server has answered its accepted requests."""
+        for server in self.servers.values():
+            server.drain(timeout=timeout)
+
+    def stats(self) -> ShardedStatsSnapshot:
+        """Merged fleet statistics plus the untouched per-shard snapshots."""
+        return merge_serving_snapshots(
+            {shard_id: server.stats() for shard_id, server in self.servers.items()}
+        )
+
+    def close(self) -> None:
+        """Drain and stop every shard server."""
+        if self._closed:
+            return
+        self._closed = True
+        for server in self.servers.values():
+            server.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,185 @@
+"""Sharded stationary state: per-shard partials, exact reduction.
+
+The single-process :class:`~repro.core.stationary.StationaryState` holds two
+O(n) vectors for the whole graph — the scaling degrees and (transiently) the
+weighted feature products.  Sharding splits exactly that state: every shard
+computes the weighted-sum partial of its **owned** rows plus its slice of
+the degree vector, and the coordinator reduces the partials.
+
+The reduction uses the exact limb accumulator of
+:mod:`repro.core.reduction`, the same primitive the single-process
+:func:`~repro.core.stationary.compute_stationary_state` sums with.  Because
+the per-term products are computed elementwise (identical on every shard)
+and the accumulator is exact (order- and partition-independent), the reduced
+``weighted_feature_sum`` is **bit-identical** to the unsharded one for every
+shard count and partition strategy — re-sharding a deployment can never move
+a prediction.
+
+:class:`ShardedStationaryState` then exposes the same ``features_for`` /
+``num_nodes`` / ``num_features`` surface as the dense state, serving each
+node's degree from the shard that owns it, so the inference engine runs
+unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.reduction import (
+    merge_exponent_ranges,
+    merge_limb_partials,
+    plan_sum_grid,
+    reconstruct_sums,
+    weighted_sum_exponent_range,
+    weighted_sum_limb_partials,
+)
+from ..exceptions import ShapeError
+from .store import ShardedGraphStore
+
+
+@dataclass(frozen=True)
+class ShardedStationaryState:
+    """``X^(∞)`` state split by ownership, API-compatible with the dense one.
+
+    Attributes
+    ----------
+    weighted_feature_sum:
+        The reduced global vector ``Σ_j (d_j + 1)^(1−γ) x_j`` — ``(f,)`` and
+        replicated (it is tiny); bit-identical to the single-process value.
+    shard_degrees:
+        Per shard, ``d_i + 1`` of its owned nodes in the deployment dtype —
+        the O(n) piece that is actually sharded.
+    owner / local_row:
+        Routing vectors: owning shard of each node and its row within that
+        shard's degree array.
+    """
+
+    weighted_feature_sum: np.ndarray
+    shard_degrees: tuple[np.ndarray, ...]
+    owner: np.ndarray
+    local_row: np.ndarray
+    normalizer: float
+    gamma: float
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.owner.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.weighted_feature_sum.shape[0])
+
+    def degrees_for(self, node_ids: np.ndarray | None = None) -> np.ndarray:
+        """``d_i + 1`` for ``node_ids`` (or all nodes), fetched from owners."""
+        dtype = self.weighted_feature_sum.dtype
+        if node_ids is None:
+            out = np.empty(self.num_nodes, dtype=dtype)
+            for shard_id, degrees in enumerate(self.shard_degrees):
+                out[np.flatnonzero(self.owner == shard_id)] = degrees
+            return out
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size and (node_ids.min() < 0 or node_ids.max() >= self.num_nodes):
+            raise ShapeError("node ids out of range for the stationary state")
+        owners = self.owner[node_ids]
+        rows = self.local_row[node_ids]
+        out = np.empty(node_ids.shape[0], dtype=dtype)
+        for shard_id, degrees in enumerate(self.shard_degrees):
+            mask = owners == shard_id
+            if mask.any():
+                out[mask] = degrees[rows[mask]]
+        return out
+
+    def features_for(self, node_ids: np.ndarray | None = None) -> np.ndarray:
+        """Stationary features for ``node_ids`` — same math as the dense state.
+
+        The degree gather routes through the owning shards; the scaling and
+        outer product are the exact expressions of
+        :meth:`~repro.core.stationary.StationaryState.features_for`, applied
+        to bit-identical inputs — so the output matches bit for bit.
+        """
+        degrees = self.degrees_for(node_ids)
+        scale = np.power(degrees, self.gamma) / self.normalizer
+        return np.outer(scale, self.weighted_feature_sum)
+
+
+def compute_shard_stationary_partial(
+    degrees_with_loops: np.ndarray,
+    features: np.ndarray,
+    *,
+    gamma: float,
+    dtype: np.dtype,
+    grid,
+) -> np.ndarray:
+    """One shard's limb partial of the weighted feature sum.
+
+    ``degrees_with_loops`` and ``features`` are the shard's owned slices;
+    ``grid`` must be the globally agreed :class:`~repro.core.reduction.SumGrid`.
+    Streamed over row chunks, so the shard never materialises its full
+    float64 product block.
+    """
+    weights = _shard_weights(degrees_with_loops, gamma=gamma, dtype=dtype)
+    return weighted_sum_limb_partials(weights, features, grid)
+
+
+def _shard_weights(
+    degrees_with_loops: np.ndarray, *, gamma: float, dtype: np.dtype
+) -> np.ndarray:
+    """``(d_i + 1)^(1−γ)`` in the deployment dtype — elementwise, so the
+    shard-local evaluation equals the global one on the owned slice."""
+    degrees = np.asarray(degrees_with_loops, dtype=np.float64).astype(dtype)
+    return np.power(degrees, np.asarray(1.0 - gamma, dtype=dtype))
+
+
+def compute_sharded_stationary(store: ShardedGraphStore) -> ShardedStationaryState:
+    """Per-shard stationary computation followed by the exact reduction.
+
+    Mirrors the two-phase protocol a networked deployment would run:
+
+    1. every shard reports the exponent range of its product terms; the
+       coordinator merges them into the shared :class:`SumGrid`;
+    2. every shard computes its integer limb partial; the coordinator sums
+       the partials (associative integer adds) and reconstructs the float
+       result with one correctly-rounded conversion.
+    """
+    dtype = store.dtype
+    gamma = store.gamma
+    shard_weights = [
+        _shard_weights(shard.degrees_with_loops, gamma=gamma, dtype=dtype)
+        for shard in store.shards
+    ]
+    grid = plan_sum_grid(
+        merge_exponent_ranges(
+            [
+                weighted_sum_exponent_range(weights, shard.features)
+                for weights, shard in zip(shard_weights, store.shards)
+            ]
+        )
+    )
+    if grid is None:
+        weighted_sum = np.zeros(store.num_features, dtype=dtype)
+    else:
+        partials = merge_limb_partials(
+            [
+                compute_shard_stationary_partial(
+                    shard.degrees_with_loops, shard.features,
+                    gamma=gamma, dtype=dtype, grid=grid,
+                )
+                for shard in store.shards
+            ]
+        )
+        weighted_sum = reconstruct_sums(partials, grid, dtype)
+
+    shard_degrees = tuple(
+        shard.degrees_with_loops.astype(dtype) for shard in store.shards
+    )
+    normalizer = float(2.0 * store.num_edges + store.num_nodes)
+    return ShardedStationaryState(
+        weighted_feature_sum=weighted_sum,
+        shard_degrees=shard_degrees,
+        owner=store.plan.owner,
+        local_row=store.local_rows(np.arange(store.num_nodes)),
+        normalizer=normalizer,
+        gamma=gamma,
+    )

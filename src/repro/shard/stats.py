@@ -1,0 +1,124 @@
+"""Cross-shard merging of serving statistics and MAC breakdowns.
+
+Each shard's :class:`~repro.serving.InferenceServer` keeps its own
+:class:`~repro.serving.ServingStatsSnapshot`; the router merges them into a
+fleet view.  Additive quantities — request/node/batch counters, cache
+counters and the MAC/timing breakdowns — sum exactly (MACs are deterministic
+per batch, so the merged totals reproduce what one big server would have
+accounted).  Latency *percentiles* do not compose across shards — the exact
+mixture percentile needs the raw samples — so the merged snapshot reports
+the worst per-shard percentile at each level (what an operator alarms on)
+alongside the untouched per-shard summaries for anyone who needs the real
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.inference import MACBreakdown, TimingBreakdown
+from ..metrics.timing import LatencySummary
+from ..serving.stats import ServingStatsSnapshot
+
+
+def merge_latency_summaries(summaries: list[LatencySummary]) -> LatencySummary:
+    """Conservative fleet summary: count-weighted mean, max percentiles."""
+    present = [s for s in summaries if s.count > 0]
+    if not present:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+    total = sum(s.count for s in present)
+    return LatencySummary(
+        count=total,
+        mean=sum(s.mean * s.count for s in present) / total,
+        p50=max(s.p50 for s in present),
+        p95=max(s.p95 for s in present),
+        p99=max(s.p99 for s in present),
+        max=max(s.max for s in present),
+    )
+
+
+@dataclass(frozen=True)
+class ShardedStatsSnapshot:
+    """Fleet-level view over per-shard serving snapshots."""
+
+    per_shard: dict[int, ServingStatsSnapshot]
+    requests_completed: int
+    requests_failed: int
+    requests_rejected: int
+    requests_shed: int
+    requests_replayed: int
+    nodes_completed: int
+    batches_dispatched: int
+    macs: MACBreakdown
+    replayed_macs: MACBreakdown
+    timings: TimingBreakdown
+    latency: LatencySummary
+    cache_hits: int
+    cache_misses: int
+    result_cache_hits: int
+    result_cache_misses: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "requests_rejected": self.requests_rejected,
+            "requests_shed": self.requests_shed,
+            "requests_replayed": self.requests_replayed,
+            "nodes_completed": self.nodes_completed,
+            "batches_dispatched": self.batches_dispatched,
+            "computed_macs": self.macs.total,
+            "replayed_macs": self.replayed_macs.total,
+            "total_seconds": self.timings.total,
+            "latency_ms": self.latency.scaled(1e3).as_dict(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "per_shard": {
+                str(shard): snapshot.as_dict()
+                for shard, snapshot in sorted(self.per_shard.items())
+            },
+        }
+
+
+def merge_serving_snapshots(
+    snapshots: dict[int, ServingStatsSnapshot],
+) -> ShardedStatsSnapshot:
+    """Fold per-shard snapshots into one :class:`ShardedStatsSnapshot`."""
+    macs = MACBreakdown()
+    replayed = MACBreakdown()
+    timings = TimingBreakdown()
+    for snapshot in snapshots.values():
+        macs = macs.merged_with(snapshot.macs)
+        replayed = replayed.merged_with(snapshot.replayed_macs)
+        timings = timings.merged_with(snapshot.timings)
+    return ShardedStatsSnapshot(
+        per_shard=dict(snapshots),
+        requests_completed=sum(s.requests_completed for s in snapshots.values()),
+        requests_failed=sum(s.requests_failed for s in snapshots.values()),
+        requests_rejected=sum(s.requests_rejected for s in snapshots.values()),
+        requests_shed=sum(s.requests_shed for s in snapshots.values()),
+        requests_replayed=sum(s.requests_replayed for s in snapshots.values()),
+        nodes_completed=sum(s.nodes_completed for s in snapshots.values()),
+        batches_dispatched=sum(s.batches_dispatched for s in snapshots.values()),
+        macs=macs,
+        replayed_macs=replayed,
+        timings=timings,
+        latency=merge_latency_summaries([s.latency for s in snapshots.values()]),
+        cache_hits=sum(s.cache_hits for s in snapshots.values()),
+        cache_misses=sum(s.cache_misses for s in snapshots.values()),
+        result_cache_hits=sum(s.result_cache_hits for s in snapshots.values()),
+        result_cache_misses=sum(s.result_cache_misses for s in snapshots.values()),
+    )

@@ -1,0 +1,545 @@
+"""Sharded graph store: per-shard CSR blocks with halo maps, bundle assembly.
+
+Construction (``ShardedGraphStore.from_graph``) is the offline partitioning
+job: it has the full graph, splits it under a :class:`ShardPlan` and builds
+one :class:`GraphShard` per partition — after which the store retains **no**
+full-graph state beyond O(n) ownership vectors.  Each shard holds:
+
+* the raw adjacency rows of its owned nodes (structure only, for BFS
+  frontier expansion and shard-local degree computation);
+* the *normalized* adjacency rows ``Â = D̃^(γ−1) Ã D̃^(−γ)``, whose values
+  are computed shard-locally from owned degrees plus the **halo-exchanged**
+  degrees of ghost columns — bit-identical to the single-process
+  :func:`~repro.graph.normalization.normalized_adjacency` because the
+  per-entry formula ``(d_i^(γ−1) · ã_ij) · d_j^(−γ)`` is evaluated in the
+  same association and dtype;
+* the feature rows and the degree vector of its owned nodes — the O(n)
+  stationary state split the ROADMAP sharding item asks for.
+
+Columns of both blocks are numbered within ``col_global`` — the *sorted*
+union of owned and halo ids.  Sorted local numbering is load-bearing: it
+keeps every row's entries in ascending-global-column order, exactly as the
+global CSR stores them, so cross-shard bundle assembly reproduces the
+single-process :func:`~repro.graph.sampling.build_support_bundle` output
+array-for-array (same node ordering, same CSR entry order, same values) and
+the fused engine's per-row summation order — hence predictions — cannot
+drift.
+
+Serving (``build_support_bundle``) is the online path: a k-hop BFS whose
+frontier expansion queries the owner shard of each frontier node, followed
+by row fetches that stitch each shard's Â-rows into one local CSR in hop
+order.  Per-shard fetch counters (:class:`ShardTraffic`) quantify the
+cross-shard halo traffic a networked deployment would pay.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.config import ShardConfig
+from ..exceptions import GraphConstructionError
+from ..graph.kernels import _flat_nnz_positions
+from ..graph.normalization import NormalizationScheme, resolve_gamma
+from ..graph.sampling import SupportBundle, SupportingSubgraph
+from ..graph.sparse import CSRGraph
+from .partitioner import GraphPartitioner, ShardPlan
+
+
+@dataclass
+class GraphShard:
+    """One partition's local state: row blocks, halo maps, features, degrees.
+
+    Attributes
+    ----------
+    shard_id:
+        This shard's index in the plan.
+    owned:
+        Sorted global ids of the nodes this shard owns (its rows).
+    col_global:
+        Sorted global ids of every column its rows reference — owned nodes
+        plus the halo.  Local column ``c`` means global ``col_global[c]``.
+    halo:
+        The ghost nodes: ``col_global`` minus ``owned``.  Their degrees were
+        fetched from their owners during the build (the halo exchange); at
+        serving time their feature rows and adjacency rows are fetched the
+        same way during cross-shard bundle assembly.
+    adj_indptr / adj_indices:
+        Raw adjacency rows (no self loops, structure only) in local column
+        numbering — the BFS substrate.
+    nrm_indptr / nrm_indices / nrm_data:
+        Normalized-adjacency rows in local column numbering, values in the
+        deployment dtype.
+    features:
+        Feature rows of the owned nodes (deployment dtype, C-contiguous).
+    degrees_with_loops:
+        ``d_i + 1`` of the owned nodes (float64, computed shard-locally from
+        the full local rows) — this shard's slice of the stationary state.
+    """
+
+    shard_id: int
+    owned: np.ndarray
+    col_global: np.ndarray
+    halo: np.ndarray
+    adj_indptr: np.ndarray
+    adj_indices: np.ndarray
+    nrm_indptr: np.ndarray
+    nrm_indices: np.ndarray
+    nrm_data: np.ndarray
+    features: np.ndarray
+    degrees_with_loops: np.ndarray
+
+    @property
+    def num_owned(self) -> int:
+        return int(self.owned.shape[0])
+
+    @property
+    def num_halo(self) -> int:
+        return int(self.halo.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this shard's state (the per-shard footprint)."""
+        arrays = (
+            self.owned,
+            self.col_global,
+            self.halo,
+            self.adj_indptr,
+            self.adj_indices,
+            self.nrm_indptr,
+            self.nrm_indices,
+            self.nrm_data,
+            self.features,
+            self.degrees_with_loops,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+
+@dataclass
+class ShardTraffic:
+    """Counters of cross-shard data movement during bundle assembly.
+
+    "Remote" means the fetched row's owner differs from the requesting
+    batch's home shard — the rows a networked deployment would ship over the
+    wire.  Counted only when callers pass a home shard.
+    """
+
+    bundles_assembled: int = 0
+    adjacency_rows_local: int = 0
+    adjacency_rows_remote: int = 0
+    feature_rows_local: int = 0
+    feature_rows_remote: int = 0
+    frontier_cols_local: int = 0
+    frontier_cols_remote: int = 0
+
+    def as_dict(self) -> dict:
+        remote = self.adjacency_rows_remote + self.feature_rows_remote
+        local = self.adjacency_rows_local + self.feature_rows_local
+        return {
+            "bundles_assembled": self.bundles_assembled,
+            "adjacency_rows_local": self.adjacency_rows_local,
+            "adjacency_rows_remote": self.adjacency_rows_remote,
+            "feature_rows_local": self.feature_rows_local,
+            "feature_rows_remote": self.feature_rows_remote,
+            "frontier_cols_local": self.frontier_cols_local,
+            "frontier_cols_remote": self.frontier_cols_remote,
+            "remote_row_fraction": remote / (remote + local) if remote + local else 0.0,
+        }
+
+
+@dataclass
+class ShardedGraphStore:
+    """Owns the shards and serves cross-shard k-hop bundle assembly."""
+
+    plan: ShardPlan
+    shards: list[GraphShard]
+    num_nodes: int
+    num_features: int
+    num_edges: int
+    gamma: float
+    dtype: np.dtype
+    traffic: ShardTraffic = field(default_factory=ShardTraffic)
+
+    def __post_init__(self) -> None:
+        # global id -> row within its owner's block, for O(1) routing.
+        local_row = np.full(self.num_nodes, -1, dtype=np.int64)
+        for shard in self.shards:
+            local_row[shard.owned] = np.arange(shard.num_owned, dtype=np.int64)
+        self._local_row = local_row
+        # The store is shared by every shard server's dispatcher and worker
+        # threads; traffic counters are read-modify-write and need the lock
+        # to stay exact (the benchmark records them).
+        self._traffic_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Construction (the offline partitioning job)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(
+        cls,
+        graph: CSRGraph,
+        features: np.ndarray,
+        config: ShardConfig,
+        *,
+        gamma: str | float | NormalizationScheme = NormalizationScheme.SYMMETRIC,
+        dtype: np.dtype | str = np.float32,
+        plan: ShardPlan | None = None,
+    ) -> "ShardedGraphStore":
+        """Partition ``graph`` and build the per-shard blocks.
+
+        The normalized-adjacency values are computed *per shard* from owned
+        degrees plus halo-exchanged ghost degrees, in the same elementwise
+        association the global :func:`normalized_adjacency` uses, so the
+        distributed blocks are bit-identical to slices of the global Â.
+        """
+        dtype = np.dtype(dtype)
+        if features.ndim != 2 or features.shape[0] != graph.num_nodes:
+            raise GraphConstructionError(
+                f"features must have shape (n, f) with n={graph.num_nodes}, "
+                f"got {features.shape}"
+            )
+        if plan is None:
+            plan = GraphPartitioner(config).partition(graph)
+        coeff = resolve_gamma(gamma)
+        features = np.ascontiguousarray(features, dtype=dtype)
+
+        adjacency = graph.adjacency
+        a_tilde = graph.add_self_loops().adjacency
+        # Global D̃ row sums exist only transiently here, standing in for the
+        # per-owner degree service a networked build would query; every shard
+        # reads exactly its owned + halo slice of it.
+        deg_tilde = np.asarray(a_tilde.sum(axis=1)).ravel()
+
+        shards = []
+        for shard_id in range(plan.num_shards):
+            owned = plan.owned[shard_id]
+            shards.append(
+                cls._build_shard(
+                    shard_id, owned, adjacency, a_tilde, deg_tilde, features,
+                    coeff, dtype,
+                )
+            )
+        return cls(
+            plan=plan,
+            shards=shards,
+            num_nodes=graph.num_nodes,
+            num_features=int(features.shape[1]),
+            num_edges=graph.num_edges,
+            gamma=coeff,
+            dtype=dtype,
+        )
+
+    @staticmethod
+    def _build_shard(
+        shard_id: int,
+        owned: np.ndarray,
+        adjacency: sp.csr_matrix,
+        a_tilde: sp.csr_matrix,
+        deg_tilde: np.ndarray,
+        features: np.ndarray,
+        coeff: float,
+        dtype: np.dtype,
+    ) -> GraphShard:
+        index_dtype = adjacency.indices.dtype
+
+        # Raw adjacency rows (structure + shard-local degree computation).
+        adj_flat, adj_row_ends = _flat_nnz_positions(adjacency.indptr, owned)
+        adj_indptr = np.concatenate(([0], adj_row_ends)).astype(index_dtype)
+        adj_cols_global = adjacency.indices[adj_flat].astype(np.int64)
+
+        # Normalized rows: Ã structure (adds the diagonal).
+        nrm_flat, nrm_row_ends = _flat_nnz_positions(a_tilde.indptr, owned)
+        nrm_indptr = np.concatenate(([0], nrm_row_ends)).astype(index_dtype)
+        nrm_cols_global = a_tilde.indices[nrm_flat].astype(np.int64)
+
+        # Local column space: sorted union of owned and referenced columns.
+        # Sorted order preserves each row's ascending-column entry order.
+        col_global = np.union1d(owned, nrm_cols_global)
+        halo = np.setdiff1d(col_global, owned, assume_unique=True)
+
+        # Shard-local degree computation over the full local rows (the
+        # edge-cut keeps complete rows, halo columns included), matching
+        # scipy's row-sum accumulation of the global graph entry for entry.
+        local_block = sp.csr_matrix(
+            (
+                adjacency.data[adj_flat],
+                np.searchsorted(col_global, adj_cols_global),
+                adj_indptr.astype(np.int64),
+            ),
+            shape=(owned.shape[0], col_global.shape[0]),
+        )
+        degrees_with_loops = np.asarray(local_block.sum(axis=1)).ravel() + 1.0
+
+        # Halo exchange: ghost-column D̃ degrees come from their owners; the
+        # left factor uses owned degrees only.  The per-entry association
+        # ``(left_i * ã_ij) * right_j`` mirrors scipy's diag @ Ã @ diag.
+        deg_cols = deg_tilde[col_global]
+        safe_cols = np.where(deg_cols > 0, deg_cols, 1.0)
+        deg_own = deg_tilde[owned]
+        safe_own = np.where(deg_own > 0, deg_own, 1.0)
+        left_own = np.power(safe_own, coeff - 1.0)
+        right_cols = np.power(safe_cols, -coeff)
+        nrm_indices = np.searchsorted(col_global, nrm_cols_global)
+        lengths = np.diff(nrm_indptr.astype(np.int64))
+        nrm_data = (
+            (np.repeat(left_own, lengths) * a_tilde.data[nrm_flat])
+            * right_cols[nrm_indices]
+        ).astype(dtype)
+
+        return GraphShard(
+            shard_id=shard_id,
+            owned=owned,
+            col_global=col_global,
+            halo=halo,
+            adj_indptr=adj_indptr,
+            adj_indices=np.searchsorted(col_global, adj_cols_global).astype(index_dtype),
+            nrm_indptr=nrm_indptr,
+            nrm_indices=nrm_indices.astype(index_dtype),
+            nrm_data=nrm_data,
+            features=np.ascontiguousarray(features[owned]),
+            degrees_with_loops=degrees_with_loops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    def owner_of(self, node_ids: np.ndarray) -> np.ndarray:
+        return self.plan.shard_of(node_ids)
+
+    def local_rows(self, node_ids: np.ndarray) -> np.ndarray:
+        """Row of each node within its owner's block."""
+        return self._local_row[np.asarray(node_ids, dtype=np.int64)]
+
+    # ------------------------------------------------------------------ #
+    # Cross-shard k-hop expansion
+    # ------------------------------------------------------------------ #
+    def k_hop_neighborhood(
+        self, targets: np.ndarray, depth: int, *, home_shard: int | None = None
+    ) -> SupportingSubgraph:
+        """Sharded BFS, bit-identical to the single-graph implementation.
+
+        The global BFS deduplicates each hop's neighbour list with a boolean
+        scatter and emits the new frontier sorted ascending; both steps are
+        order-insensitive, so gathering neighbours shard-by-shard (instead
+        of row-by-row over one CSR) yields the same hop sets, the same
+        hop-sorted node ordering, and the same ``target_local`` map.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size == 0:
+            raise GraphConstructionError("k_hop_neighborhood requires a non-empty batch")
+        if targets.min() < 0 or targets.max() >= self.num_nodes:
+            raise GraphConstructionError("target node ids out of range")
+        if depth < 0:
+            raise ValueError(f"depth must be non-negative, got {depth}")
+
+        visited = np.zeros(self.num_nodes, dtype=bool)
+        newly = np.zeros(self.num_nodes, dtype=bool)
+        hop_of = np.full(self.num_nodes, -1, dtype=np.int64)
+        frontier = np.unique(targets)
+        visited[frontier] = True
+        hop_of[frontier] = 0
+        order = [frontier]
+        for hop in range(1, depth + 1):
+            if frontier.size == 0:
+                break
+            neighbor_ids = self._gather_frontier_columns(frontier, home_shard)
+            neighbor_ids = neighbor_ids[~visited[neighbor_ids]]
+            if neighbor_ids.size == 0:
+                frontier = neighbor_ids
+                continue
+            newly[neighbor_ids] = True
+            new = np.flatnonzero(newly)
+            newly[new] = False
+            visited[new] = True
+            hop_of[new] = hop
+            order.append(new)
+            frontier = new
+
+        node_ids = np.concatenate(order)
+        lookup = np.full(self.num_nodes, -1, dtype=np.int64)
+        lookup[node_ids] = np.arange(node_ids.shape[0], dtype=np.int64)
+        return SupportingSubgraph(
+            node_ids=node_ids,
+            target_local=lookup[targets],
+            adjacency=None,
+            hops=hop_of[node_ids],
+            global_to_local=lookup,
+        )
+
+    def _gather_frontier_columns(
+        self, frontier: np.ndarray, home_shard: int | None
+    ) -> np.ndarray:
+        """Concatenated (global) neighbour ids of ``frontier``, per owner shard."""
+        owners = self.plan.owner[frontier]
+        rows = self._local_row[frontier]
+        pieces = []
+        for shard in self.shards:
+            mask = owners == shard.shard_id
+            if not mask.any():
+                continue
+            flat, _ = _flat_nnz_positions(shard.adj_indptr, rows[mask])
+            pieces.append(shard.col_global[shard.adj_indices[flat]])
+            if home_shard is not None:
+                count = int(mask.sum())
+                with self._traffic_lock:
+                    if shard.shard_id == home_shard:
+                        self.traffic.frontier_cols_local += count
+                    else:
+                        self.traffic.frontier_cols_remote += count
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    # ------------------------------------------------------------------ #
+    # Bundle assembly
+    # ------------------------------------------------------------------ #
+    def build_support_bundle(
+        self, targets: np.ndarray, depth: int, *, home_shard: int | None = None
+    ) -> SupportBundle:
+        """Assemble the batch's :class:`SupportBundle` from the shard blocks.
+
+        Produces arrays bit-identical to the single-process
+        :func:`~repro.graph.sampling.build_support_bundle`: same hop-ordered
+        node ids, same local CSR entry order (each shard's rows keep their
+        ascending-global-column order, stitched back in node order), same
+        values and dtypes.  The graph-sized lookup is dropped from the
+        stored subgraph exactly like the global path does.
+        """
+        start = time.perf_counter()
+        support = self.k_hop_neighborhood(targets, depth, home_shard=home_shard)
+        node_ids = support.node_ids
+        assert support.global_to_local is not None
+        indptr, indices, data = self._assemble_local_csr(
+            node_ids, support.global_to_local, home_shard
+        )
+        local_features = self._gather_features(node_ids, home_shard)
+        with self._traffic_lock:
+            self.traffic.bundles_assembled += 1
+        return SupportBundle(
+            support=replace(support, global_to_local=None),
+            indptr=indptr,
+            indices=indices,
+            data=data,
+            local_features=local_features,
+            build_seconds=time.perf_counter() - start,
+        )
+
+    def _assemble_local_csr(
+        self, node_ids: np.ndarray, lookup: np.ndarray, home_shard: int | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stitch per-owner Â rows into ``matrix[node_ids][:, node_ids]`` form."""
+        owners = self.plan.owner[node_ids]
+        rows = self._local_row[node_ids]
+        index_dtype = self.shards[0].nrm_indices.dtype
+
+        lengths = np.empty(node_ids.shape[0], dtype=np.int64)
+        shard_masks = []
+        for shard in self.shards:
+            mask = owners == shard.shard_id
+            shard_masks.append(mask)
+            if mask.any():
+                r = rows[mask]
+                lengths[mask] = (
+                    shard.nrm_indptr[r + 1].astype(np.int64)
+                    - shard.nrm_indptr[r].astype(np.int64)
+                )
+        row_ends = np.cumsum(lengths)
+        total = int(row_ends[-1]) if lengths.size else 0
+        if total == 0:
+            empty_ptr = np.zeros(node_ids.shape[0] + 1, dtype=index_dtype)
+            return (
+                empty_ptr,
+                np.empty(0, dtype=index_dtype),
+                np.empty(0, dtype=self.dtype),
+            )
+
+        cols_global = np.empty(total, dtype=np.int64)
+        data_flat = np.empty(total, dtype=self.dtype)
+        starts = row_ends - lengths
+        for shard, mask in zip(self.shards, shard_masks):
+            if not mask.any():
+                continue
+            r = rows[mask]
+            flat, seg_ends = _flat_nnz_positions(shard.nrm_indptr, r)
+            seg_lengths = np.diff(np.concatenate(([0], seg_ends)))
+            # Destination positions: each fetched row lands in its node's
+            # segment of the stitched arrays, preserving hop order.
+            base = np.repeat(starts[mask], seg_lengths)
+            within = np.arange(flat.shape[0], dtype=np.int64) - np.repeat(
+                seg_ends - seg_lengths, seg_lengths
+            )
+            dest = base + within
+            cols_global[dest] = shard.col_global[shard.nrm_indices[flat]]
+            data_flat[dest] = shard.nrm_data[flat]
+            if home_shard is not None:
+                count = int(mask.sum())
+                with self._traffic_lock:
+                    if shard.shard_id == home_shard:
+                        self.traffic.adjacency_rows_local += count
+                    else:
+                        self.traffic.adjacency_rows_remote += count
+
+        # Mirror extract_local_csr_arrays: remap to bundle-local columns and
+        # drop entries outside the neighbourhood.
+        cols = lookup[cols_global]
+        keep = cols >= 0
+        kept_before = np.concatenate(([0], np.cumsum(keep)))
+        gathered_indptr = np.concatenate(([0], row_ends))
+        new_indptr = kept_before[gathered_indptr].astype(index_dtype)
+        new_indices = cols[keep].astype(index_dtype)
+        new_data = data_flat[keep]
+        return new_indptr, new_indices, new_data
+
+    def _gather_features(
+        self, node_ids: np.ndarray, home_shard: int | None
+    ) -> np.ndarray:
+        """Hop-0 feature rows of ``node_ids``, fetched from their owners."""
+        owners = self.plan.owner[node_ids]
+        rows = self._local_row[node_ids]
+        out = np.empty((node_ids.shape[0], self.num_features), dtype=self.dtype)
+        for shard in self.shards:
+            mask = owners == shard.shard_id
+            if not mask.any():
+                continue
+            out[mask] = shard.features[rows[mask]]
+            if home_shard is not None:
+                count = int(mask.sum())
+                with self._traffic_lock:
+                    if shard.shard_id == home_shard:
+                        self.traffic.feature_rows_local += count
+                    else:
+                        self.traffic.feature_rows_remote += count
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def memory_report(self) -> dict:
+        """Per-shard resident bytes and halo sizes (benchmark surface)."""
+        return {
+            "num_shards": self.num_shards,
+            "strategy": self.plan.strategy,
+            "cut_edges": self.plan.cut_edges,
+            "per_shard": [
+                {
+                    "shard": shard.shard_id,
+                    "owned_nodes": shard.num_owned,
+                    "halo_nodes": shard.num_halo,
+                    "halo_fraction": (
+                        shard.num_halo / shard.num_owned if shard.num_owned else 0.0
+                    ),
+                    "nbytes": shard.nbytes,
+                }
+                for shard in self.shards
+            ],
+            "max_shard_nbytes": max(shard.nbytes for shard in self.shards),
+            "total_halo_nodes": sum(shard.num_halo for shard in self.shards),
+        }

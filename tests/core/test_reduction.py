@@ -1,0 +1,138 @@
+"""Property tests for the reproducible exact summation (repro.core.reduction).
+
+The sharded stationary state is bit-identical to the single-process one only
+because this accumulator is *exact*: partial sums of any partition, merged in
+any order, reconstruct the same correctly-rounded float as summing everything
+at once.  These tests pin exactly those properties.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reduction import (
+    exact_columnwise_sum,
+    exponent_range,
+    limb_partials,
+    merge_exponent_ranges,
+    merge_limb_partials,
+    plan_sum_grid,
+    reconstruct_sums,
+    reproducible_weighted_sum,
+    weighted_feature_products,
+)
+from repro.exceptions import ShapeError
+
+
+def _random_block(rng, *, rows=None, cols=None, wild_scales=False):
+    rows = int(rng.integers(1, 300)) if rows is None else rows
+    cols = int(rng.integers(1, 12)) if cols is None else cols
+    block = rng.normal(size=(rows, cols)) * 10.0 ** rng.integers(-10, 10)
+    if wild_scales:
+        block *= 10.0 ** rng.integers(-8, 8, size=(rows, 1))
+    return block
+
+
+class TestExactness:
+    def test_matches_fsum_oracle(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            block = _random_block(rng, wild_scales=trial % 3 == 0)
+            got = exact_columnwise_sum(block)
+            oracle = np.array([math.fsum(col) for col in block.T])
+            assert np.array_equal(got, oracle)
+
+    def test_order_independent(self):
+        rng = np.random.default_rng(1)
+        block = _random_block(rng, rows=257, cols=7, wild_scales=True)
+        reference = exact_columnwise_sum(block)
+        for _ in range(5):
+            shuffled = block[rng.permutation(block.shape[0])]
+            assert np.array_equal(exact_columnwise_sum(shuffled), reference)
+
+    def test_partition_independent(self):
+        """Per-part partials merged on a shared grid equal the one-shot sum."""
+        rng = np.random.default_rng(2)
+        for parts in (1, 2, 3, 5):
+            block = _random_block(rng, rows=301, cols=5, wild_scales=True)
+            owner = rng.integers(0, parts, size=block.shape[0])
+            pieces = [block[owner == p] for p in range(parts)]
+            grid = plan_sum_grid(
+                merge_exponent_ranges([exponent_range(p) for p in pieces])
+            )
+            partials = [
+                limb_partials(p, grid) for p in pieces if p.shape[0] > 0
+            ]
+            merged = reconstruct_sums(merge_limb_partials(partials), grid)
+            assert np.array_equal(merged, exact_columnwise_sum(block))
+
+    def test_extreme_magnitudes_cancelled_exactly(self):
+        # 1e300 and 5e-324 (a denormal) in one column: naive summation loses
+        # the small term entirely; the exact path keeps every bit.
+        block = np.array([[1e300], [5e-324], [-1e300], [3e-310], [1.0]])
+        assert np.array_equal(
+            exact_columnwise_sum(block), np.array([math.fsum(block[:, 0])])
+        )
+
+    def test_all_zero_block(self):
+        assert np.array_equal(exact_columnwise_sum(np.zeros((4, 3))), np.zeros(3))
+
+    def test_float32_output_dtype(self):
+        rng = np.random.default_rng(3)
+        block = _random_block(rng, rows=64, cols=4)
+        out = exact_columnwise_sum(block, np.float32)
+        assert out.dtype == np.float32
+
+
+class TestGridProtocol:
+    def test_exponent_range_of_zero_block_is_none(self):
+        assert exponent_range(np.zeros((3, 2))) is None
+        assert plan_sum_grid(None) is None
+        assert merge_exponent_ranges([None, None]) is None
+
+    def test_merge_exponent_ranges_matches_global(self):
+        rng = np.random.default_rng(4)
+        block = _random_block(rng, rows=200, cols=3, wild_scales=True)
+        owner = rng.integers(0, 3, size=block.shape[0])
+        merged = merge_exponent_ranges(
+            [exponent_range(block[owner == p]) for p in range(3)]
+        )
+        assert merged == exponent_range(block)
+
+    def test_partial_on_uncovering_grid_rejected(self):
+        # A grid planned from large values cannot represent a tiny term.
+        grid = plan_sum_grid((10, 5))
+        with pytest.raises(ShapeError):
+            limb_partials(np.array([[1e-30]]), grid)
+
+    def test_non_finite_inputs_rejected(self):
+        with pytest.raises(ShapeError):
+            exponent_range(np.array([[np.inf]]))
+        with pytest.raises(ShapeError):
+            exponent_range(np.array([[np.nan]]))
+
+
+class TestWeightedSum:
+    def test_products_are_elementwise(self):
+        w = np.array([2.0, 3.0])
+        x = np.array([[1.0, 2.0], [4.0, 5.0]])
+        assert np.array_equal(
+            weighted_feature_products(w, x), np.array([[2.0, 4.0], [12.0, 15.0]])
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            weighted_feature_products(np.ones(3), np.ones((2, 4)))
+        with pytest.raises(ShapeError):
+            limb_partials(np.ones(3), plan_sum_grid((1, 1)))
+
+    def test_weighted_sum_is_permutation_invariant(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=100).astype(np.float32) ** 2
+        x = rng.normal(size=(100, 6)).astype(np.float32)
+        reference = reproducible_weighted_sum(w, x, np.float32)
+        perm = rng.permutation(100)
+        assert np.array_equal(
+            reproducible_weighted_sum(w[perm], x[perm], np.float32), reference
+        )

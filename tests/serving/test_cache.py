@@ -26,10 +26,20 @@ def bundle_for(deployed, batch) -> SupportBundle:
 
 
 class TestCacheKey:
-    def test_key_is_order_sensitive(self):
+    def test_key_is_order_insensitive(self):
+        # Canonical keys: any permutation of the same multiset shares one
+        # entry (the cached bundle is rebased per use via with_target_order).
         a = support_cache_key(np.array([1, 2, 3]), depth=3)
         b = support_cache_key(np.array([3, 2, 1]), depth=3)
-        assert a != b
+        assert a == b
+
+    def test_key_distinguishes_multisets(self):
+        assert support_cache_key(np.array([1, 2, 2]), 3) != support_cache_key(
+            np.array([1, 1, 2]), 3
+        )
+        assert support_cache_key(np.array([1, 2]), 3) != support_cache_key(
+            np.array([1, 2, 2]), 3
+        )
 
     def test_key_depends_on_depth(self):
         ids = np.array([1, 2, 3])
@@ -39,6 +49,54 @@ class TestCacheKey:
         assert support_cache_key(np.array([4, 5]), 2) == support_cache_key(
             np.array([4, 5]), 2
         )
+
+
+class TestCanonicalHitPath:
+    """Permuted repeats of a node-set must hit and serve identical results."""
+
+    def test_permuted_batch_shares_the_cache_entry(self, deployed, tiny_dataset):
+        cache = SubgraphCache(4)
+        batch = tiny_dataset.split.test_idx[:24]
+        permuted = np.random.default_rng(3).permutation(batch)
+        depth = deployed.config.t_max
+        assert cache.get(cache.key_for(batch, depth)) is None  # cold miss
+        from repro.graph.sampling import canonical_order
+
+        sorted_ids, _ = canonical_order(batch)
+        cache.put(cache.key_for(batch, depth), bundle_for(deployed, sorted_ids))
+        assert cache.get(cache.key_for(permuted, depth)) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rebased_bundle_gives_bit_identical_results(self, deployed, tiny_dataset):
+        from repro.graph.sampling import canonical_order
+
+        engine = deployed.make_engine()
+        batch = tiny_dataset.split.test_idx[:24]
+        permuted = np.random.default_rng(5).permutation(batch)
+        # Canonical bundle built once (what the dispatcher caches)...
+        sorted_ids, rank = canonical_order(permuted)
+        canonical_bundle = bundle_for(deployed, sorted_ids)
+        rebased = canonical_bundle.with_target_order(rank)
+        # ...must reproduce a from-scratch run of the permuted order exactly.
+        fresh = engine.run_batch(permuted)
+        replayed = engine.run_batch(permuted, bundle=rebased)
+        assert np.array_equal(replayed.predictions, fresh.predictions)
+        assert np.array_equal(replayed.depths, fresh.depths)
+        assert replayed.macs.total == fresh.macs.total
+
+    def test_with_target_order_validates_length(self, deployed, tiny_dataset):
+        from repro.exceptions import GraphConstructionError
+
+        bundle = bundle_for(deployed, tiny_dataset.split.test_idx[:8])
+        with pytest.raises(GraphConstructionError):
+            bundle.with_target_order(np.arange(3))
+
+    def test_with_target_order_shares_arrays(self, deployed, tiny_dataset):
+        bundle = bundle_for(deployed, tiny_dataset.split.test_idx[:8])
+        view = bundle.with_target_order(np.arange(8)[::-1].copy())
+        assert view.data is bundle.data
+        assert view.local_features is bundle.local_features
+        assert view.support.node_ids is bundle.support.node_ids
 
 
 class TestSubgraphCacheLRU:

@@ -1,0 +1,121 @@
+"""Tests for the opt-in result-level response cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import ServingConfig
+from repro.exceptions import ConfigurationError
+from repro.core.inference import MACBreakdown, TimingBreakdown
+from repro.serving import CachedResult, InferenceServer, ResultCache
+
+
+@pytest.fixture(scope="module")
+def deployed(trained_nai, tiny_dataset):
+    predictor = trained_nai.build_predictor(policy="distance")
+    predictor.prepare(tiny_dataset.graph, tiny_dataset.features)
+    return predictor
+
+
+def _entry(n=4):
+    return CachedResult(
+        predictions=np.arange(n),
+        depths=np.ones(n, dtype=np.int64),
+        macs=MACBreakdown(propagation=10.0),
+        timings=TimingBreakdown(propagation=0.1),
+    )
+
+
+class TestResultCacheLRU:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(0)
+
+    def test_miss_then_hit(self):
+        cache = ResultCache(2)
+        key = cache.key_for(np.array([3, 1, 2]), 4)
+        assert cache.get(key) is None
+        cache.put(key, _entry())
+        # Any permutation maps to the same canonical key.
+        assert cache.get(cache.key_for(np.array([1, 2, 3]), 4)) is not None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_beyond_capacity(self):
+        cache = ResultCache(2)
+        for ids in ([1], [2], [3]):
+            cache.put(cache.key_for(np.array(ids), 1), _entry(1))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(cache.key_for(np.array([1]), 1)) is None
+
+    def test_clear(self):
+        cache = ResultCache(2)
+        cache.put(cache.key_for(np.array([1]), 1), _entry(1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestServedReplay:
+    def _serve(self, deployed, batches, **overrides):
+        config = ServingConfig(
+            num_workers=2,
+            max_batch_size=64,
+            max_wait_ms=0.0,
+            cache_capacity=0,
+            result_cache_capacity=8,
+            **overrides,
+        )
+        with InferenceServer(deployed, config) as server:
+            responses = [
+                server.submit(batch).result(timeout=300.0) for batch in batches
+            ]
+            stats = server.stats()
+        return responses, stats
+
+    def test_replay_is_bit_identical(self, deployed, tiny_dataset):
+        batch = tiny_dataset.split.test_idx[:32]
+        permuted = np.random.default_rng(0).permutation(batch)
+        sequential = [deployed.predict(ids) for ids in (batch, permuted, batch)]
+        responses, stats = self._serve(deployed, [batch, permuted, batch])
+        for response, reference in zip(responses, sequential):
+            assert np.array_equal(response.predictions, reference.predictions)
+            assert np.array_equal(response.depths, reference.depths)
+        assert not responses[0].result_cache_hit
+        assert responses[1].result_cache_hit  # permuted repeat replays
+        assert responses[2].result_cache_hit
+        assert stats.result_cache_hits == 2
+        assert stats.result_cache_misses == 1
+
+    def test_replayed_macs_accounted_separately(self, deployed, tiny_dataset):
+        batch = tiny_dataset.split.test_idx[:16]
+        _, stats = self._serve(deployed, [batch, batch, batch])
+        # One computed execution, two replays of its recorded breakdown.
+        assert stats.batches_replayed == 2
+        assert stats.requests_replayed == 2
+        assert stats.replayed_macs.total == pytest.approx(2 * stats.macs.total)
+        payload = stats.as_dict()
+        assert payload["computed_macs"] == stats.macs.total
+        assert payload["replayed_macs"] == stats.replayed_macs.total
+        # Replays still complete requests and count toward throughput.
+        assert stats.requests_completed == 3
+        assert stats.nodes_completed == 3 * batch.shape[0]
+
+    def test_disabled_by_default(self, deployed, tiny_dataset):
+        batch = tiny_dataset.split.test_idx[:8]
+        config = ServingConfig(num_workers=1, max_wait_ms=0.0, cache_capacity=0)
+        with InferenceServer(deployed, config) as server:
+            assert server.result_cache is None
+            server.submit(batch).result(timeout=300.0)
+            server.submit(batch).result(timeout=300.0)
+            stats = server.stats()
+        assert stats.result_cache_hits == 0
+        assert stats.batches_replayed == 0
+
+    def test_different_node_sets_do_not_collide(self, deployed, tiny_dataset):
+        a = tiny_dataset.split.test_idx[:8]
+        b = tiny_dataset.split.test_idx[8:16]
+        sequential = [deployed.predict(ids) for ids in (a, b)]
+        responses, stats = self._serve(deployed, [a, b])
+        assert stats.result_cache_hits == 0
+        for response, reference in zip(responses, sequential):
+            assert np.array_equal(response.predictions, reference.predictions)

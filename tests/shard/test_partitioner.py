@@ -1,0 +1,88 @@
+"""Tests for the edge-cut graph partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShardConfig
+from repro.exceptions import ConfigurationError, GraphConstructionError
+from repro.graph import CSRGraph
+from repro.graph.generators import SyntheticGraphSpec, generate_community_graph
+from repro.shard import GraphPartitioner
+
+
+def _graph(seed=0, n=200):
+    spec = SyntheticGraphSpec(
+        num_nodes=n, num_classes=4, avg_degree=6.0, degree_exponent=2.0
+    )
+    graph, _ = generate_community_graph(spec, rng=seed)
+    return graph
+
+
+class TestShardConfig:
+    def test_invalid_num_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardConfig(num_shards=0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardConfig(strategy="metis")
+
+
+class TestPlans:
+    @pytest.mark.parametrize("strategy", ["hash", "degree_balanced"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_ownership_is_a_partition(self, strategy, num_shards):
+        graph = _graph()
+        plan = GraphPartitioner(
+            ShardConfig(num_shards=num_shards, strategy=strategy)
+        ).partition(graph)
+        assert plan.num_shards == num_shards
+        combined = np.concatenate(plan.owned)
+        assert np.array_equal(np.sort(combined), np.arange(graph.num_nodes))
+        for owned in plan.owned:
+            # Sorted ownership is load-bearing for bit-identical assembly.
+            assert np.all(np.diff(owned) > 0)
+            assert np.array_equal(plan.owner[owned], np.full(owned.shape, plan.owner[owned[0]]))
+
+    @pytest.mark.parametrize("strategy", ["hash", "degree_balanced"])
+    def test_deterministic(self, strategy):
+        graph = _graph(seed=3)
+        config = ShardConfig(num_shards=3, strategy=strategy)
+        a = GraphPartitioner(config).partition(graph)
+        b = GraphPartitioner(config).partition(graph)
+        assert np.array_equal(a.owner, b.owner)
+        assert a.cut_edges == b.cut_edges
+
+    def test_single_shard_has_no_cut(self):
+        plan = GraphPartitioner(ShardConfig(num_shards=1)).partition(_graph())
+        assert plan.cut_edges == 0
+        assert plan.shard_sizes() == [200]
+
+    def test_degree_balanced_balances_degree_load(self):
+        graph = _graph(seed=5, n=400)
+        degrees = graph.degrees()
+        plan = GraphPartitioner(
+            ShardConfig(num_shards=4, strategy="degree_balanced")
+        ).partition(graph)
+        loads = np.array([degrees[owned].sum() for owned in plan.owned])
+        # LPT keeps the max load within a whisker of the mean; a heavy-tailed
+        # graph hashed instead routinely lands 20%+ above it.
+        assert loads.max() <= loads.mean() * 1.05 + degrees.max()
+
+    def test_shard_of_routes_every_node(self):
+        plan = GraphPartitioner(ShardConfig(num_shards=2)).partition(_graph())
+        ids = np.array([0, 5, 199])
+        assert np.array_equal(plan.shard_of(ids), plan.owner[ids])
+
+    def test_more_shards_than_nodes_rejected(self):
+        tiny = CSRGraph.from_edges([(0, 1)], num_nodes=2)
+        with pytest.raises(GraphConstructionError):
+            GraphPartitioner(ShardConfig(num_shards=3)).partition(tiny)
+
+    def test_cut_edges_counted_once_per_edge(self):
+        # A 4-cycle split into odd/even hash shards cuts every edge.
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_nodes=4)
+        plan = GraphPartitioner(ShardConfig(num_shards=2)).partition(graph)
+        coo = graph.adjacency.tocoo()
+        expected = int((plan.owner[coo.row] != plan.owner[coo.col]).sum()) // 2
+        assert plan.cut_edges == expected

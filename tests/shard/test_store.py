@@ -1,0 +1,153 @@
+"""Tests for the sharded graph store: blocks, halo maps, bundle assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShardConfig
+from repro.exceptions import GraphConstructionError
+from repro.graph import CSRGraph, normalized_adjacency
+from repro.graph.generators import SyntheticGraphSpec, generate_community_graph
+from repro.graph.sampling import build_support_bundle, k_hop_neighborhood
+from repro.shard import ShardedGraphStore
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    spec = SyntheticGraphSpec(
+        num_nodes=250, num_classes=4, avg_degree=7.0, degree_exponent=2.0
+    )
+    graph, _ = generate_community_graph(spec, rng=11)
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(graph.num_nodes, 9)).astype(np.float32)
+    return graph, features
+
+
+@pytest.fixture(scope="module")
+def store(deployment):
+    graph, features = deployment
+    return ShardedGraphStore.from_graph(
+        graph, features, ShardConfig(num_shards=3, strategy="hash"),
+        gamma=0.5, dtype=np.float32,
+    )
+
+
+class TestShardBlocks:
+    def test_halo_is_col_global_minus_owned(self, store):
+        for shard in store.shards:
+            assert np.array_equal(
+                shard.halo, np.setdiff1d(shard.col_global, shard.owned)
+            )
+            # Local column numbering is sorted-global — load-bearing for
+            # bit-identical row assembly.
+            assert np.all(np.diff(shard.col_global) > 0)
+
+    def test_normalized_rows_match_global_a_hat(self, deployment, store):
+        graph, _ = deployment
+        a_hat = normalized_adjacency(graph, gamma=0.5).astype(np.float32, copy=False)
+        for shard in store.shards:
+            for local_row in (0, shard.num_owned // 2, shard.num_owned - 1):
+                node = shard.owned[local_row]
+                lo, hi = shard.nrm_indptr[local_row], shard.nrm_indptr[local_row + 1]
+                cols = shard.col_global[shard.nrm_indices[lo:hi]]
+                glo, ghi = a_hat.indptr[node], a_hat.indptr[node + 1]
+                assert np.array_equal(cols, a_hat.indices[glo:ghi])
+                # Shard-local values (halo-exchanged degrees) are bit-equal
+                # to the global normalized adjacency.
+                assert np.array_equal(shard.nrm_data[lo:hi], a_hat.data[glo:ghi])
+
+    def test_degrees_computed_shard_locally_match_global(self, deployment, store):
+        graph, _ = deployment
+        expected = graph.degrees() + 1.0
+        for shard in store.shards:
+            assert np.array_equal(shard.degrees_with_loops, expected[shard.owned])
+
+    def test_features_are_owned_slices(self, deployment, store):
+        _, features = deployment
+        for shard in store.shards:
+            assert np.array_equal(shard.features, features[shard.owned])
+            assert shard.features.dtype == np.float32
+
+    def test_memory_report_shape(self, store):
+        report = store.memory_report()
+        assert report["num_shards"] == 3
+        assert len(report["per_shard"]) == 3
+        assert report["max_shard_nbytes"] == max(
+            entry["nbytes"] for entry in report["per_shard"]
+        )
+
+    def test_mismatched_features_rejected(self, deployment):
+        graph, features = deployment
+        with pytest.raises(GraphConstructionError):
+            ShardedGraphStore.from_graph(
+                graph, features[:10], ShardConfig(num_shards=2)
+            )
+
+
+class TestCrossShardExpansion:
+    @pytest.mark.parametrize("depth", [0, 1, 3])
+    def test_k_hop_matches_global(self, deployment, store, depth):
+        graph, _ = deployment
+        rng = np.random.default_rng(depth)
+        targets = rng.choice(graph.num_nodes, size=17, replace=False)
+        mine = store.k_hop_neighborhood(targets, depth)
+        reference = k_hop_neighborhood(
+            graph, targets, depth, include_adjacency=False
+        )
+        assert np.array_equal(mine.node_ids, reference.node_ids)
+        assert np.array_equal(mine.hops, reference.hops)
+        assert np.array_equal(mine.target_local, reference.target_local)
+
+    def test_bundle_bit_identical_to_global(self, deployment, store):
+        graph, features = deployment
+        features32 = np.ascontiguousarray(features, dtype=np.float32)
+        a_hat = normalized_adjacency(graph, gamma=0.5).astype(np.float32, copy=False)
+        rng = np.random.default_rng(9)
+        for size in (1, 13, 64):
+            targets = rng.choice(graph.num_nodes, size=size, replace=False)
+            mine = store.build_support_bundle(targets, 3)
+            reference = build_support_bundle(graph, a_hat, features32, targets, 3)
+            for name in ("indptr", "indices", "data", "local_features"):
+                assert np.array_equal(getattr(mine, name), getattr(reference, name))
+                assert getattr(mine, name).dtype == getattr(reference, name).dtype
+            for name in ("node_ids", "target_local", "hops"):
+                assert np.array_equal(
+                    getattr(mine.support, name), getattr(reference.support, name)
+                )
+            assert mine.support.global_to_local is None
+
+    def test_duplicate_targets_supported(self, deployment, store):
+        graph, features = deployment
+        a_hat = normalized_adjacency(graph, gamma=0.5).astype(np.float32, copy=False)
+        targets = np.array([5, 5, 17, 5])
+        mine = store.build_support_bundle(targets, 2)
+        reference = build_support_bundle(
+            graph, a_hat, np.ascontiguousarray(features, np.float32), targets, 2
+        )
+        assert np.array_equal(mine.support.target_local, reference.support.target_local)
+
+    def test_validation_matches_global(self, store):
+        with pytest.raises(GraphConstructionError):
+            store.k_hop_neighborhood(np.array([], dtype=np.int64), 2)
+        with pytest.raises(GraphConstructionError):
+            store.k_hop_neighborhood(np.array([10**6]), 2)
+        with pytest.raises(ValueError):
+            store.k_hop_neighborhood(np.array([0]), -1)
+
+
+class TestTraffic:
+    def test_home_shard_attribution(self, deployment):
+        graph, features = deployment
+        store = ShardedGraphStore.from_graph(
+            graph, features, ShardConfig(num_shards=2), dtype=np.float32
+        )
+        targets = store.shards[0].owned[:8]
+        store.build_support_bundle(targets, 2, home_shard=0)
+        t = store.traffic
+        assert t.bundles_assembled == 1
+        assert t.adjacency_rows_local + t.adjacency_rows_remote > 0
+        assert t.feature_rows_local > 0  # hop-0 rows are home-owned
+        # Without a home shard nothing further is attributed.
+        before = t.adjacency_rows_local + t.adjacency_rows_remote
+        store.build_support_bundle(targets, 2)
+        after = t.adjacency_rows_local + t.adjacency_rows_remote
+        assert after == before
