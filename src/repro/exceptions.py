@@ -46,3 +46,25 @@ class BackpressureError(ReproError):
 
 class ServingError(ReproError):
     """Raised on invalid operations against the online serving subsystem."""
+
+
+class TransportError(ReproError):
+    """Raised when a shard transport fetch fails (drop, disconnect, timeout).
+
+    Carries enough context to route a retry: the failing operation, the shard
+    that was being fetched from, and whether the transport believes a
+    reconnect could succeed (``retryable``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        shard_id: int | None = None,
+        retryable: bool = True,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.shard_id = shard_id
+        self.retryable = retryable

@@ -23,17 +23,22 @@ for the throughput/equivalence benchmark behind ``BENCH_serving.json``.
 
 from .batcher import MicroBatch, MicroBatcher
 from .cache import CachedResult, ResultCache, SubgraphCache
+from .clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .server import InferenceServer
 from .stats import ServingStats, ServingStatsSnapshot, WorkerStats
 from .worker import WorkerPool, WorkItem, WorkOutput
 
 __all__ = [
+    "MONOTONIC_CLOCK",
     "CachedResult",
+    "Clock",
+    "FakeClock",
     "InferenceRequest",
     "InferenceServer",
     "MicroBatch",
     "MicroBatcher",
+    "MonotonicClock",
     "RequestQueue",
     "ResultCache",
     "ServingResponse",

@@ -20,12 +20,12 @@ The batcher balances throughput against latency with two knobs from
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from .clock import Clock
 from .queue import InferenceRequest, RequestQueue
 
 
@@ -64,6 +64,7 @@ class MicroBatcher:
         *,
         max_batch_size: int,
         max_wait_seconds: float,
+        clock: Clock | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError(
@@ -76,6 +77,9 @@ class MicroBatcher:
         self.queue = queue
         self.max_batch_size = max_batch_size
         self.max_wait_seconds = max_wait_seconds
+        # Deadlines must be measured against the same clock that stamped the
+        # requests — default to the queue's.
+        self.clock = clock if clock is not None else queue.clock
         self._next_batch_id = 0
 
     def next_batch(self, poll_timeout: float = 0.05) -> MicroBatch | None:
@@ -98,7 +102,7 @@ class MicroBatcher:
         num_nodes = first.num_nodes
         deadline = first.enqueued_at + self.max_wait_seconds
         while num_nodes < self.max_batch_size:
-            wait = deadline - time.perf_counter()
+            wait = deadline - self.clock.now()
             status, nxt = self.queue.pop_within(
                 self.max_batch_size - num_nodes, timeout=max(wait, 0.0)
             )
@@ -131,5 +135,5 @@ class MicroBatcher:
             requests=tuple(requests),
             node_ids=node_ids,
             offsets=offsets,
-            formed_at=time.perf_counter(),
+            formed_at=self.clock.now(),
         )

@@ -1,0 +1,114 @@
+"""Injectable time for the serving stack: real clocks and a fake one.
+
+Every time-dependent serving component — the request queue's bounded
+waits, the micro-batcher's latency budget, the stats throughput window —
+reads time and waits through a :class:`Clock` instead of calling
+``time.perf_counter`` / ``Condition.wait`` directly.  Production uses
+:data:`MONOTONIC_CLOCK`; tests inject a :class:`FakeClock`, which makes
+every timeout deterministic and instant: a timed wait *consumes virtual
+time* instead of blocking the calling thread, so the serving test suite
+runs without a single real sleep on the fake-clock paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+from ..exceptions import ConfigurationError
+
+
+class Clock(ABC):
+    """Time source + wait primitive used by the serving components."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Monotonic seconds (an arbitrary epoch; only differences matter)."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Pause the caller for ``seconds`` (virtual or real)."""
+
+    @abstractmethod
+    def wait_on(self, condition: threading.Condition, timeout: float | None) -> bool:
+        """Wait on ``condition`` (whose lock the caller holds) up to ``timeout``.
+
+        Returns what :meth:`threading.Condition.wait` returns: ``True`` when
+        notified, ``False`` on timeout.
+        """
+
+
+class MonotonicClock(Clock):
+    """The real thing: ``time.perf_counter`` and genuine condition waits."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def wait_on(self, condition: threading.Condition, timeout: float | None) -> bool:
+        return condition.wait(timeout)
+
+
+#: Shared default instance — the clock is stateless, one is enough.
+MONOTONIC_CLOCK = MonotonicClock()
+
+
+class FakeClock(Clock):
+    """Deterministic virtual time for tests.
+
+    ``now()`` returns a counter advanced only by :meth:`advance` /
+    :meth:`sleep` and by timed waits: :meth:`wait_on` never blocks — it
+    consumes up to ``max_wait_step`` (default: the full timeout) of virtual
+    time and reports a timeout, which is exactly the observable behavior of
+    a real timed wait that nobody notified.  Components whose logic loops
+    over bounded waits (the queue's total-timeout accounting, the batcher's
+    latency budget) therefore run their full control flow, instantly.
+
+    ``max_wait_step`` caps how much virtual time one wait may consume —
+    tests use it to force multiple wakeups within a single timeout window
+    (e.g. proving a deadline is not re-armed per wakeup).
+
+    An unbounded wait (``timeout=None``) on a fake clock would hang forever
+    in virtual time; it raises ``ConfigurationError`` instead.
+    """
+
+    def __init__(self, start: float = 0.0, *, max_wait_step: float | None = None) -> None:
+        if max_wait_step is not None and max_wait_step <= 0:
+            raise ConfigurationError(
+                f"max_wait_step must be positive, got {max_wait_step}"
+            )
+        self._now = float(start)
+        self._lock = threading.Lock()
+        self.max_wait_step = max_wait_step
+        self.waits = 0
+        self.sleeps = 0
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward (never backward)."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot advance time by {seconds}")
+        with self._lock:
+            self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps += 1
+        self.advance(max(seconds, 0.0))
+
+    def wait_on(self, condition: threading.Condition, timeout: float | None) -> bool:
+        if timeout is None:
+            raise ConfigurationError(
+                "a FakeClock cannot serve an unbounded wait (timeout=None); "
+                "give the wait a timeout or use a real clock"
+            )
+        self.waits += 1
+        step = timeout if self.max_wait_step is None else min(timeout, self.max_wait_step)
+        self.advance(max(step, 0.0))
+        return False

@@ -11,12 +11,15 @@ FIFO order.
 A request doubles as the caller's handle on the eventual result:
 :meth:`InferenceRequest.result` blocks until the serving pipeline fulfils or
 fails it.
+
+All timestamps and bounded waits go through an injectable
+:class:`~repro.serving.clock.Clock`, so tests drive the queue on a
+:class:`~repro.serving.clock.FakeClock` without real sleeps.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -24,6 +27,7 @@ import numpy as np
 
 from ..core.inference import MACBreakdown, TimingBreakdown
 from ..exceptions import BackpressureError, ConfigurationError, ServingError
+from .clock import MONOTONIC_CLOCK, Clock
 
 
 @dataclass(frozen=True)
@@ -59,7 +63,13 @@ class ServingResponse:
 class InferenceRequest:
     """One queued inference request and the caller's future on its response."""
 
-    def __init__(self, request_id: int, node_ids: np.ndarray) -> None:
+    def __init__(
+        self,
+        request_id: int,
+        node_ids: np.ndarray,
+        *,
+        enqueued_at: float | None = None,
+    ) -> None:
         node_ids = np.asarray(node_ids, dtype=np.int64)
         if node_ids.ndim != 1 or node_ids.size == 0:
             raise ConfigurationError(
@@ -67,7 +77,11 @@ class InferenceRequest:
             )
         self.request_id = request_id
         self.node_ids = node_ids
-        self.enqueued_at = time.perf_counter()
+        # The server stamps requests with its clock; standalone construction
+        # falls back to real time so batcher deadlines still make sense.
+        self.enqueued_at = (
+            MONOTONIC_CLOCK.now() if enqueued_at is None else enqueued_at
+        )
         self._done = threading.Event()
         self._response: ServingResponse | None = None
         self._error: BaseException | None = None
@@ -105,7 +119,13 @@ class InferenceRequest:
 class RequestQueue:
     """Thread-safe bounded FIFO of :class:`InferenceRequest` objects."""
 
-    def __init__(self, capacity: int, overflow_policy: str = "block") -> None:
+    def __init__(
+        self,
+        capacity: int,
+        overflow_policy: str = "block",
+        *,
+        clock: Clock | None = None,
+    ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"queue capacity must be positive, got {capacity}")
         if overflow_policy not in ("block", "reject", "shed_oldest"):
@@ -114,6 +134,7 @@ class RequestQueue:
             )
         self.capacity = capacity
         self.overflow_policy = overflow_policy
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self._items: deque[InferenceRequest] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -138,7 +159,7 @@ class RequestQueue:
         :class:`~repro.exceptions.BackpressureError` once the deadline
         passes.
         """
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else self.clock.now() + timeout
         with self._lock:
             if self._closed:
                 raise ServingError("the request queue is closed")
@@ -161,16 +182,14 @@ class RequestQueue:
                     if self.on_shed is not None:
                         self.on_shed(victim)
                     continue
-                remaining = (
-                    None if deadline is None else deadline - time.perf_counter()
-                )
+                remaining = None if deadline is None else deadline - self.clock.now()
                 if remaining is not None and remaining <= 0:
                     self.rejected += 1
                     raise BackpressureError(
                         f"request queue stayed full for {timeout}s; "
                         f"request {request.request_id} rejected"
                     )
-                self._not_full.wait(remaining)
+                self.clock.wait_on(self._not_full, remaining)
                 if self._closed:
                     raise ServingError("the request queue is closed")
             self._items.append(request)
@@ -185,7 +204,7 @@ class RequestQueue:
             while not self._items:
                 if self._closed:
                     return None
-                if not self._not_empty.wait(timeout):
+                if not self.clock.wait_on(self._not_empty, timeout):
                     return None
             request = self._items.popleft()
             self._not_full.notify()
@@ -205,7 +224,7 @@ class RequestQueue:
             while not self._items:
                 if self._closed:
                     return "empty", None
-                if not self._not_empty.wait(timeout):
+                if not self.clock.wait_on(self._not_empty, timeout):
                     return "empty", None
             head = self._items[0]
             if head.num_nodes > node_budget:
@@ -225,16 +244,40 @@ class RequestQueue:
             return len(self._items)
 
     def close(self) -> None:
-        """Stop accepting requests and wake every waiting producer/consumer."""
+        """Stop accepting requests and wake every waiting producer/consumer.
+
+        Already-queued requests stay poppable — a dispatcher draining the
+        queue after close still serves them; anything it does not drain must
+        be released with :meth:`drain_pending` so waiting callers fail fast
+        instead of timing out.
+        """
         with self._lock:
             self._closed = True
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
-    def drain_pending(self) -> list[InferenceRequest]:
-        """Remove and return everything still queued (used at shutdown)."""
+    def drain_pending(
+        self, error: BaseException | None = None
+    ) -> list[InferenceRequest]:
+        """Remove everything still queued, failing each request (shutdown path).
+
+        Every drained request is failed with ``error`` (or a descriptive
+        :class:`~repro.exceptions.ServingError` naming the request and the
+        shutdown) so callers blocked in ``result(timeout=...)`` wake
+        immediately with the real reason instead of running out their
+        timeout.  Returns the drained requests for accounting.
+        """
         with self._lock:
             pending = list(self._items)
             self._items.clear()
             self._not_full.notify_all()
-            return pending
+        for request in pending:
+            request._fail(
+                error
+                if error is not None
+                else ServingError(
+                    f"request {request.request_id} dropped: the request queue "
+                    "was shut down before the request was dispatched"
+                )
+            )
+        return pending

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -36,6 +35,7 @@ from ..exceptions import ServingError
 from ..graph.sampling import canonical_order
 from .batcher import MicroBatch, MicroBatcher
 from .cache import CachedResult, ResultCache, SubgraphCache
+from .clock import MONOTONIC_CLOCK, Clock
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .stats import ServingStats, ServingStatsSnapshot
 from .worker import WorkerPool, WorkItem, WorkOutput
@@ -48,6 +48,8 @@ class InferenceServer:
         self,
         predictor: NAIPredictor,
         config: ServingConfig | None = None,
+        *,
+        clock: Clock | None = None,
     ) -> None:
         if not predictor.prepared:
             raise ServingError(
@@ -55,14 +57,17 @@ class InferenceServer:
             )
         self.predictor = predictor
         self.config = config if config is not None else ServingConfig()
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self.queue = RequestQueue(
-            self.config.queue_capacity, self.config.overflow_policy
+            self.config.queue_capacity, self.config.overflow_policy,
+            clock=self.clock,
         )
         self.queue.on_shed = self._on_request_shed
         self.batcher = MicroBatcher(
             self.queue,
             max_batch_size=self.config.max_batch_size,
             max_wait_seconds=self.config.max_wait_ms / 1e3,
+            clock=self.clock,
         )
         # Bundle reuse needs the fused engine (the reference engine resamples
         # per depth) and in-process workers (bundles are not shipped across
@@ -88,7 +93,7 @@ class InferenceServer:
         # Dispatcher-owned engine, used only for bundle building on cache
         # misses (build_support touches no propagation buffers).
         self._sampler = predictor.make_engine() if self.cache is not None else None
-        self._stats = ServingStats(self.config.latency_sample_cap)
+        self._stats = ServingStats(self.config.latency_sample_cap, clock=self.clock)
         self._request_ids = itertools.count()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
@@ -114,7 +119,9 @@ class InferenceServer:
         """
         if not self._accepting:
             raise ServingError("the server is closed to new requests")
-        request = InferenceRequest(next(self._request_ids), node_ids)
+        request = InferenceRequest(
+            next(self._request_ids), node_ids, enqueued_at=self.clock.now()
+        )
         self._stats.mark_submission()
         with self._inflight_lock:
             self._inflight += 1
@@ -143,15 +150,15 @@ class InferenceServer:
 
     def drain(self, timeout: float | None = None) -> None:
         """Block until every accepted request has been answered."""
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else self.clock.now() + timeout
         with self._inflight_lock:
             while self._inflight > 0:
-                wait = None if deadline is None else deadline - time.perf_counter()
+                wait = None if deadline is None else deadline - self.clock.now()
                 if wait is not None and wait <= 0:
                     raise ServingError(
                         f"{self._inflight} requests still in flight after {timeout}s"
                     )
-                self._idle.wait(wait)
+                self.clock.wait_on(self._idle, wait)
 
     def stats(self) -> ServingStatsSnapshot:
         """Current throughput/latency/cache/queue statistics."""
@@ -179,11 +186,11 @@ class InferenceServer:
             self._closed = True
             self.queue.close()
             # A submit racing close() can slip into the queue after drain()
-            # returned; fail it here *and* release its in-flight slot so a
-            # later drain() cannot wait on it forever.
-            stranded = self.queue.drain_pending()
-            for request in stranded:
-                request._fail(ServingError("server shut down before dispatch"))
+            # returned; drain_pending fails it *and* we release its in-flight
+            # slot so a later drain() cannot wait on it forever.
+            stranded = self.queue.drain_pending(
+                ServingError("server shut down before dispatch")
+            )
             if stranded:
                 with self._inflight_lock:
                     self._inflight -= len(stranded)
@@ -260,7 +267,7 @@ class InferenceServer:
                         bundle_is_fresh = True
                     if not np.array_equal(sorted_ids, micro_batch.node_ids):
                         bundle = bundle.with_target_order(rank)
-                dispatched_at = time.perf_counter()
+                dispatched_at = self.clock.now()
                 queue_waits = [
                     dispatched_at - request.enqueued_at
                     for request in micro_batch.requests
@@ -293,7 +300,7 @@ class InferenceServer:
         """
         predictions = recorded.predictions[rank]
         depths = recorded.depths[rank]
-        completed_at = time.perf_counter()
+        completed_at = self.clock.now()
         # A replay is answered at dispatch, so the full latency *is* the
         # queue wait — one list serves both stats channels.
         latencies = [
@@ -380,7 +387,7 @@ class InferenceServer:
                         timings=result.timings,
                     ),
                 )
-            completed_at = time.perf_counter()
+            completed_at = self.clock.now()
             latencies = []
             for index, request in enumerate(micro_batch.requests):
                 rows = micro_batch.request_slice(index)

@@ -16,12 +16,12 @@ work as ``NAIPredictor.predict`` — see ``tests/core/test_breakdowns.py``.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from ..core.inference import MACBreakdown, TimingBreakdown
 from ..metrics.timing import LatencySummary, latency_summary
+from .clock import MONOTONIC_CLOCK, Clock
 
 
 @dataclass
@@ -112,7 +112,10 @@ class ServingStatsSnapshot:
 class ServingStats:
     """Mutable, thread-safe accumulator behind the snapshot surface."""
 
-    def __init__(self, latency_sample_cap: int = 100_000) -> None:
+    def __init__(
+        self, latency_sample_cap: int = 100_000, *, clock: Clock | None = None
+    ) -> None:
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_sample_cap)
         self._queue_waits: deque[float] = deque(maxlen=latency_sample_cap)
@@ -133,7 +136,7 @@ class ServingStats:
 
     def mark_submission(self) -> None:
         """Open the throughput window at the first accepted request."""
-        now = time.perf_counter()
+        now = self.clock.now()
         with self._lock:
             if self._first_activity is None:
                 self._first_activity = now
@@ -150,7 +153,7 @@ class ServingStats:
         queue_waits: list[float],
     ) -> None:
         """Fold one completed micro-batch into the accumulators."""
-        now = time.perf_counter()
+        now = self.clock.now()
         with self._lock:
             worker = self._per_worker.setdefault(worker_id, WorkerStats())
             worker.batches += 1
@@ -184,7 +187,7 @@ class ServingStats:
         worker MACs; the recorded breakdown of the original execution lands
         in the *replayed* accumulator so computed-MAC totals stay honest.
         """
-        now = time.perf_counter()
+        now = self.clock.now()
         with self._lock:
             self.batches_replayed += 1
             self.requests_replayed += num_requests
@@ -201,7 +204,7 @@ class ServingStats:
     def record_failure(self, num_requests: int) -> None:
         with self._lock:
             self.requests_failed += num_requests
-            self._last_activity = time.perf_counter()
+            self._last_activity = self.clock.now()
 
     def snapshot(
         self,

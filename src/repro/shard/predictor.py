@@ -157,8 +157,16 @@ class ShardedPredictor:
         graph: CSRGraph,
         features: np.ndarray,
         shard_config: ShardConfig,
+        *,
+        transport=None,
     ) -> "ShardedPredictor":
-        """Partition, build the shard blocks and reduce the stationary state."""
+        """Partition, build the shard blocks and reduce the stationary state.
+
+        ``transport`` (optional) is either a ready
+        :class:`~repro.transport.ShardTransport` or a callable taking the
+        built store and returning one — how a deployment swaps the default
+        in-process fetches for the socket backend at prepare time.
+        """
         self._store = ShardedGraphStore.from_graph(
             graph,
             features,
@@ -166,11 +174,25 @@ class ShardedPredictor:
             gamma=self.gamma,
             dtype=self.config.np_dtype,
         )
+        if transport is not None:
+            if callable(transport) and not hasattr(transport, "fetch"):
+                transport = transport(self._store)
+            self._store.use_transport(transport)
         self._stationary = compute_sharded_stationary(self._store)
         self._engines = [
             self.make_engine(home_shard=shard_id)
             for shard_id in range(self._store.num_shards)
         ]
+        return self
+
+    def use_transport(self, transport) -> "ShardedPredictor":
+        """Swap the store's fetch backend; every engine picks it up at once.
+
+        Engines hold the store, not the backend, so predictions before and
+        after a swap are bit-identical — the equivalence suite sweeps one
+        prepared predictor across all three backends this way.
+        """
+        self.store.use_transport(transport)
         return self
 
     @property

@@ -159,6 +159,20 @@ class ShardRouter:
             {shard_id: server.stats() for shard_id, server in self.servers.items()}
         )
 
+    def traffic(self) -> dict:
+        """Cross-shard fetch traffic (rows and bytes) of the routed fleet.
+
+        Every per-shard server's engines fetch through the store's
+        :class:`~repro.transport.ShardTransport`; this surfaces the
+        row/byte counters plus the transport's own round/byte stats — the
+        measurement surface the locality-aware-routing follow-up needs.
+        """
+        store = self.predictor.store
+        return {
+            "shard_traffic": store.traffic.as_dict(),
+            "transport": store.transport.stats.as_dict(),
+        }
+
     def close(self) -> None:
         """Drain and stop every shard server."""
         if self._closed:

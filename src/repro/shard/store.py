@@ -28,8 +28,14 @@ drift.
 Serving (``build_support_bundle``) is the online path: a k-hop BFS whose
 frontier expansion queries the owner shard of each frontier node, followed
 by row fetches that stitch each shard's Â-rows into one local CSR in hop
-order.  Per-shard fetch counters (:class:`ShardTraffic`) quantify the
-cross-shard halo traffic a networked deployment would pay.
+order.  Every fetch goes through a pluggable
+:class:`~repro.transport.ShardTransport` — in-process zero-copy by default
+(:class:`~repro.transport.LocalTransport`), swappable for the TCP backend
+(:class:`~repro.transport.SocketTransport`) or the fault-injecting test
+wrapper via :meth:`ShardedGraphStore.use_transport` — and each hop's
+per-shard requests form one transport *round*, which is the unit the socket
+backend pipelines.  Per-shard fetch counters (:class:`ShardTraffic`)
+quantify the cross-shard rows *and bytes* a networked deployment pays.
 """
 
 from __future__ import annotations
@@ -47,6 +53,8 @@ from ..graph.kernels import _flat_nnz_positions
 from ..graph.normalization import NormalizationScheme, resolve_gamma
 from ..graph.sampling import SupportBundle, SupportingSubgraph
 from ..graph.sparse import CSRGraph
+from ..transport import LocalTransport, ShardTransport
+from ..transport.base import payload_nbytes
 from .partitioner import GraphPartitioner, ShardPlan
 
 
@@ -126,6 +134,12 @@ class ShardTraffic:
     "Remote" means the fetched row's owner differs from the requesting
     batch's home shard — the rows a networked deployment would ship over the
     wire.  Counted only when callers pass a home shard.
+
+    ``bytes_local`` / ``bytes_remote`` account the *payloads* of those
+    fetches — request row ids out plus response arrays back — i.e. the
+    bytes-on-the-wire a networked transport moves for the same fetches
+    (framing overhead excluded; the socket backend's
+    :class:`~repro.transport.TransportStats` adds the framed totals).
     """
 
     bundles_assembled: int = 0
@@ -135,10 +149,15 @@ class ShardTraffic:
     feature_rows_remote: int = 0
     frontier_cols_local: int = 0
     frontier_cols_remote: int = 0
+    degree_rows_local: int = 0
+    degree_rows_remote: int = 0
+    bytes_local: int = 0
+    bytes_remote: int = 0
 
     def as_dict(self) -> dict:
         remote = self.adjacency_rows_remote + self.feature_rows_remote
         local = self.adjacency_rows_local + self.feature_rows_local
+        total_bytes = self.bytes_local + self.bytes_remote
         return {
             "bundles_assembled": self.bundles_assembled,
             "adjacency_rows_local": self.adjacency_rows_local,
@@ -147,7 +166,14 @@ class ShardTraffic:
             "feature_rows_remote": self.feature_rows_remote,
             "frontier_cols_local": self.frontier_cols_local,
             "frontier_cols_remote": self.frontier_cols_remote,
+            "degree_rows_local": self.degree_rows_local,
+            "degree_rows_remote": self.degree_rows_remote,
             "remote_row_fraction": remote / (remote + local) if remote + local else 0.0,
+            "bytes_local": self.bytes_local,
+            "bytes_remote": self.bytes_remote,
+            "remote_byte_fraction": (
+                self.bytes_remote / total_bytes if total_bytes else 0.0
+            ),
         }
 
 
@@ -174,6 +200,78 @@ class ShardedGraphStore:
         # threads; traffic counters are read-modify-write and need the lock
         # to stay exact (the benchmark records them).
         self._traffic_lock = threading.Lock()
+        # All online fetches route through the transport; the default is the
+        # in-process zero-copy backend (today's behavior).
+        self._transport: ShardTransport = LocalTransport(self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Transport plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def transport(self) -> ShardTransport:
+        """The backend every online fetch (BFS, rows, features) goes through."""
+        return self._transport
+
+    def use_transport(self, transport: ShardTransport) -> "ShardedGraphStore":
+        """Swap the fetch backend (local / socket / fault-injecting).
+
+        The transport must reach exactly this store's shards; bundles are
+        bit-identical across backends because every backend answers with the
+        same arrays (see :mod:`repro.transport`).
+        """
+        if transport.num_shards != self.num_shards:
+            raise GraphConstructionError(
+                f"transport reaches {transport.num_shards} shards, store has "
+                f"{self.num_shards}"
+            )
+        self._transport = transport
+        return self
+
+    def _requests_by_owner(
+        self, node_ids: np.ndarray
+    ) -> list[tuple[int, np.ndarray, np.ndarray]]:
+        """Group ``node_ids`` into per-owner ``(shard_id, mask, rows)`` requests.
+
+        Shards are visited in ascending id — the same order the
+        pre-transport per-shard loops used — so stitched outputs stay
+        bit-identical.
+        """
+        owners = self.plan.owner[node_ids]
+        rows = self._local_row[node_ids]
+        requests = []
+        for shard_id in range(self.num_shards):
+            mask = owners == shard_id
+            if mask.any():
+                requests.append((shard_id, mask, rows[mask]))
+        return requests
+
+    def _count_traffic(
+        self,
+        home_shard: int | None,
+        shard_id: int,
+        rows: np.ndarray,
+        payload,
+        local_attr: str,
+        remote_attr: str,
+    ) -> None:
+        """Fold one request/response pair into the traffic counters."""
+        if home_shard is None:
+            return
+        count = int(rows.shape[0])
+        nbytes = int(rows.nbytes) + payload_nbytes(payload)
+        with self._traffic_lock:
+            if shard_id == home_shard:
+                setattr(
+                    self.traffic, local_attr,
+                    getattr(self.traffic, local_attr) + count,
+                )
+                self.traffic.bytes_local += nbytes
+            else:
+                setattr(
+                    self.traffic, remote_attr,
+                    getattr(self.traffic, remote_attr) + count,
+                )
+                self.traffic.bytes_remote += nbytes
 
     # ------------------------------------------------------------------ #
     # Construction (the offline partitioning job)
@@ -377,25 +475,24 @@ class ShardedGraphStore:
     def _gather_frontier_columns(
         self, frontier: np.ndarray, home_shard: int | None
     ) -> np.ndarray:
-        """Concatenated (global) neighbour ids of ``frontier``, per owner shard."""
-        owners = self.plan.owner[frontier]
-        rows = self._local_row[frontier]
-        pieces = []
-        for shard in self.shards:
-            mask = owners == shard.shard_id
-            if not mask.any():
-                continue
-            flat, _ = _flat_nnz_positions(shard.adj_indptr, rows[mask])
-            pieces.append(shard.col_global[shard.adj_indices[flat]])
-            if home_shard is not None:
-                count = int(mask.sum())
-                with self._traffic_lock:
-                    if shard.shard_id == home_shard:
-                        self.traffic.frontier_cols_local += count
-                    else:
-                        self.traffic.frontier_cols_remote += count
-        if not pieces:
+        """Concatenated (global) neighbour ids of ``frontier``, per owner shard.
+
+        One transport round per BFS hop: all owner-shard requests are issued
+        together, which is exactly what the socket backend pipelines.
+        """
+        requests = self._requests_by_owner(frontier)
+        if not requests:
             return np.empty(0, dtype=np.int64)
+        pieces = self._transport.frontier_columns(
+            [(shard_id, rows) for shard_id, _, rows in requests]
+        )
+        for (shard_id, _, rows), piece in zip(requests, pieces):
+            self._count_traffic(
+                home_shard, shard_id, rows, piece,
+                "frontier_cols_local", "frontier_cols_remote",
+            )
+        if len(pieces) == 1:
+            return np.asarray(pieces[0], dtype=np.int64)
         return np.concatenate(pieces)
 
     # ------------------------------------------------------------------ #
@@ -435,22 +532,26 @@ class ShardedGraphStore:
     def _assemble_local_csr(
         self, node_ids: np.ndarray, lookup: np.ndarray, home_shard: int | None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Stitch per-owner Â rows into ``matrix[node_ids][:, node_ids]`` form."""
-        owners = self.plan.owner[node_ids]
-        rows = self._local_row[node_ids]
+        """Stitch per-owner Â rows into ``matrix[node_ids][:, node_ids]`` form.
+
+        One ``adjacency_rows`` transport round fetches every owner's rows;
+        the responses (per-row lengths + flat global columns + values) are
+        scattered into node order, so the stitched arrays are identical to
+        slicing one global CSR regardless of which backend served them.
+        """
         index_dtype = self.shards[0].nrm_indices.dtype
+        requests = self._requests_by_owner(node_ids)
+        responses = self._transport.adjacency_rows(
+            [(shard_id, rows) for shard_id, _, rows in requests]
+        )
 
         lengths = np.empty(node_ids.shape[0], dtype=np.int64)
-        shard_masks = []
-        for shard in self.shards:
-            mask = owners == shard.shard_id
-            shard_masks.append(mask)
-            if mask.any():
-                r = rows[mask]
-                lengths[mask] = (
-                    shard.nrm_indptr[r + 1].astype(np.int64)
-                    - shard.nrm_indptr[r].astype(np.int64)
-                )
+        for (shard_id, mask, rows), response in zip(requests, responses):
+            lengths[mask] = response.lengths
+            self._count_traffic(
+                home_shard, shard_id, rows, response,
+                "adjacency_rows_local", "adjacency_rows_remote",
+            )
         row_ends = np.cumsum(lengths)
         total = int(row_ends[-1]) if lengths.size else 0
         if total == 0:
@@ -464,28 +565,18 @@ class ShardedGraphStore:
         cols_global = np.empty(total, dtype=np.int64)
         data_flat = np.empty(total, dtype=self.dtype)
         starts = row_ends - lengths
-        for shard, mask in zip(self.shards, shard_masks):
-            if not mask.any():
-                continue
-            r = rows[mask]
-            flat, seg_ends = _flat_nnz_positions(shard.nrm_indptr, r)
-            seg_lengths = np.diff(np.concatenate(([0], seg_ends)))
+        for (shard_id, mask, _), response in zip(requests, responses):
+            seg_lengths = np.asarray(response.lengths, dtype=np.int64)
+            seg_ends = np.cumsum(seg_lengths)
             # Destination positions: each fetched row lands in its node's
             # segment of the stitched arrays, preserving hop order.
             base = np.repeat(starts[mask], seg_lengths)
-            within = np.arange(flat.shape[0], dtype=np.int64) - np.repeat(
-                seg_ends - seg_lengths, seg_lengths
-            )
+            within = np.arange(
+                int(seg_ends[-1]) if seg_ends.size else 0, dtype=np.int64
+            ) - np.repeat(seg_ends - seg_lengths, seg_lengths)
             dest = base + within
-            cols_global[dest] = shard.col_global[shard.nrm_indices[flat]]
-            data_flat[dest] = shard.nrm_data[flat]
-            if home_shard is not None:
-                count = int(mask.sum())
-                with self._traffic_lock:
-                    if shard.shard_id == home_shard:
-                        self.traffic.adjacency_rows_local += count
-                    else:
-                        self.traffic.adjacency_rows_remote += count
+            cols_global[dest] = response.columns
+            data_flat[dest] = response.data
 
         # Mirror extract_local_csr_arrays: remap to bundle-local columns and
         # drop entries outside the neighbourhood.
@@ -502,21 +593,44 @@ class ShardedGraphStore:
         self, node_ids: np.ndarray, home_shard: int | None
     ) -> np.ndarray:
         """Hop-0 feature rows of ``node_ids``, fetched from their owners."""
-        owners = self.plan.owner[node_ids]
-        rows = self._local_row[node_ids]
         out = np.empty((node_ids.shape[0], self.num_features), dtype=self.dtype)
-        for shard in self.shards:
-            mask = owners == shard.shard_id
-            if not mask.any():
-                continue
-            out[mask] = shard.features[rows[mask]]
-            if home_shard is not None:
-                count = int(mask.sum())
-                with self._traffic_lock:
-                    if shard.shard_id == home_shard:
-                        self.traffic.feature_rows_local += count
-                    else:
-                        self.traffic.feature_rows_remote += count
+        requests = self._requests_by_owner(node_ids)
+        responses = self._transport.feature_rows(
+            [(shard_id, rows) for shard_id, _, rows in requests]
+        )
+        for (shard_id, mask, rows), response in zip(requests, responses):
+            out[mask] = response
+            self._count_traffic(
+                home_shard, shard_id, rows, response,
+                "feature_rows_local", "feature_rows_remote",
+            )
+        return out
+
+    def fetch_degrees(
+        self, node_ids: np.ndarray, *, home_shard: int | None = None
+    ) -> np.ndarray:
+        """``d_i + 1`` of ``node_ids`` (float64), fetched from their owners.
+
+        The degree fetch of the stationary protocol expressed through the
+        transport — a networked coordinator reads halo degrees this way
+        during the shard build and can re-verify owner slices at runtime.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size and (
+            node_ids.min() < 0 or node_ids.max() >= self.num_nodes
+        ):
+            raise GraphConstructionError("node ids out of range")
+        out = np.empty(node_ids.shape[0], dtype=np.float64)
+        requests = self._requests_by_owner(node_ids)
+        responses = self._transport.degree_rows(
+            [(shard_id, rows) for shard_id, _, rows in requests]
+        )
+        for (shard_id, mask, rows), response in zip(requests, responses):
+            out[mask] = response
+            self._count_traffic(
+                home_shard, shard_id, rows, response,
+                "degree_rows_local", "degree_rows_remote",
+            )
         return out
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,51 @@
+"""Pluggable shard transports: how bundle assembly reaches shard state.
+
+The :class:`ShardTransport` interface is extracted from the in-process
+fetch surfaces of :class:`~repro.shard.store.ShardedGraphStore` (frontier
+expansion, adjacency/feature/degree row fetches); three backends implement
+it:
+
+* :class:`LocalTransport` — zero-copy in-process fetches (the default);
+* :class:`SocketTransport` — length-prefixed binary RPC over TCP with
+  per-shard connection reuse and cross-hop request pipelining, served by
+  :class:`ShardServer` / :class:`ShardServerGroup` (``serve_shard`` is the
+  blocking process target for real deployments);
+* :class:`FaultInjectingTransport` — wraps any backend with scripted
+  drops, latency, reordering and disconnects for tests.
+
+Because every backend answers with identical arrays, predictions, exit
+depths and MAC totals are bit-identical across them — asserted by
+``tests/transport/`` and ``benchmarks/bench_transport.py``.  See
+``docs/transport.md`` for the backend matrix and the fault model.
+"""
+
+from .base import (
+    ALL_OPS,
+    OP_ADJACENCY,
+    OP_DEGREES,
+    OP_FEATURES,
+    OP_FRONTIER,
+    AdjacencyRows,
+    ShardTransport,
+    TransportStats,
+)
+from .fault import FaultInjectingTransport
+from .local import LocalTransport
+from .socket import ShardServer, ShardServerGroup, SocketTransport, serve_shard
+
+__all__ = [
+    "ALL_OPS",
+    "OP_ADJACENCY",
+    "OP_DEGREES",
+    "OP_FEATURES",
+    "OP_FRONTIER",
+    "AdjacencyRows",
+    "FaultInjectingTransport",
+    "LocalTransport",
+    "ShardServer",
+    "ShardServerGroup",
+    "ShardTransport",
+    "SocketTransport",
+    "TransportStats",
+    "serve_shard",
+]

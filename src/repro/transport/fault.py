@@ -1,0 +1,153 @@
+"""Fault-injecting transport wrapper: the test harness of the fault model.
+
+``FaultInjectingTransport`` wraps any :class:`~repro.transport.base.
+ShardTransport` and perturbs its rounds on request:
+
+* **drops** — a scheduled round raises :class:`~repro.exceptions.
+  TransportError` *before* touching the inner backend (the request never
+  left the machine);
+* **disconnects** — all rounds fail until :meth:`reconnect`; when the inner
+  backend is a :class:`~repro.transport.socket.SocketTransport` its TCP
+  connections are genuinely torn down, so recovery exercises the real
+  reconnect path;
+* **latency** — a fixed per-round delay through an injectable clock
+  (:class:`~repro.serving.clock.Clock`), so tests add "network" latency on
+  a :class:`~repro.serving.clock.FakeClock` without real waiting;
+* **reordering** — the round's requests are issued to the inner backend in
+  reversed order while responses are returned in the caller's order,
+  verifying that no caller depends on issue order.
+
+Faults can be scheduled two ways: a ``script`` — a list of actions consumed
+one per round, each ``"ok"``, ``"drop"`` or ``"disconnect"`` — or the
+imperative :meth:`fail_next` / :meth:`disconnect` hooks.  Either way the
+wrapper is deterministic: the same script against the same store produces
+the same failures at the same rounds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..exceptions import TransportError
+from .base import RequestBatch, ShardTransport
+
+OK = "ok"
+DROP = "drop"
+DISCONNECT = "disconnect"
+
+_ACTIONS = (OK, DROP, DISCONNECT)
+
+
+class FaultInjectingTransport(ShardTransport):
+    """Wraps a backend with scripted drops, latency, reordering, disconnects."""
+
+    def __init__(
+        self,
+        inner: ShardTransport,
+        *,
+        script: Sequence[str] | None = None,
+        latency_seconds: float = 0.0,
+        reorder: bool = False,
+        clock=None,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.latency_seconds = latency_seconds
+        self.reorder = reorder
+        if clock is None:
+            from ..serving.clock import MONOTONIC_CLOCK
+
+            clock = MONOTONIC_CLOCK
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._script: list[str] = []
+        if script is not None:
+            self.load_script(script)
+        self._fail_next = 0
+        self._disconnected = False
+        self.faults_injected = 0
+        self.rounds_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling surface
+    # ------------------------------------------------------------------ #
+    def load_script(self, script: Sequence[str]) -> None:
+        """Queue one action per upcoming round (consumed front to back)."""
+        actions = list(script)
+        for action in actions:
+            if action not in _ACTIONS:
+                raise ValueError(
+                    f"unknown fault action {action!r}; expected one of {_ACTIONS}"
+                )
+        with self._lock:
+            self._script = actions
+
+    def fail_next(self, rounds: int = 1) -> None:
+        """Drop the next ``rounds`` fetch rounds."""
+        with self._lock:
+            self._fail_next += rounds
+
+    def disconnect(self) -> None:
+        """Fail every round until :meth:`reconnect`; drops real connections."""
+        with self._lock:
+            self._disconnected = True
+        if hasattr(self.inner, "disconnect"):
+            self.inner.disconnect()
+
+    def reconnect(self) -> None:
+        """Clear the disconnected state (the inner backend redials lazily)."""
+        with self._lock:
+            self._disconnected = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.inner.num_shards
+
+    def fetch(self, op: str, requests: RequestBatch) -> list:
+        action = self._next_action()
+        if action == DISCONNECT and hasattr(self.inner, "disconnect"):
+            self.inner.disconnect()
+        if action in (DROP, DISCONNECT):
+            raise TransportError(
+                f"injected {action} on round {self.rounds_seen} ({op})",
+                op=op,
+                retryable=action == DROP or not self._disconnected,
+            )
+        if self.latency_seconds > 0:
+            self.clock.sleep(self.latency_seconds)
+        if self.reorder and len(requests) > 1:
+            order = list(range(len(requests) - 1, -1, -1))
+            shuffled = [requests[i] for i in order]
+            answers = self.inner.fetch(op, shuffled)
+            payloads: list = [None] * len(requests)
+            for position, answer in zip(order, answers):
+                payloads[position] = answer
+        else:
+            payloads = self.inner.fetch(op, requests)
+        self._record_round(op, requests, payloads)
+        return payloads
+
+    def _next_action(self) -> str:
+        with self._lock:
+            self.rounds_seen += 1
+            if self._disconnected:
+                self.faults_injected += 1
+                return DISCONNECT
+            if self._script:
+                action = self._script.pop(0)
+                if action == DISCONNECT:
+                    self._disconnected = True
+                if action != OK:
+                    self.faults_injected += 1
+                    return action
+                # fall through: an explicit "ok" may still carry latency
+            elif self._fail_next > 0:
+                self._fail_next -= 1
+                self.faults_injected += 1
+                return DROP
+            return OK
+
+    def close(self) -> None:
+        self.inner.close()

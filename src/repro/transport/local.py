@@ -1,0 +1,52 @@
+"""In-process transport: zero-copy fetches from resident shard blocks.
+
+``LocalTransport`` is the pre-transport behavior of
+:class:`~repro.shard.store.ShardedGraphStore` expressed through the
+:class:`~repro.transport.base.ShardTransport` interface: every operation is
+answered directly from the :class:`~repro.shard.store.GraphShard` arrays in
+this process.  Responses are numpy views or fancy-indexed gathers — no
+serialisation, no copies beyond what the assembly itself needs — so it is
+both the fastest backend and the oracle the socket backend is measured
+against in ``benchmarks/bench_transport.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import TransportError
+from .base import RequestBatch, ShardTransport, answer_from_shard
+
+
+class LocalTransport(ShardTransport):
+    """Serves every operation from in-process shard blocks (zero-copy)."""
+
+    def __init__(self, shards: Sequence) -> None:
+        super().__init__()
+        self._shards = list(shards)
+        self._closed = False
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def fetch(self, op: str, requests: RequestBatch) -> list:
+        if self._closed:
+            raise TransportError(
+                "the local transport is closed", op=op, retryable=False
+            )
+        payloads = []
+        for shard_id, rows in requests:
+            if not 0 <= shard_id < len(self._shards):
+                raise TransportError(
+                    f"shard {shard_id} out of range [0, {len(self._shards)})",
+                    op=op,
+                    shard_id=shard_id,
+                    retryable=False,
+                )
+            payloads.append(answer_from_shard(self._shards[shard_id], op, rows))
+        self._record_round(op, requests, payloads)
+        return payloads
+
+    def close(self) -> None:
+        self._closed = True

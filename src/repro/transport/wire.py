@@ -1,0 +1,229 @@
+"""Wire format of the socket shard transport.
+
+Every message is one length-prefixed frame::
+
+    [u32 frame_length] [payload ...]
+
+Request payloads::
+
+    [u8 opcode] [u64 num_rows] [int64 rows ...]
+
+Response payloads::
+
+    [u8 status] [body ...]
+
+``status`` is 0 (OK — body is the op-specific encoding below) or 1 (error —
+body is a UTF-8 message re-raised at the client as
+:class:`~repro.exceptions.TransportError`).  Arrays travel as raw
+little-endian buffers tagged with a dtype code, so a response decodes with
+one ``np.frombuffer`` per array — no pickling, no per-element parsing.
+
+OK bodies by operation::
+
+    frontier_columns:  [u64 count]                      [int64 columns]
+    adjacency_rows:    [u64 rows] [u64 nnz] [u8 dtype]  [int64 lengths]
+                                                        [int64 columns]
+                                                        [dtype data]
+    feature_rows:      [u64 rows] [u64 cols] [u8 dtype] [dtype data]
+    degree_rows:       [u64 rows]                       [float64 data]
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..exceptions import TransportError
+from .base import (
+    ALL_OPS,
+    OP_ADJACENCY,
+    OP_DEGREES,
+    OP_FEATURES,
+    OP_FRONTIER,
+    AdjacencyRows,
+)
+
+_LEN = struct.Struct("<I")
+_REQ_HEAD = struct.Struct("<BQ")
+_U64 = struct.Struct("<Q")
+_U64x2 = struct.Struct("<QQ")
+
+OPCODES = {op: code for code, op in enumerate(ALL_OPS)}
+OPS_BY_CODE = {code: op for op, code in OPCODES.items()}
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_DTYPES_BY_CODE = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+#: Upper bound on a single frame (1 GiB) — a corrupt length prefix must not
+#: trigger a gigantic allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def _i64(array: np.ndarray) -> bytes:
+    return np.ascontiguousarray(array, dtype="<i8").tobytes()
+
+
+def _dtype_code(dtype: np.dtype) -> int:
+    try:
+        return _DTYPE_CODES[np.dtype(dtype)]
+    except KeyError:
+        raise TransportError(
+            f"dtype {dtype} is not wire-encodable", retryable=False
+        ) from None
+
+
+def _dtype_from_code(code: int) -> np.dtype:
+    try:
+        return _DTYPES_BY_CODE[code]
+    except KeyError:
+        raise TransportError(
+            f"corrupt response: unknown dtype code {code}", retryable=False
+        ) from None
+
+
+def encode_request(op: str, rows: np.ndarray) -> bytes:
+    rows = np.asarray(rows, dtype=np.int64)
+    return _REQ_HEAD.pack(OPCODES[op], rows.shape[0]) + _i64(rows)
+
+
+def decode_request(payload: bytes) -> tuple[str, np.ndarray]:
+    opcode, num_rows = _REQ_HEAD.unpack_from(payload)
+    if opcode not in OPS_BY_CODE:
+        raise TransportError(f"unknown opcode {opcode}", retryable=False)
+    rows = np.frombuffer(
+        payload, dtype="<i8", count=num_rows, offset=_REQ_HEAD.size
+    ).astype(np.int64, copy=False)
+    return OPS_BY_CODE[opcode], rows
+
+
+def encode_error(message: str) -> bytes:
+    return bytes([STATUS_ERROR]) + message.encode("utf-8", errors="replace")
+
+
+def encode_response(op: str, payload) -> bytes:
+    head = bytes([STATUS_OK])
+    if op == OP_FRONTIER:
+        cols = np.asarray(payload, dtype=np.int64)
+        return head + _U64.pack(cols.shape[0]) + _i64(cols)
+    if op == OP_ADJACENCY:
+        assert isinstance(payload, AdjacencyRows)
+        data = np.ascontiguousarray(payload.data)
+        return (
+            head
+            + _U64.pack(payload.lengths.shape[0])
+            + _U64.pack(payload.columns.shape[0])
+            + bytes([_dtype_code(data.dtype)])
+            + _i64(payload.lengths)
+            + _i64(payload.columns)
+            + data.tobytes()
+        )
+    if op == OP_FEATURES:
+        rows = np.ascontiguousarray(payload)
+        return (
+            head
+            + _U64.pack(rows.shape[0])
+            + _U64.pack(rows.shape[1])
+            + bytes([_dtype_code(rows.dtype)])
+            + rows.tobytes()
+        )
+    if op == OP_DEGREES:
+        degrees = np.ascontiguousarray(payload, dtype=np.float64)
+        return head + _U64.pack(degrees.shape[0]) + degrees.tobytes()
+    raise ValueError(f"unknown transport operation {op!r}")
+
+
+def decode_response(op: str, payload: bytes):
+    status = payload[0]
+    if status == STATUS_ERROR:
+        raise TransportError(
+            payload[1:].decode("utf-8", errors="replace"), op=op
+        )
+    if status != STATUS_OK:
+        raise TransportError(f"corrupt response status {status}", op=op)
+    body = payload[1:]
+    if op == OP_FRONTIER:
+        (count,) = _U64.unpack_from(body)
+        return np.frombuffer(body, dtype="<i8", count=count, offset=_U64.size).astype(
+            np.int64, copy=False
+        )
+    if op == OP_ADJACENCY:
+        num_rows, nnz = _U64x2.unpack_from(body)
+        dtype = _dtype_from_code(body[2 * _U64.size])
+        offset = 2 * _U64.size + 1
+        lengths = np.frombuffer(body, dtype="<i8", count=num_rows, offset=offset)
+        offset += lengths.nbytes
+        columns = np.frombuffer(body, dtype="<i8", count=nnz, offset=offset)
+        offset += columns.nbytes
+        data = np.frombuffer(body, dtype=dtype.newbyteorder("<"), count=nnz, offset=offset)
+        return AdjacencyRows(
+            lengths=lengths.astype(np.int64, copy=False),
+            columns=columns.astype(np.int64, copy=False),
+            data=data.astype(dtype, copy=False),
+        )
+    if op == OP_FEATURES:
+        num_rows, num_cols = _U64x2.unpack_from(body)
+        dtype = _dtype_from_code(body[2 * _U64.size])
+        offset = 2 * _U64.size + 1
+        flat = np.frombuffer(
+            body, dtype=dtype.newbyteorder("<"), count=num_rows * num_cols, offset=offset
+        )
+        return flat.astype(dtype, copy=False).reshape(num_rows, num_cols)
+    if op == OP_DEGREES:
+        (num_rows,) = _U64.unpack_from(body)
+        return np.frombuffer(body, dtype="<f8", count=num_rows, offset=_U64.size).astype(
+            np.float64, copy=False
+        )
+    raise ValueError(f"unknown transport operation {op!r}")
+
+
+def frame(payload: bytes) -> bytes:
+    """Length-prefix ``payload`` into one wire frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            retryable=False,
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def read_frame(sock) -> bytes | None:
+    """Read one frame from ``sock``; ``None`` on clean EOF at a boundary.
+
+    Raises :class:`~repro.exceptions.TransportError` on a mid-frame
+    disconnect (short read) — the caller must treat the connection as dead.
+    """
+    header = _read_exact(sock, _LEN.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap",
+            retryable=False,
+        )
+    payload = _read_exact(sock, length, eof_ok=False)
+    assert payload is not None
+    return payload
+
+
+def _read_exact(sock, count: int, *, eof_ok: bool) -> bytes | None:
+    chunks = []
+    got = 0
+    while got < count:
+        try:
+            chunk = sock.recv(min(count - got, 1 << 20))
+        except OSError as error:
+            raise TransportError(f"socket read failed: {error}") from error
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({got}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,92 @@
+"""Tests for the injectable serving clock (real and fake)."""
+
+import threading
+
+import pytest
+
+from repro.core.inference import MACBreakdown, TimingBreakdown
+from repro.exceptions import ConfigurationError
+from repro.serving import MONOTONIC_CLOCK, FakeClock, MonotonicClock, ServingStats
+
+
+class TestMonotonicClock:
+    def test_now_is_monotonic(self):
+        clock = MonotonicClock()
+        a, b = clock.now(), clock.now()
+        assert b >= a
+
+    def test_wait_on_times_out(self):
+        clock = MonotonicClock()
+        condition = threading.Condition()
+        with condition:
+            assert clock.wait_on(condition, 0.0) is False
+
+    def test_shared_default_instance(self):
+        assert isinstance(MONOTONIC_CLOCK, MonotonicClock)
+
+
+class TestFakeClock:
+    def test_starts_where_told(self):
+        assert FakeClock(5.0).now() == 5.0
+
+    def test_advance_and_sleep_move_time(self):
+        clock = FakeClock()
+        clock.advance(1.5)
+        clock.sleep(0.5)
+        assert clock.now() == pytest.approx(2.0)
+        assert clock.sleeps == 1
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FakeClock().advance(-1.0)
+
+    def test_wait_consumes_virtual_time_and_reports_timeout(self):
+        clock = FakeClock()
+        condition = threading.Condition()
+        with condition:
+            assert clock.wait_on(condition, 0.75) is False
+        assert clock.now() == pytest.approx(0.75)
+        assert clock.waits == 1
+
+    def test_wait_step_caps_the_consumed_time(self):
+        clock = FakeClock(max_wait_step=0.1)
+        condition = threading.Condition()
+        with condition:
+            clock.wait_on(condition, 1.0)
+        assert clock.now() == pytest.approx(0.1)
+
+    def test_unbounded_wait_rejected(self):
+        clock = FakeClock()
+        condition = threading.Condition()
+        with condition:
+            with pytest.raises(ConfigurationError):
+                clock.wait_on(condition, None)
+
+    def test_invalid_wait_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FakeClock(max_wait_step=0.0)
+
+
+class TestStatsOnFakeClock:
+    def test_throughput_window_is_exact_in_virtual_time(self):
+        """With an injected clock the throughput maths become deterministic:
+        100 nodes over a 2-second virtual window is exactly 50 nodes/s."""
+        clock = FakeClock()
+        stats = ServingStats(clock=clock)
+        stats.mark_submission()
+        clock.advance(1.0)
+        stats.record_batch(
+            worker_id=0, num_nodes=40, num_requests=4,
+            macs=MACBreakdown(), timings=TimingBreakdown(),
+            latencies=[0.5] * 4, queue_waits=[0.1] * 4,
+        )
+        clock.advance(1.0)
+        stats.record_batch(
+            worker_id=1, num_nodes=60, num_requests=6,
+            macs=MACBreakdown(), timings=TimingBreakdown(),
+            latencies=[0.5] * 6, queue_waits=[0.1] * 6,
+        )
+        snapshot = stats.snapshot()
+        assert snapshot.nodes_completed == 100
+        assert snapshot.throughput_nodes_per_second == pytest.approx(50.0)
+        assert snapshot.latency.p50 == pytest.approx(0.5)

@@ -1,17 +1,27 @@
-"""Tests for the bounded request queue and the dynamic micro-batcher."""
+"""Tests for the bounded request queue and the dynamic micro-batcher.
+
+Time-dependent behavior runs on a :class:`~repro.serving.FakeClock`: timed
+waits consume deterministic virtual time instead of blocking, so there is
+not a single ``time.sleep`` in this file and every timeout assertion is
+exact.  Only the genuinely concurrent tests (a producer thread unblocking,
+close waking a consumer) use real threads — event-driven, still sleep-free.
+"""
 
 import threading
-import time
 
 import numpy as np
 import pytest
 
 from repro.exceptions import BackpressureError, ConfigurationError, ServingError
-from repro.serving import InferenceRequest, MicroBatcher, RequestQueue
+from repro.serving import FakeClock, InferenceRequest, MicroBatcher, RequestQueue
 
 
-def make_request(request_id: int, num_nodes: int = 1) -> InferenceRequest:
-    return InferenceRequest(request_id, np.arange(num_nodes, dtype=np.int64))
+def make_request(
+    request_id: int, num_nodes: int = 1, at: float | None = None
+) -> InferenceRequest:
+    return InferenceRequest(
+        request_id, np.arange(num_nodes, dtype=np.int64), enqueued_at=at
+    )
 
 
 class TestInferenceRequest:
@@ -36,10 +46,13 @@ class TestInferenceRequest:
         with pytest.raises(BackpressureError):
             request.result(timeout=1.0)
 
+    def test_explicit_enqueue_stamp_is_kept(self):
+        assert make_request(0, at=42.5).enqueued_at == 42.5
+
 
 class TestRequestQueue:
     def test_fifo_order(self):
-        queue = RequestQueue(capacity=4)
+        queue = RequestQueue(capacity=4, clock=FakeClock())
         for i in range(3):
             queue.put(make_request(i))
         assert [queue.pop(0.01).request_id for _ in range(3)] == [0, 1, 2]
@@ -68,39 +81,27 @@ class TestRequestQueue:
         assert [queue.pop(0.01).request_id for _ in range(2)] == [1, 2]
 
     def test_block_policy_times_out(self):
-        queue = RequestQueue(capacity=1, overflow_policy="block")
+        clock = FakeClock()
+        queue = RequestQueue(capacity=1, overflow_policy="block", clock=clock)
         queue.put(make_request(0))
         with pytest.raises(BackpressureError):
             queue.put(make_request(1), timeout=0.02)
+        # The wait consumed exactly the virtual timeout — no real blocking.
+        assert clock.now() == pytest.approx(0.02)
 
     def test_block_timeout_bounds_total_wait_across_wakeups(self):
-        """A wakeup that finds the queue refilled must not re-arm the timeout."""
-        queue = RequestQueue(capacity=1, overflow_policy="block")
+        """A wakeup that finds the queue still full must resume with the
+        *remaining* time only, never re-arm the full timeout."""
+        clock = FakeClock(max_wait_step=0.03)
+        queue = RequestQueue(capacity=1, overflow_policy="block", clock=clock)
         queue.put(make_request(0))
-        stop = threading.Event()
-
-        def churn():
-            # Keep the queue full: every pop is immediately replaced, so the
-            # blocked producer keeps waking up to a full queue.
-            refill_id = 100
-            nonlocal_refill = [refill_id]
-            while not stop.is_set():
-                popped = queue.pop(timeout=0.01)
-                if popped is not None:
-                    nonlocal_refill[0] += 1
-                    queue.put(make_request(nonlocal_refill[0]))
-                time.sleep(0.005)
-
-        thread = threading.Thread(target=churn, daemon=True)
-        thread.start()
-        start = time.perf_counter()
-        try:
-            with pytest.raises(BackpressureError):
-                queue.put(make_request(1), timeout=0.1)
-        finally:
-            stop.set()
-            thread.join(2.0)
-        assert time.perf_counter() - start < 1.0
+        with pytest.raises(BackpressureError):
+            queue.put(make_request(1), timeout=0.1)
+        # Several spurious wakeups happened, but the total virtual wait is
+        # the timeout plus at most one wait quantum.
+        assert clock.waits >= 3
+        assert clock.now() <= 0.1 + 0.03 + 1e-12
+        assert queue.rejected == 1
 
     def test_block_policy_unblocks_when_space_frees(self):
         queue = RequestQueue(capacity=1, overflow_policy="block")
@@ -108,24 +109,32 @@ class TestRequestQueue:
         done = threading.Event()
 
         def producer():
-            queue.put(make_request(1), timeout=2.0)
+            queue.put(make_request(1), timeout=5.0)
             done.set()
 
         thread = threading.Thread(target=producer, daemon=True)
         thread.start()
-        time.sleep(0.02)
-        assert not done.is_set()
-        assert queue.pop(0.1).request_id == 0
-        assert done.wait(2.0)
-        assert queue.pop(0.1).request_id == 1
+        # Popping the head frees capacity and wakes the blocked producer
+        # (or lets it through immediately if it had not blocked yet).
+        assert queue.pop(2.0).request_id == 0
+        assert done.wait(5.0)
+        assert queue.pop(2.0).request_id == 1
+        thread.join(2.0)
 
     def test_pop_within_respects_node_budget(self):
-        queue = RequestQueue(capacity=4)
+        queue = RequestQueue(capacity=4, clock=FakeClock())
         queue.put(make_request(0, num_nodes=5))
         status, request = queue.pop_within(node_budget=4, timeout=0.01)
         assert (status, request) == ("too_big", None)
         status, request = queue.pop_within(node_budget=5, timeout=0.01)
         assert status == "ok" and request.request_id == 0
+
+    def test_pop_within_times_out_on_fake_clock(self):
+        clock = FakeClock()
+        queue = RequestQueue(capacity=4, clock=clock)
+        status, request = queue.pop_within(node_budget=8, timeout=0.5)
+        assert (status, request) == ("empty", None)
+        assert clock.now() == pytest.approx(0.5)
 
     def test_close_wakes_consumers(self):
         queue = RequestQueue(capacity=2)
@@ -134,9 +143,10 @@ class TestRequestQueue:
             target=lambda: results.append(queue.pop(timeout=5.0)), daemon=True
         )
         thread.start()
-        time.sleep(0.02)
         queue.close()
         thread.join(2.0)
+        # Whether the consumer blocked first or saw the closed queue
+        # directly, it returns None promptly instead of waiting out 5s.
         assert results == [None]
         with pytest.raises(ServingError):
             queue.put(make_request(0))
@@ -149,16 +159,60 @@ class TestRequestQueue:
         assert queue.max_depth == 5
 
 
+class TestShutdown:
+    def test_drain_pending_fails_requests_with_descriptive_error(self):
+        """Pending requests must fail immediately at shutdown — callers in
+        ``result(timeout=...)`` get the reason, not a timeout."""
+        queue = RequestQueue(capacity=4, clock=FakeClock())
+        first, second = make_request(7), make_request(8)
+        queue.put(first)
+        queue.put(second)
+        queue.close()
+        drained = queue.drain_pending()
+        assert [r.request_id for r in drained] == [7, 8]
+        assert queue.depth == 0
+        assert first.done() and second.done()
+        with pytest.raises(ServingError) as excinfo:
+            first.result(timeout=0.0)  # done already — returns without waiting
+        assert "shut down" in str(excinfo.value)
+        assert "7" in str(excinfo.value)
+
+    def test_drain_pending_uses_caller_error_when_given(self):
+        queue = RequestQueue(capacity=2)
+        request = make_request(3)
+        queue.put(request)
+        queue.drain_pending(ServingError("server shut down before dispatch"))
+        with pytest.raises(ServingError, match="before dispatch"):
+            request.result(timeout=0.0)
+
+    def test_drain_pending_on_empty_queue_is_a_noop(self):
+        queue = RequestQueue(capacity=2)
+        assert queue.drain_pending() == []
+
+    def test_close_alone_keeps_items_poppable_for_the_dispatcher(self):
+        """close() stops intake but the dispatcher still drains the backlog;
+        only drain_pending fails what is left."""
+        queue = RequestQueue(capacity=4, clock=FakeClock())
+        queue.put(make_request(0))
+        queue.close()
+        popped = queue.pop(0.01)
+        assert popped.request_id == 0
+        assert not popped.done()
+
+
 class TestMicroBatcher:
     def test_returns_none_when_idle(self):
-        queue = RequestQueue(capacity=4)
+        clock = FakeClock()
+        queue = RequestQueue(capacity=4, clock=clock)
         batcher = MicroBatcher(queue, max_batch_size=8, max_wait_seconds=0.0)
         assert batcher.next_batch(poll_timeout=0.01) is None
+        assert clock.now() == pytest.approx(0.01)
 
     def test_coalesces_up_to_node_budget(self):
-        queue = RequestQueue(capacity=16)
+        clock = FakeClock()
+        queue = RequestQueue(capacity=16, clock=clock)
         for i in range(6):
-            queue.put(make_request(i, num_nodes=3))
+            queue.put(make_request(i, num_nodes=3, at=clock.now()))
         batcher = MicroBatcher(queue, max_batch_size=10, max_wait_seconds=0.5)
         batch = batcher.next_batch(poll_timeout=0.1)
         # 3 + 3 + 3 fits, the fourth request would overflow the budget.
@@ -171,16 +225,16 @@ class TestMicroBatcher:
         )
 
     def test_oversized_request_forms_its_own_batch(self):
-        queue = RequestQueue(capacity=4)
-        queue.put(make_request(0, num_nodes=20))
+        queue = RequestQueue(capacity=4, clock=FakeClock())
+        queue.put(make_request(0, num_nodes=20, at=0.0))
         batcher = MicroBatcher(queue, max_batch_size=8, max_wait_seconds=0.0)
         batch = batcher.next_batch(poll_timeout=0.1)
         assert batch.num_requests == 1
         assert batch.num_nodes == 20
 
     def test_zero_wait_dispatches_immediately(self):
-        queue = RequestQueue(capacity=4)
-        queue.put(make_request(0, num_nodes=1))
+        queue = RequestQueue(capacity=4, clock=FakeClock())
+        queue.put(make_request(0, num_nodes=1, at=0.0))
         batcher = MicroBatcher(queue, max_batch_size=100, max_wait_seconds=0.0)
         batch = batcher.next_batch(poll_timeout=0.1)
         assert batch.num_requests == 1
@@ -189,10 +243,11 @@ class TestMicroBatcher:
         """An expired latency budget stops waiting, not draining: everything
         already queued is still coalesced up to the node budget (the whole
         point of batching under backlog)."""
-        queue = RequestQueue(capacity=16)
+        clock = FakeClock()
+        queue = RequestQueue(capacity=16, clock=clock)
         for i in range(6):
-            queue.put(make_request(i, num_nodes=1))
-        time.sleep(0.01)  # every request is now past a 0-second budget
+            queue.put(make_request(i, num_nodes=1, at=clock.now()))
+        clock.advance(0.01)  # every request is now past a 0-second budget
         batcher = MicroBatcher(queue, max_batch_size=4, max_wait_seconds=0.0)
         first = batcher.next_batch(poll_timeout=0.1)
         second = batcher.next_batch(poll_timeout=0.1)
@@ -201,25 +256,26 @@ class TestMicroBatcher:
         assert queue.depth == 0
 
     def test_waits_out_the_latency_budget_for_stragglers(self):
-        queue = RequestQueue(capacity=4)
-        queue.put(make_request(0, num_nodes=1))
+        """A straggler that arrives within the oldest request's latency
+        budget joins the batch; the batcher then waits out the remaining
+        budget (in virtual time) before dispatching."""
+        clock = FakeClock()
+        queue = RequestQueue(capacity=4, clock=clock)
+        queue.put(make_request(0, num_nodes=1, at=0.0))
+        queue.put(make_request(1, num_nodes=1, at=0.05))  # the straggler
+        clock.advance(0.06)
         batcher = MicroBatcher(queue, max_batch_size=100, max_wait_seconds=0.25)
-
-        def straggler():
-            time.sleep(0.05)
-            queue.put(make_request(1, num_nodes=1))
-
-        thread = threading.Thread(target=straggler, daemon=True)
-        thread.start()
         batch = batcher.next_batch(poll_timeout=0.1)
-        thread.join()
         assert batch.num_requests == 2
+        # The budget of the *oldest* member bounds the batch: the batcher
+        # waited (virtually) until exactly enqueue-of-0 + 0.25 seconds.
+        assert clock.now() == pytest.approx(0.25)
 
     def test_batch_ids_are_sequential(self):
-        queue = RequestQueue(capacity=4)
+        queue = RequestQueue(capacity=4, clock=FakeClock())
         batcher = MicroBatcher(queue, max_batch_size=4, max_wait_seconds=0.0)
-        queue.put(make_request(0))
+        queue.put(make_request(0, at=0.0))
         first = batcher.next_batch(poll_timeout=0.1)
-        queue.put(make_request(1))
+        queue.put(make_request(1, at=0.0))
         second = batcher.next_batch(poll_timeout=0.1)
         assert (first.batch_id, second.batch_id) == (0, 1)

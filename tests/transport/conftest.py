@@ -1,0 +1,88 @@
+"""Shared fixtures for the transport suite: a CI watchdog and tiny deployments.
+
+The watchdog is the ``pytest --timeout``-style guard the socket tests need:
+a stuck socket (lost wakeup, deadlocked round, unreachable server) must
+fail CI loudly instead of hanging it.  Every test in this directory runs
+under a timer that dumps all thread stacks and aborts the process if the
+test exceeds the budget — generous enough that only a genuine hang trips
+it.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import NAIConfig
+from repro.core.distance_nap import DistanceNAP
+from repro.core.inference import NAIPredictor
+from repro.graph.generators import SyntheticGraphSpec, generate_community_graph
+from repro.models import SGC
+
+#: Per-test budget.  The whole transport suite runs in seconds; a test that
+#: is still going after this long is hung, not slow.
+WATCHDOG_SECONDS = 90.0
+
+
+def _dump_and_abort() -> None:  # pragma: no cover - only fires on a hang
+    sys.stderr.write(
+        f"\n*** transport-test watchdog fired after {WATCHDOG_SECONDS}s — "
+        "dumping all thread stacks and aborting ***\n"
+    )
+    faulthandler.dump_traceback(all_threads=True)
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def transport_watchdog():
+    """Abort the run (with stacks) if a single test hangs — CI cannot stall."""
+    timer = threading.Timer(WATCHDOG_SECONDS, _dump_and_abort)
+    timer.daemon = True
+    timer.start()
+    yield
+    timer.cancel()
+
+
+def build_deployment(seed: int, *, num_nodes: int = 230, num_features: int = 6,
+                     depth: int = 3, batch_size: int = 37):
+    """A small random deployment: graph, features, prepared ``NAIPredictor``.
+
+    The classifiers are randomly initialised (untrained) — equivalence
+    checks compare deterministic outputs, not accuracy.  The NAP threshold
+    is swept until exit depths actually mix, so early-exit pruning (the
+    hardest path to keep bit-identical) is exercised whenever the graph
+    allows it.
+    """
+    spec = SyntheticGraphSpec(
+        num_nodes=num_nodes, num_classes=5, avg_degree=6.0, degree_exponent=2.2
+    )
+    graph, _ = generate_community_graph(spec, rng=seed)
+    rng = np.random.default_rng(seed + 100)
+    features = rng.normal(size=(graph.num_nodes, num_features)).astype(np.float32)
+    classifiers = SGC(num_features, 5, depth=depth, rng=seed).make_all_classifiers()
+    config = NAIConfig(t_min=1, t_max=depth, batch_size=batch_size)
+    predictor = None
+    for threshold in (0.05, 0.15, 0.4, 1.0, 3.0):
+        predictor = NAIPredictor(
+            classifiers, policy=DistanceNAP(threshold), config=config
+        ).prepare(graph, features)
+        depths = predictor.predict(np.arange(graph.num_nodes)).depths
+        if np.unique(depths).shape[0] > 1:
+            break
+    return graph, features, predictor
+
+
+@pytest.fixture(scope="session")
+def small_deployment():
+    return build_deployment(0)
+
+
+@pytest.fixture(scope="session", params=[0, 7])
+def fuzz_deployment(request):
+    """Two independently seeded random deployments for the fuzz sweep."""
+    return build_deployment(request.param)
