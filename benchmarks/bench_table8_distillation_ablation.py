@@ -30,5 +30,7 @@ def test_table8_distillation_ablation(benchmark, profile):
 
     # Full Inception Distillation should not be worse than no distillation on
     # average across datasets (the paper reports consistent gains).
-    mean = lambda variant: sum(table[variant].values()) / len(table[variant])
+    def mean(variant):
+        return sum(table[variant].values()) / len(table[variant])
+
     assert mean("NAI") >= mean("NAI w/o ID") - 0.01

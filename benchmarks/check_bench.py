@@ -1,0 +1,182 @@
+"""CI bench-regression gate: equivalence fields must never drift.
+
+The benchmark reports (``BENCH_*.json``) mix two kinds of numbers: *timing*
+(wall seconds, throughput, latency percentiles — machine-dependent, never
+gated) and *equivalence* (bit-identical flags and MAC totals — deterministic
+properties of the code, gated here).  This script loads freshly produced
+quick-run reports and compares their equivalence surface against the
+committed ``BENCH_*.json`` artifacts:
+
+* every equivalence **flag** (``*_equal``, ``*identical*``, ``*within_slo``
+  booleans) must be ``True`` in both the fresh report and the committed
+  baseline — a ``False`` anywhere means a bit-equivalence claim regressed;
+* every **MAC total** present at the same path in both reports must match
+  exactly — but only when the two reports describe the same workload
+  (``quick`` mode, profile and workload signature), since MAC totals are
+  workload-dependent by construction.  Timing fields are excluded by name.
+
+Usage (the CI quick-bench job)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick --output fresh/BENCH_serving.json
+    ... (other benches) ...
+    python benchmarks/check_bench.py --fresh-dir fresh
+
+Exit status 0 = gate passed; 1 = mismatch (printed per finding).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Substrings that mark a numeric field as timing/throughput — never gated.
+TIMING_MARKERS = (
+    "seconds",
+    "_ms",
+    "latency",
+    "throughput",
+    "wall",
+    "speedup",
+    "rate",
+    "reduction",
+)
+
+#: Substrings that mark a boolean field as an equivalence claim.
+FLAG_MARKERS = ("equal", "identical", "within_slo")
+
+
+def is_equivalence_flag(key: str, value) -> bool:
+    return isinstance(value, bool) and any(m in key for m in FLAG_MARKERS)
+
+
+def is_mac_total(key: str, value) -> bool:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False
+    if any(marker in key for marker in TIMING_MARKERS):
+        return False
+    return "macs" in key
+
+
+def walk(tree, path=""):
+    """Yield ``(path, key, value)`` for every leaf in a JSON tree."""
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from walk(value, f"{path}.{key}" if path else key)
+    elif isinstance(tree, list):
+        for index, value in enumerate(tree):
+            yield from walk(value, f"{path}[{index}]")
+    else:
+        key = path.rsplit(".", 1)[-1]
+        yield path, key, tree
+
+
+def equivalence_flags(report: dict) -> dict[str, bool]:
+    flags = {}
+    for path, key, value in walk(report):
+        if is_equivalence_flag(key, value):
+            flags[path] = value
+    return flags
+
+
+def mac_totals(report: dict) -> dict[str, float]:
+    totals = {}
+    for path, key, value in walk(report):
+        if is_mac_total(key, value):
+            totals[path] = float(value)
+    return totals
+
+
+def workload_signature(report: dict):
+    """What must match for MAC totals to be comparable across reports."""
+    return (
+        report.get("quick"),
+        json.dumps(report.get("profile"), sort_keys=True),
+        json.dumps(report.get("workload"), sort_keys=True),
+    )
+
+
+def check_report(name: str, fresh: dict, committed: dict) -> list[str]:
+    """All mismatches between one fresh report and its committed baseline."""
+    failures: list[str] = []
+    fresh_flags = equivalence_flags(fresh)
+    committed_flags = equivalence_flags(committed)
+    if not fresh_flags:
+        failures.append(f"{name}: fresh report carries no equivalence flags")
+    for path, value in fresh_flags.items():
+        if value is not True:
+            failures.append(f"{name}: fresh equivalence flag {path} is False")
+    for path, value in committed_flags.items():
+        if value is not True:
+            failures.append(f"{name}: committed equivalence flag {path} is False")
+
+    if workload_signature(fresh) == workload_signature(committed):
+        fresh_macs = mac_totals(fresh)
+        committed_macs = mac_totals(committed)
+        shared = sorted(set(fresh_macs) & set(committed_macs))
+        if committed_macs and not shared:
+            # Some reports gate equivalence through flags only (no MAC
+            # totals at all) — that is fine; a baseline that *has* totals
+            # the fresh report dropped is a schema regression.
+            failures.append(
+                f"{name}: same workload but the fresh report lost every "
+                "MAC-total field the baseline carries"
+            )
+        for path in shared:
+            if fresh_macs[path] != committed_macs[path]:
+                failures.append(
+                    f"{name}: MAC total {path} drifted "
+                    f"({committed_macs[path]} -> {fresh_macs[path]})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--fresh-dir", type=Path, required=True,
+        help="directory holding the freshly produced BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=REPO_ROOT,
+        help="directory holding the committed BENCH_*.json baselines "
+        "(default: the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"check_bench: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 1
+    failures: list[str] = []
+    checked = 0
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            failures.append(
+                f"{baseline_path.name}: no fresh report in {args.fresh_dir} "
+                "(did the quick-bench step run?)"
+            )
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        committed = json.loads(baseline_path.read_text())
+        failures.extend(check_report(baseline_path.name, fresh, committed))
+        checked += 1
+
+    if failures:
+        print(f"check_bench: {len(failures)} mismatch(es):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(
+        f"check_bench: OK — {checked} report(s) checked, every equivalence "
+        "flag true, MAC totals consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

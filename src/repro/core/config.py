@@ -190,6 +190,36 @@ class ServingConfig:
         Latency budget of the batcher: once the oldest queued request has
         waited this long, the micro-batch is dispatched regardless of fill.
         ``0`` dispatches whatever is queued immediately (latency-first).
+    batch_policy:
+        Which :class:`~repro.serving.BatchController` steers the batcher's
+        limits.  ``"static"`` (default) keeps ``max_batch_size`` /
+        ``max_wait_ms`` fixed — the pre-controller behavior.
+        ``"queue_pressure"`` widens both toward the ceilings below as queue
+        depth and request age grow and shrinks them back when the queue
+        drains (two-watermark hysteresis).  ``"marginal_latency"`` fits an
+        online per-batch cost model and picks the widest batch whose
+        estimated latency stays under ``latency_slo_ms``.  Policies change
+        batching only — served predictions, exit depths and per-batch MAC
+        accounting semantics are policy-independent.
+    batch_size_ceiling:
+        Upper bound the adaptive policies may widen ``max_batch_size`` to.
+        ``0`` (default) means "same as ``max_batch_size``" — no widening.
+    wait_ms_ceiling:
+        Upper bound the adaptive policies may stretch ``max_wait_ms`` to.
+        ``0`` (default) means "same as ``max_wait_ms``".
+    pressure_widen_depth / pressure_shrink_depth:
+        Queue-depth watermarks of the ``"queue_pressure"`` policy: at or
+        above ``pressure_widen_depth`` coalescable requests it widens one
+        level, at or below ``pressure_shrink_depth`` it shrinks one level,
+        and the band in between holds — the hysteresis gap.
+    pressure_levels:
+        Number of widening steps between the base limits and the ceilings.
+    pressure_hold_decisions:
+        Decisions to hold the level after any change (cooldown), so one
+        noisy depth sample cannot flip the level straight back.
+    latency_slo_ms:
+        Per-request latency target of the ``"marginal_latency"`` policy
+        (must be positive when that policy is selected; ignored otherwise).
     queue_capacity:
         Bound of the request queue, counted in requests.
     overflow_policy:
@@ -221,6 +251,14 @@ class ServingConfig:
     backend: str = "thread"
     max_batch_size: int = 256
     max_wait_ms: float = 2.0
+    batch_policy: str = "static"
+    batch_size_ceiling: int = 0
+    wait_ms_ceiling: float = 0.0
+    pressure_widen_depth: int = 8
+    pressure_shrink_depth: int = 2
+    pressure_levels: int = 4
+    pressure_hold_decisions: int = 2
+    latency_slo_ms: float = 0.0
     queue_capacity: int = 1024
     overflow_policy: str = "block"
     cache_capacity: int = 64
@@ -243,6 +281,48 @@ class ServingConfig:
         if self.max_wait_ms < 0:
             raise ConfigurationError(
                 f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+        if self.batch_policy not in ("static", "queue_pressure", "marginal_latency"):
+            raise ConfigurationError(
+                "batch_policy must be 'static', 'queue_pressure' or "
+                f"'marginal_latency', got {self.batch_policy!r}"
+            )
+        if self.batch_size_ceiling and self.batch_size_ceiling < self.max_batch_size:
+            raise ConfigurationError(
+                f"batch_size_ceiling ({self.batch_size_ceiling}) must be 0 "
+                f"(= max_batch_size) or >= max_batch_size ({self.max_batch_size})"
+            )
+        if self.wait_ms_ceiling and self.wait_ms_ceiling < self.max_wait_ms:
+            raise ConfigurationError(
+                f"wait_ms_ceiling ({self.wait_ms_ceiling}) must be 0 "
+                f"(= max_wait_ms) or >= max_wait_ms ({self.max_wait_ms})"
+            )
+        if self.pressure_shrink_depth < 0:
+            raise ConfigurationError(
+                f"pressure_shrink_depth must be non-negative, got "
+                f"{self.pressure_shrink_depth}"
+            )
+        if self.pressure_widen_depth <= self.pressure_shrink_depth:
+            raise ConfigurationError(
+                f"pressure_widen_depth ({self.pressure_widen_depth}) must exceed "
+                f"pressure_shrink_depth ({self.pressure_shrink_depth})"
+            )
+        if self.pressure_levels < 1:
+            raise ConfigurationError(
+                f"pressure_levels must be positive, got {self.pressure_levels}"
+            )
+        if self.pressure_hold_decisions < 0:
+            raise ConfigurationError(
+                f"pressure_hold_decisions must be non-negative, got "
+                f"{self.pressure_hold_decisions}"
+            )
+        if self.latency_slo_ms < 0:
+            raise ConfigurationError(
+                f"latency_slo_ms must be non-negative, got {self.latency_slo_ms}"
+            )
+        if self.batch_policy == "marginal_latency" and self.latency_slo_ms == 0:
+            raise ConfigurationError(
+                "the 'marginal_latency' policy needs a positive latency_slo_ms"
             )
         if self.queue_capacity < 1:
             raise ConfigurationError(

@@ -71,8 +71,11 @@ class GateNAP:
         self.config = config if config is not None else GateTrainingConfig()
         self.rng = np.random.default_rng(rng)
         self.weights: list[Parameter] = [
-            Parameter(xavier_uniform(2 * num_features, 2, rng=self.rng), name=f"gate_{l}")
-            for l in range(1, depth)
+            Parameter(
+                xavier_uniform(2 * num_features, 2, rng=self.rng),
+                name=f"gate_{layer}",
+            )
+            for layer in range(1, depth)
         ]
         self.fitted = False
 

@@ -76,7 +76,6 @@ import scipy.sparse as sp
 from ..exceptions import ConfigurationError, NotFittedError
 from ..graph.kernels import (
     auto_masked_spmm,
-    extract_local_csr_arrays,
     hop_distances,
     masked_row_spmm,
 )
@@ -85,7 +84,6 @@ from ..graph.sampling import (
     SupportBundle,
     batch_iterator,
     build_support_bundle,
-    k_hop_neighborhood,
 )
 from ..graph.sparse import CSRGraph
 from ..models.base import DepthwiseClassifier

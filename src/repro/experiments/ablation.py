@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..metrics import MethodResult, method_result_from_inference
+from ..metrics import method_result_from_inference
 from .context import ExperimentProfile, get_context
 
 

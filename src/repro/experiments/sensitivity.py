@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .ablation import shallow_classifier_accuracy
 from .context import ExperimentProfile
 
 DEFAULT_LAMBDAS: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)

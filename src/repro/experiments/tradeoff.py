@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..metrics import MethodResult, method_result_from_inference
 from .context import ExperimentProfile, get_context
-from .settings import NAISetting, all_settings
+from .settings import all_settings
 from .table5 import BASELINE_ORDER
 
 

@@ -42,8 +42,10 @@ class GAMLPClassifier(DepthwiseClassifier):
         self.num_classes = num_classes
         generator = rng if rng is not None else np.random.default_rng()
         self.attention_vectors = [
-            Parameter(normal(num_features, 1, scale=0.05, rng=generator), name=f"s_{l}")
-            for l in range(depth + 1)
+            Parameter(
+                normal(num_features, 1, scale=0.05, rng=generator), name=f"s_{layer}"
+            )
+            for layer in range(depth + 1)
         ]
         self.head = MLP(num_features, num_classes, hidden_dims, dropout=dropout, rng=generator)
 

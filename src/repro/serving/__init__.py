@@ -8,6 +8,9 @@ offline :class:`~repro.core.NAIPredictor` into that service:
   (block / reject / shed-oldest);
 * :class:`MicroBatcher` — dynamic micro-batching under a latency budget
   (``max_batch_size`` nodes, ``max_wait_ms`` of the oldest request);
+* :class:`BatchController` — the adaptive-batching policy surface
+  (:class:`StaticPolicy`, :class:`QueuePressurePolicy`,
+  :class:`MarginalLatencyPolicy`) that moves those limits with load;
 * :class:`SubgraphCache` — LRU reuse of supporting-subgraph bundles across
   recurring batches of a streaming workload;
 * :class:`WorkerPool` — thread (default) or fork-process workers, each
@@ -24,29 +27,53 @@ for the throughput/equivalence benchmark behind ``BENCH_serving.json``.
 from .batcher import MicroBatch, MicroBatcher
 from .cache import CachedResult, ResultCache, SubgraphCache
 from .clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
+from .controller import (
+    BatchController,
+    BatchLimits,
+    MarginalLatencyPolicy,
+    QueuePressurePolicy,
+    StaticPolicy,
+    build_controller,
+)
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .server import InferenceServer
+from .simulator import (
+    LinearServiceModel,
+    SimulationReport,
+    ramp_arrivals,
+    simulate_policy,
+)
 from .stats import ServingStats, ServingStatsSnapshot, WorkerStats
 from .worker import WorkerPool, WorkItem, WorkOutput
 
 __all__ = [
     "MONOTONIC_CLOCK",
+    "BatchController",
+    "BatchLimits",
     "CachedResult",
     "Clock",
     "FakeClock",
     "InferenceRequest",
     "InferenceServer",
+    "LinearServiceModel",
+    "MarginalLatencyPolicy",
     "MicroBatch",
     "MicroBatcher",
     "MonotonicClock",
+    "QueuePressurePolicy",
     "RequestQueue",
     "ResultCache",
     "ServingResponse",
     "ServingStats",
     "ServingStatsSnapshot",
+    "SimulationReport",
+    "StaticPolicy",
     "SubgraphCache",
     "WorkItem",
     "WorkOutput",
     "WorkerPool",
     "WorkerStats",
+    "build_controller",
+    "ramp_arrivals",
+    "simulate_policy",
 ]

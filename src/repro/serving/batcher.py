@@ -16,6 +16,12 @@ The batcher balances throughput against latency with two knobs from
   coalescing when the next queued request would overflow it.
 * ``max_wait_ms`` — once the *oldest* queued request has waited this long,
   the micro-batch is dispatched regardless of how full it is.
+
+Both knobs are an *operating point*, not a constant: before forming each
+batch the batcher consults its :class:`~repro.serving.controller.
+BatchController`, which may move the limits with load (see
+:mod:`repro.serving.controller`).  The default :class:`~repro.serving.
+controller.StaticPolicy` reproduces the fixed-knob behavior exactly.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from .clock import Clock
+from .controller import BatchController, BatchLimits, StaticPolicy
 from .queue import InferenceRequest, RequestQueue
 
 
@@ -42,6 +49,9 @@ class MicroBatch:
     node_ids: np.ndarray
     offsets: np.ndarray
     formed_at: float
+    #: The controller limits this batch was formed under (observability —
+    #: tests and the adaptive bench read the width the policy granted).
+    limits: BatchLimits | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -62,21 +72,29 @@ class MicroBatcher:
         self,
         queue: RequestQueue,
         *,
-        max_batch_size: int,
-        max_wait_seconds: float,
+        max_batch_size: int | None = None,
+        max_wait_seconds: float | None = None,
+        controller: BatchController | None = None,
         clock: Clock | None = None,
     ) -> None:
-        if max_batch_size < 1:
+        if controller is None:
+            if max_batch_size is None or max_wait_seconds is None:
+                raise ConfigurationError(
+                    "give the batcher either a controller or both "
+                    "max_batch_size and max_wait_seconds"
+                )
+            # StaticPolicy validates the two knobs exactly as before.
+            controller = StaticPolicy(max_batch_size, max_wait_seconds)
+        elif max_batch_size is not None or max_wait_seconds is not None:
             raise ConfigurationError(
-                f"max_batch_size must be positive, got {max_batch_size}"
-            )
-        if max_wait_seconds < 0:
-            raise ConfigurationError(
-                f"max_wait_seconds must be non-negative, got {max_wait_seconds}"
+                "a controller already carries the batch limits; do not also "
+                "pass max_batch_size / max_wait_seconds"
             )
         self.queue = queue
-        self.max_batch_size = max_batch_size
-        self.max_wait_seconds = max_wait_seconds
+        #: Swappable mid-stream: the batcher re-reads this attribute before
+        #: forming every batch, so an operator (or test) can replace the
+        #: policy on a live batcher without dropping a request.
+        self.controller = controller
         # Deadlines must be measured against the same clock that stamped the
         # requests — default to the queue's.
         self.clock = clock if clock is not None else queue.clock
@@ -85,26 +103,33 @@ class MicroBatcher:
     def next_batch(self, poll_timeout: float = 0.05) -> MicroBatch | None:
         """Coalesce the next micro-batch; ``None`` if no request arrived.
 
-        Blocks up to ``poll_timeout`` for the first request, then keeps
-        pulling whole requests (FIFO, never splitting one) until the node
-        budget is reached, the head request would overflow it, or the queue
-        is empty with the oldest member's ``max_wait_seconds`` latency
-        budget spent.  An expired budget stops *waiting*, never *draining*:
-        under backlog the batcher still coalesces everything already queued
-        up to the node budget — that is exactly when batching pays the most.
-        A single request larger than the budget still forms its own batch —
-        the engine handles any batch size.
+        Blocks up to ``poll_timeout`` for the first request, then asks the
+        controller for this batch's limits (queue depth and head age are the
+        controller's inputs) and keeps pulling whole requests (FIFO, never
+        splitting one) until the node budget is reached, the head request
+        would overflow it, or the queue is empty with the oldest member's
+        wait budget spent.  An expired budget stops *waiting*, never
+        *draining*: under backlog the batcher still coalesces everything
+        already queued up to the node budget — that is exactly when batching
+        pays the most.  A single request larger than the budget still forms
+        its own batch — the engine handles any batch size.
         """
         first = self.queue.pop(timeout=poll_timeout)
         if first is None:
             return None
+        # One controller decision per micro-batch, made once the batch is
+        # known to exist: the coalescable depth counts the popped head.
+        limits = self.controller.limits(
+            queue_depth=self.queue.depth + 1,
+            oldest_wait_seconds=self.clock.now() - first.enqueued_at,
+        )
         requests = [first]
         num_nodes = first.num_nodes
-        deadline = first.enqueued_at + self.max_wait_seconds
-        while num_nodes < self.max_batch_size:
+        deadline = first.enqueued_at + limits.max_wait_seconds
+        while num_nodes < limits.max_batch_size:
             wait = deadline - self.clock.now()
             status, nxt = self.queue.pop_within(
-                self.max_batch_size - num_nodes, timeout=max(wait, 0.0)
+                limits.max_batch_size - num_nodes, timeout=max(wait, 0.0)
             )
             if status == "ok":
                 assert nxt is not None
@@ -118,9 +143,11 @@ class MicroBatcher:
             # slept until the deadline or a new arrival.
             if wait <= 0 or self.queue.is_closed:
                 break
-        return self._assemble(requests)
+        return self._assemble(requests, limits)
 
-    def _assemble(self, requests: list[InferenceRequest]) -> MicroBatch:
+    def _assemble(
+        self, requests: list[InferenceRequest], limits: BatchLimits
+    ) -> MicroBatch:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         sizes = np.array([r.num_nodes for r in requests], dtype=np.int64)
@@ -136,4 +163,5 @@ class MicroBatcher:
             node_ids=node_ids,
             offsets=offsets,
             formed_at=self.clock.now(),
+            limits=limits,
         )

@@ -39,7 +39,7 @@ import numpy as np
 
 from ..core.inference import MACBreakdown, TimingBreakdown
 from ..exceptions import ConfigurationError
-from ..graph.sampling import SupportBundle, support_cache_key
+from ..graph.sampling import support_cache_key
 
 
 class _LruCache:

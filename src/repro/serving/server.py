@@ -36,6 +36,7 @@ from ..graph.sampling import canonical_order
 from .batcher import MicroBatch, MicroBatcher
 from .cache import CachedResult, ResultCache, SubgraphCache
 from .clock import MONOTONIC_CLOCK, Clock
+from .controller import BatchController, build_controller
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .stats import ServingStats, ServingStatsSnapshot
 from .worker import WorkerPool, WorkItem, WorkOutput
@@ -50,6 +51,7 @@ class InferenceServer:
         config: ServingConfig | None = None,
         *,
         clock: Clock | None = None,
+        controller: BatchController | None = None,
     ) -> None:
         if not predictor.prepared:
             raise ServingError(
@@ -63,11 +65,14 @@ class InferenceServer:
             clock=self.clock,
         )
         self.queue.on_shed = self._on_request_shed
+        #: The batching policy (``config.batch_policy`` unless an explicit
+        #: controller instance is injected — tests and the shard router use
+        #: that to share or pre-wire policies).
+        self.controller = (
+            controller if controller is not None else build_controller(self.config)
+        )
         self.batcher = MicroBatcher(
-            self.queue,
-            max_batch_size=self.config.max_batch_size,
-            max_wait_seconds=self.config.max_wait_ms / 1e3,
-            clock=self.clock,
+            self.queue, controller=self.controller, clock=self.clock
         )
         # Bundle reuse needs the fused engine (the reference engine resamples
         # per depth) and in-process workers (bundles are not shipped across
@@ -173,6 +178,8 @@ class InferenceServer:
             result_cache_hits=self.result_cache.hits if self.result_cache else 0,
             result_cache_misses=self.result_cache.misses if self.result_cache else 0,
             result_cache_entries=len(self.result_cache) if self.result_cache else 0,
+            batch_policy=self.controller.name,
+            controller_adjustments=self.controller.adjustments,
         )
 
     def close(self) -> None:
@@ -279,8 +286,9 @@ class InferenceServer:
                         bundle=bundle,
                         bundle_is_fresh=bundle_is_fresh,
                         callback=lambda output, mb=micro_batch, waits=queue_waits,
-                        hit=cache_hit, rkey=result_key, cidx=canonical_idx:
-                        self._on_batch_done(mb, waits, hit, output, rkey, cidx),
+                        hit=cache_hit, rkey=result_key, cidx=canonical_idx,
+                        sent=dispatched_at:
+                        self._on_batch_done(mb, waits, hit, output, rkey, cidx, sent),
                     )
                 )
             except BaseException as error:  # noqa: BLE001 - forwarded per request
@@ -360,6 +368,7 @@ class InferenceServer:
         output: WorkOutput,
         result_key: bytes | None = None,
         canonical_idx: np.ndarray | None = None,
+        dispatched_at: float | None = None,
     ) -> None:
         try:
             if output.error is not None or output.result is None:
@@ -388,6 +397,15 @@ class InferenceServer:
                     ),
                 )
             completed_at = self.clock.now()
+            if dispatched_at is not None:
+                # Feed the controller its cost sample: dispatch-to-completion
+                # is the service time the adaptive policies model.
+                self.controller.observe_batch(
+                    num_nodes=micro_batch.num_nodes,
+                    num_requests=micro_batch.num_requests,
+                    service_seconds=completed_at - dispatched_at,
+                    queue_depth=self.queue.depth,
+                )
             latencies = []
             for index, request in enumerate(micro_batch.requests):
                 rows = micro_batch.request_slice(index)

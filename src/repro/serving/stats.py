@@ -46,6 +46,14 @@ class ServingStatsSnapshot:
     batches_dispatched: int
     avg_batch_nodes: float
     avg_batch_requests: float
+    #: Distribution of dispatched batch widths (nodes per micro-batch) and
+    #: the batching controller's activity: which policy steered the batcher
+    #: and how many times it moved the limits.  Static policies report zero
+    #: adjustments by construction.
+    batch_width_p50: float
+    batch_width_p95: float
+    batch_policy: str
+    controller_adjustments: int
     throughput_nodes_per_second: float
     latency: LatencySummary
     queue_wait: LatencySummary
@@ -82,6 +90,10 @@ class ServingStatsSnapshot:
             "batches_dispatched": self.batches_dispatched,
             "avg_batch_nodes": self.avg_batch_nodes,
             "avg_batch_requests": self.avg_batch_requests,
+            "batch_width_p50": self.batch_width_p50,
+            "batch_width_p95": self.batch_width_p95,
+            "batch_policy": self.batch_policy,
+            "controller_adjustments": self.controller_adjustments,
             "throughput_nodes_per_second": self.throughput_nodes_per_second,
             "latency_ms": self.latency.scaled(1e3).as_dict(),
             "queue_wait_ms": self.queue_wait.scaled(1e3).as_dict(),
@@ -119,6 +131,7 @@ class ServingStats:
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=latency_sample_cap)
         self._queue_waits: deque[float] = deque(maxlen=latency_sample_cap)
+        self._batch_widths: deque[int] = deque(maxlen=latency_sample_cap)
         self._per_worker: dict[int, WorkerStats] = {}
         self._macs = MACBreakdown()
         self._timings = TimingBreakdown()
@@ -166,6 +179,7 @@ class ServingStats:
             self.batch_requests_total += num_requests
             self.requests_completed += num_requests
             self.nodes_completed += num_nodes
+            self._batch_widths.append(num_nodes)
             self._latencies.extend(latencies)
             self._queue_waits.extend(queue_waits)
             if self._first_activity is None:
@@ -194,6 +208,9 @@ class ServingStats:
             self.nodes_replayed += num_nodes
             self.requests_completed += num_requests
             self.nodes_completed += num_nodes
+            # A replayed batch was still *formed* by the batcher — its width
+            # belongs in the controller's batch-width distribution.
+            self._batch_widths.append(num_nodes)
             self._replayed_macs = self._replayed_macs.merged_with(macs)
             self._latencies.extend(latencies)
             self._queue_waits.extend(queue_waits)
@@ -219,6 +236,8 @@ class ServingStats:
         result_cache_hits: int = 0,
         result_cache_misses: int = 0,
         result_cache_entries: int = 0,
+        batch_policy: str = "static",
+        controller_adjustments: int = 0,
     ) -> ServingStatsSnapshot:
         """Render the current counters (plus queue/cache gauges) immutably."""
         with self._lock:
@@ -228,6 +247,7 @@ class ServingStats:
                 window = 0.0
             throughput = self.nodes_completed / window if window > 0 else 0.0
             batches = self.batches_dispatched
+            width_summary = latency_summary(self._batch_widths)
             lookups = cache_hits + cache_misses
             per_worker = {
                 worker: WorkerStats(
@@ -249,6 +269,10 @@ class ServingStats:
                 avg_batch_requests=(
                     self.batch_requests_total / batches if batches else 0.0
                 ),
+                batch_width_p50=width_summary.p50,
+                batch_width_p95=width_summary.p95,
+                batch_policy=batch_policy,
+                controller_adjustments=controller_adjustments,
                 throughput_nodes_per_second=throughput,
                 latency=latency_summary(self._latencies),
                 queue_wait=latency_summary(self._queue_waits),

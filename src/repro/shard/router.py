@@ -26,6 +26,8 @@ import numpy as np
 
 from ..core.config import ServingConfig
 from ..exceptions import ConfigurationError, ServingError
+from ..serving.clock import Clock
+from ..serving.controller import build_controller
 from ..serving.queue import InferenceRequest, ServingResponse
 from ..serving.server import InferenceServer
 from .predictor import ShardedPredictor
@@ -97,6 +99,8 @@ class ShardRouter:
         self,
         predictor: ShardedPredictor,
         config: ServingConfig | None = None,
+        *,
+        clock: Clock | None = None,
     ) -> None:
         if not predictor.prepared:
             raise ServingError(
@@ -104,8 +108,20 @@ class ShardRouter:
             )
         self.predictor = predictor
         self.config = config if config is not None else ServingConfig()
+        # One controller *per shard*: a hot shard widens its batches toward
+        # the ceilings independently, while a cold one stays at the idle
+        # operating point — adaptive batching must not couple shard loads.
+        self.controllers = {
+            shard_id: build_controller(self.config)
+            for shard_id in range(predictor.num_shards)
+        }
         self.servers = {
-            shard_id: InferenceServer(predictor.shard_view(shard_id), self.config)
+            shard_id: InferenceServer(
+                predictor.shard_view(shard_id),
+                self.config,
+                clock=clock,
+                controller=self.controllers[shard_id],
+            )
             for shard_id in range(predictor.num_shards)
         }
         self._closed = False
@@ -158,6 +174,13 @@ class ShardRouter:
         return merge_serving_snapshots(
             {shard_id: server.stats() for shard_id, server in self.servers.items()}
         )
+
+    def controller_state(self) -> dict[int, dict]:
+        """Per-shard batching-controller state (policy, level, adjustments)."""
+        return {
+            shard_id: controller.describe()
+            for shard_id, controller in self.controllers.items()
+        }
 
     def traffic(self) -> dict:
         """Cross-shard fetch traffic (rows and bytes) of the routed fleet.

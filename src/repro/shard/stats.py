@@ -49,6 +49,13 @@ class ShardedStatsSnapshot:
     requests_replayed: int
     nodes_completed: int
     batches_dispatched: int
+    #: Fleet batching-controller view: adjustments sum across shards (each
+    #: shard runs its own controller); the width percentiles are the worst
+    #: per-shard values, mirroring the latency merge below.
+    batch_policy: str
+    controller_adjustments: int
+    batch_width_p50: float
+    batch_width_p95: float
     macs: MACBreakdown
     replayed_macs: MACBreakdown
     timings: TimingBreakdown
@@ -77,6 +84,10 @@ class ShardedStatsSnapshot:
             "requests_replayed": self.requests_replayed,
             "nodes_completed": self.nodes_completed,
             "batches_dispatched": self.batches_dispatched,
+            "batch_policy": self.batch_policy,
+            "controller_adjustments": self.controller_adjustments,
+            "batch_width_p50": self.batch_width_p50,
+            "batch_width_p95": self.batch_width_p95,
             "computed_macs": self.macs.total,
             "replayed_macs": self.replayed_macs.total,
             "total_seconds": self.timings.total,
@@ -113,6 +124,18 @@ def merge_serving_snapshots(
         requests_replayed=sum(s.requests_replayed for s in snapshots.values()),
         nodes_completed=sum(s.nodes_completed for s in snapshots.values()),
         batches_dispatched=sum(s.batches_dispatched for s in snapshots.values()),
+        batch_policy=next(
+            (s.batch_policy for s in snapshots.values()), "static"
+        ),
+        controller_adjustments=sum(
+            s.controller_adjustments for s in snapshots.values()
+        ),
+        batch_width_p50=max(
+            (s.batch_width_p50 for s in snapshots.values()), default=0.0
+        ),
+        batch_width_p95=max(
+            (s.batch_width_p95 for s in snapshots.values()), default=0.0
+        ),
         macs=macs,
         replayed_macs=replayed,
         timings=timings,

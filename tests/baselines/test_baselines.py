@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import (
     GLNN,
     NOSMOG,
-    DistillationTarget,
     QuantizedInference,
     TinyGNN,
     quantize_depthwise_classifier,

@@ -29,7 +29,7 @@ def test_quick_bench_runs_and_reports(tmp_path):
     report = json.loads(output.read_text())
     assert report["quick"] is True
     suites = {record["suite"] for record in report["suites"]}
-    assert suites == {"streaming", "online", "scaling"}
+    assert suites == {"streaming", "online", "scaling", "adaptive"}
     for record in report["suites"]:
         if record["suite"] == "streaming":
             # The suites raise on divergence; double-check the record too.
@@ -48,3 +48,6 @@ def test_quick_bench_runs_and_reports(tmp_path):
     assert aggregate["all_depths_equal"]
     assert aggregate["streaming_macs_equal"]
     assert aggregate["min_cache_hit_rate"] > 0
+    assert aggregate["adaptive_policies_bit_identical"]
+    assert aggregate["adaptive_overload_speedup"] > 1
+    assert aggregate["adaptive_p95_within_slo"]

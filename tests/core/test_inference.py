@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DistanceNAP, NAIConfig, NAIPredictor
+from repro.core import NAIConfig, NAIPredictor
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.graph import propagate_features
 

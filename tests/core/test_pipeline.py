@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import NAI, SGC
-from repro.core import DistillationConfig, GateTrainingConfig, TrainingConfig
+from repro.core import DistillationConfig, TrainingConfig
 from repro.exceptions import ConfigurationError, NotFittedError
 
 

@@ -12,7 +12,6 @@ from repro.core import (
     train_classifier,
 )
 from repro.exceptions import ConfigurationError
-from repro.graph import propagate_features
 from repro.models import SGC
 from repro.datasets import load_dataset
 

@@ -1,12 +1,10 @@
 """Tests for the experiment drivers (run on the FAST profile)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
     DISTILLATION_VARIANTS,
     FAST_PROFILE,
-    ExperimentProfile,
     clear_cache,
     figure4_series,
     get_context,

@@ -118,6 +118,8 @@ class TestStatsMerging:
         merged = merge_serving_snapshots({})
         assert merged.requests_completed == 0
         assert merged.latency.count == 0
+        assert merged.controller_adjustments == 0
+        assert merged.batch_width_p95 == 0.0
 
     def test_latency_merge_is_conservative(self):
         fast = LatencySummary(count=10, mean=1.0, p50=1.0, p95=2.0, p99=3.0, max=4.0)
@@ -127,3 +129,32 @@ class TestStatsMerging:
         assert merged.p99 == 9.0
         assert merged.max == 11.0
         assert merged.mean == pytest.approx((1.0 * 10 + 2.0 * 30) / 40)
+
+
+class TestPerShardControllers:
+    def test_each_shard_gets_its_own_controller(self, sharded, tiny_dataset):
+        """Adaptive batching must not couple shard loads: the router builds
+        one independent controller per shard and surfaces their state."""
+        config = SERVING.with_updates(
+            batch_policy="queue_pressure",
+            batch_size_ceiling=128,
+            pressure_widen_depth=3,
+            pressure_shrink_depth=1,
+        )
+        test_idx = tiny_dataset.split.test_idx
+        with ShardRouter(sharded, config) as router:
+            controllers = set(map(id, router.controllers.values()))
+            assert len(controllers) == sharded.num_shards  # distinct objects
+            router.predict_many(
+                [test_idx[i:i + 7] for i in range(0, test_idx.shape[0], 7)],
+                timeout=300.0,
+            )
+            state = router.controller_state()
+            stats = router.stats()
+        assert set(state) == set(range(sharded.num_shards))
+        assert all(s["policy"] == "queue_pressure" for s in state.values())
+        assert stats.batch_policy == "queue_pressure"
+        assert stats.controller_adjustments == sum(
+            s["adjustments"] for s in state.values()
+        )
+        assert stats.as_dict()["batch_width_p95"] == stats.batch_width_p95

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import ShardConfig
 from repro.exceptions import GraphConstructionError
-from repro.graph import CSRGraph, normalized_adjacency
+from repro.graph import normalized_adjacency
 from repro.graph.generators import SyntheticGraphSpec, generate_community_graph
 from repro.graph.sampling import build_support_bundle, k_hop_neighborhood
 from repro.shard import ShardedGraphStore

@@ -7,7 +7,6 @@ to it.
 """
 
 import numpy as np
-import pytest
 
 from repro import NAI, SGC, SIGN, load_dataset
 from repro.baselines import GLNN, DistillationTarget
