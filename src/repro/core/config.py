@@ -368,10 +368,27 @@ class ShardConfig:
         nodes in decreasing-degree order to the shard with the least
         accumulated degree (LPT scheduling), balancing per-shard *edge* load
         on skewed-degree graphs at the cost of an explicit owner table.
+    replication_factor:
+        Baseline number of read replicas per shard in the plan's replica
+        map.  ``1`` (default) means no redundancy — the plan still carries a
+        (trivial) replica map, so the replicated transport path works
+        uniformly.
+    hot_shard_boost:
+        Extra replicas granted to *hot* shards on top of
+        ``replication_factor``.  Node-adaptive propagation concentrates
+        traffic on hub-heavy shards; boosting only those keeps the replica
+        budget where the load is.  ``0`` (default) replicates uniformly.
+    hot_shard_fraction:
+        Fraction of shards (by accumulated degree load, ties to the lower
+        shard id) that count as hot.  At least one shard is hot whenever
+        ``hot_shard_boost > 0``.
     """
 
     num_shards: int = 2
     strategy: str = "hash"
+    replication_factor: int = 1
+    hot_shard_boost: int = 0
+    hot_shard_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -382,6 +399,20 @@ class ShardConfig:
             raise ConfigurationError(
                 f"strategy must be 'hash' or 'degree_balanced', got "
                 f"{self.strategy!r}"
+            )
+        if self.replication_factor < 1:
+            raise ConfigurationError(
+                f"replication_factor must be positive, got "
+                f"{self.replication_factor}"
+            )
+        if self.hot_shard_boost < 0:
+            raise ConfigurationError(
+                f"hot_shard_boost must be non-negative, got {self.hot_shard_boost}"
+            )
+        if not 0.0 < self.hot_shard_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_shard_fraction must lie in (0, 1], got "
+                f"{self.hot_shard_fraction}"
             )
 
     def with_updates(self, **kwargs) -> "ShardConfig":

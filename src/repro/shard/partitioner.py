@@ -26,7 +26,8 @@ inputs reproduces the same plan, which the equivalence tests rely on.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -57,12 +58,27 @@ class ShardPlan:
     cut_edges:
         Number of undirected edges whose endpoints live on different shards
         (each contributes a halo column to both owners' blocks).
+    version:
+        Monotonic plan version.  :meth:`~repro.shard.router.ShardRouter.
+        install_plan` only accepts a plan newer than the active one, and the
+        serving stats report which version answered each request — the
+        substrate of live rollout.
+    replicas:
+        Per shard, the replica-rail ids hosting a read copy of that shard
+        (``replicas[shard_id] -> (rail_id, ...)``), or ``None`` for the
+        single-homed default.  Rail 0 is the primary fleet; hot shards —
+        ranked by accumulated degree, the traffic proxy under node-adaptive
+        propagation — list extra rails (see
+        :class:`~repro.core.config.ShardConfig` replication knobs and
+        :class:`~repro.transport.replica.ReplicatedTransport`).
     """
 
     owner: np.ndarray
     owned: tuple[np.ndarray, ...]
     strategy: str
     cut_edges: int
+    version: int = 0
+    replicas: tuple[tuple[int, ...], ...] | None = None
 
     @property
     def num_shards(self) -> int:
@@ -71,6 +87,23 @@ class ShardPlan:
     @property
     def num_nodes(self) -> int:
         return int(self.owner.shape[0])
+
+    @property
+    def max_replication(self) -> int:
+        """Replica count of the most-replicated shard (1 when unreplicated)."""
+        if self.replicas is None:
+            return 1
+        return max(len(rail_ids) for rail_ids in self.replicas)
+
+    def replicas_of(self, shard_id: int) -> tuple[int, ...]:
+        """Rail ids hosting ``shard_id`` (``(0,)`` when unreplicated)."""
+        if self.replicas is None:
+            return (0,)
+        return self.replicas[shard_id]
+
+    def with_version(self, version: int) -> "ShardPlan":
+        """Return a copy of the plan stamped with ``version``."""
+        return replace(self, version=version)
 
     def shard_of(self, node_ids: np.ndarray) -> np.ndarray:
         """Owning shard of every node in ``node_ids``."""
@@ -87,7 +120,7 @@ class GraphPartitioner:
     def __init__(self, config: ShardConfig) -> None:
         self.config = config
 
-    def partition(self, graph: CSRGraph) -> ShardPlan:
+    def partition(self, graph: CSRGraph, *, version: int = 0) -> ShardPlan:
         """Assign every node of ``graph`` to a shard."""
         if graph.num_nodes < self.config.num_shards:
             raise GraphConstructionError(
@@ -107,6 +140,38 @@ class GraphPartitioner:
             owned=owned,
             strategy=self.config.strategy,
             cut_edges=self._count_cut_edges(graph, owner),
+            version=version,
+            replicas=self._plan_replicas(graph, owner),
+        )
+
+    def _plan_replicas(
+        self, graph: CSRGraph, owner: np.ndarray
+    ) -> tuple[tuple[int, ...], ...]:
+        """Degree-weighted replica placement.
+
+        Every shard gets ``replication_factor`` replicas (rails ``0 ..
+        factor-1``); the hottest ``hot_shard_fraction`` of shards by
+        accumulated degree — the proxy for traffic under node-adaptive
+        propagation, where hub-heavy shards answer the most fetch rounds —
+        get ``hot_shard_boost`` extra rails on top.
+        """
+        config = self.config
+        base = config.replication_factor
+        if config.hot_shard_boost == 0:
+            return tuple(tuple(range(base)) for _ in range(config.num_shards))
+        degrees = graph.degrees()
+        load = np.zeros(config.num_shards, dtype=np.float64)
+        np.add.at(load, owner, degrees)
+        num_hot = min(
+            config.num_shards,
+            max(1, math.ceil(config.hot_shard_fraction * config.num_shards)),
+        )
+        # Hottest first; degree ties break to the lower shard id.
+        ranked = np.lexsort((np.arange(config.num_shards), -load))
+        hot = set(int(shard) for shard in ranked[:num_hot])
+        return tuple(
+            tuple(range(base + (config.hot_shard_boost if shard in hot else 0)))
+            for shard in range(config.num_shards)
         )
 
     # ------------------------------------------------------------------ #

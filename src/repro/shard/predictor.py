@@ -159,6 +159,7 @@ class ShardedPredictor:
         shard_config: ShardConfig,
         *,
         transport=None,
+        plan=None,
     ) -> "ShardedPredictor":
         """Partition, build the shard blocks and reduce the stationary state.
 
@@ -166,6 +167,12 @@ class ShardedPredictor:
         :class:`~repro.transport.ShardTransport` or a callable taking the
         built store and returning one — how a deployment swaps the default
         in-process fetches for the socket backend at prepare time.
+
+        ``plan`` (optional) deploys onto a pre-built
+        :class:`~repro.shard.partitioner.ShardPlan` instead of repartitioning
+        — how a versioned rollout prepares the successor deployment at an
+        explicit plan version (see
+        :meth:`~repro.shard.router.ShardRouter.install_plan`).
         """
         self._store = ShardedGraphStore.from_graph(
             graph,
@@ -173,6 +180,7 @@ class ShardedPredictor:
             shard_config,
             gamma=self.gamma,
             dtype=self.config.np_dtype,
+            plan=plan,
         )
         if transport is not None:
             if callable(transport) and not hasattr(transport, "fetch"):

@@ -16,11 +16,27 @@ predictor's answer for the same nodes.  Batch *compositions* do change, so
 MAC totals follow serving semantics (shared supporting subgraphs), exactly
 as unsharded micro-batching does; the offline bit-equality oracle for MAC
 totals is :meth:`ShardedPredictor.predict`.
+
+Versioned rollout
+-----------------
+The router holds its serving state in **generations**, one per installed
+:class:`~repro.shard.partitioner.ShardPlan` version.  :meth:`ShardRouter.
+install_plan` accepts a second *prepared* predictor whose plan carries a
+strictly newer version, spins up its per-shard servers, and atomically makes
+it the active generation: new submissions route on the new plan immediately,
+while requests already accepted by the old generation's servers keep
+draining there — nothing is cancelled, nothing is re-routed mid-flight, and
+per-version traffic accounting (:meth:`rollout_state`) shows exactly which
+version answered what.  :meth:`finish_rollout` then drains and retires the
+old generations.  Because every generation's results are bit-identical to
+the unsharded predictor, a rollout can change *placement* but never
+*answers* — the property the rollout tests pin down.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -42,7 +58,8 @@ class RoutedResponse:
     ``per_shard`` maps each participating shard to the
     :class:`~repro.serving.ServingResponse` of its sub-request;
     ``latency_seconds`` is the slowest sub-request (the caller-visible
-    latency of the fan-out).
+    latency of the fan-out).  ``plan_version`` names the plan generation
+    that routed the request.
     """
 
     node_ids: np.ndarray
@@ -50,6 +67,7 @@ class RoutedResponse:
     depths: np.ndarray
     latency_seconds: float
     per_shard: dict[int, ServingResponse]
+    plan_version: int = 0
 
     @property
     def num_shards_touched(self) -> int:
@@ -63,8 +81,11 @@ class RoutedRequest:
         self,
         node_ids: np.ndarray,
         parts: list[tuple[int, np.ndarray, InferenceRequest]],
+        *,
+        plan_version: int = 0,
     ) -> None:
         self.node_ids = node_ids
+        self.plan_version = plan_version
         self._parts = parts
 
     def done(self) -> bool:
@@ -89,7 +110,53 @@ class RoutedRequest:
             depths=depths,
             latency_seconds=latency,
             per_shard=per_shard,
+            plan_version=self.plan_version,
         )
+
+
+@dataclass
+class _Generation:
+    """One plan version's serving state: predictor, controllers, servers."""
+
+    version: int
+    predictor: ShardedPredictor
+    controllers: dict[int, object]
+    servers: dict[int, InferenceServer]
+    requests_routed: int = 0
+    draining: bool = False
+    _route_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def count_routed(self) -> None:
+        with self._route_lock:
+            self.requests_routed += 1
+
+    def drain(self, timeout: float | None = None) -> None:
+        for server in self.servers.values():
+            server.drain(timeout=timeout)
+
+    def close(self) -> None:
+        for server in self.servers.values():
+            server.close()
+
+    def snapshot(self) -> dict:
+        """Per-version accounting row for :meth:`ShardRouter.rollout_state`.
+
+        ``requests_routed`` counts router-level submissions;
+        ``requests_completed``/``failed`` count per-shard *sub*-requests
+        (a mixed-owner submission fans out to several servers).
+        """
+        stats = merge_serving_snapshots(
+            {shard_id: server.stats() for shard_id, server in self.servers.items()}
+        )
+        return {
+            "version": self.version,
+            "draining": self.draining,
+            "num_shards": self.predictor.num_shards,
+            "requests_routed": self.requests_routed,
+            "requests_completed": stats.requests_completed,
+            "requests_failed": stats.requests_failed,
+            "nodes_completed": stats.nodes_completed,
+        }
 
 
 class ShardRouter:
@@ -102,52 +169,145 @@ class ShardRouter:
         *,
         clock: Clock | None = None,
     ) -> None:
+        self.config = config if config is not None else ServingConfig()
+        self._clock = clock
+        self._plan_lock = threading.Lock()
+        self._closed = False
+        self._retired: list[_Generation] = []
+        self._active = self._build_generation(predictor)
+
+    def _build_generation(self, predictor: ShardedPredictor) -> _Generation:
         if not predictor.prepared:
             raise ServingError(
                 "prepare the ShardedPredictor before routing requests to it"
             )
-        self.predictor = predictor
-        self.config = config if config is not None else ServingConfig()
         # One controller *per shard*: a hot shard widens its batches toward
         # the ceilings independently, while a cold one stays at the idle
         # operating point — adaptive batching must not couple shard loads.
-        self.controllers = {
+        controllers = {
             shard_id: build_controller(self.config)
             for shard_id in range(predictor.num_shards)
         }
-        self.servers = {
+        servers = {
             shard_id: InferenceServer(
                 predictor.shard_view(shard_id),
                 self.config,
-                clock=clock,
-                controller=self.controllers[shard_id],
+                clock=self._clock,
+                controller=controllers[shard_id],
             )
             for shard_id in range(predictor.num_shards)
         }
-        self._closed = False
+        return _Generation(
+            version=int(predictor.store.plan.version),
+            predictor=predictor,
+            controllers=controllers,
+            servers=servers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Active-generation surface (the pre-rollout API, unchanged)
+    # ------------------------------------------------------------------ #
+    @property
+    def predictor(self) -> ShardedPredictor:
+        return self._active.predictor
+
+    @property
+    def controllers(self) -> dict:
+        return self._active.controllers
+
+    @property
+    def servers(self) -> dict[int, InferenceServer]:
+        return self._active.servers
+
+    @property
+    def plan_version(self) -> int:
+        return self._active.version
+
+    # ------------------------------------------------------------------ #
+    # Versioned rollout
+    # ------------------------------------------------------------------ #
+    def install_plan(self, predictor: ShardedPredictor) -> int:
+        """Atomically make ``predictor`` (a newer plan version) active.
+
+        ``predictor`` must be prepared onto a plan whose ``version`` is
+        strictly greater than the active one (see
+        :meth:`~repro.shard.partitioner.ShardPlan.with_version` and
+        ``ShardedPredictor.prepare(..., plan=...)``).  New submissions route
+        on it from the moment this returns; requests already accepted by the
+        previous generation's servers finish there.  Call
+        :meth:`finish_rollout` to drain and retire the old generation.
+        Returns the now-active version.
+        """
+        if not predictor.prepared:
+            raise ServingError("install_plan needs a prepared ShardedPredictor")
+        new_version = int(predictor.store.plan.version)
+        with self._plan_lock:
+            if self._closed:
+                raise ServingError("the shard router is closed")
+            if new_version <= self._active.version:
+                raise ConfigurationError(
+                    f"install_plan needs a newer plan version: active is "
+                    f"{self._active.version}, offered {new_version}"
+                )
+            # Build the successor's servers *before* the swap so the active
+            # generation keeps serving until the new one can.
+            generation = self._build_generation(predictor)
+            old = self._active
+            old.draining = True
+            self._retired.append(old)
+            self._active = generation
+        return new_version
+
+    def finish_rollout(self, timeout: float | None = None) -> int:
+        """Drain and close every retired generation; returns how many."""
+        with self._plan_lock:
+            retiring = list(self._retired)
+            self._retired = []
+        for generation in retiring:
+            generation.drain(timeout=timeout)
+            generation.close()
+        return len(retiring)
+
+    def rollout_state(self) -> list[dict]:
+        """Per-version traffic accounting, oldest generation first.
+
+        Each row reports the version, whether it is draining, and its
+        routed/completed/failed request counts — during a rollout the old
+        version's completed count catches up to its routed count while the
+        new version takes all fresh routing.
+        """
+        with self._plan_lock:
+            generations = [*self._retired, self._active]
+        return [generation.snapshot() for generation in generations]
 
     # ------------------------------------------------------------------ #
     def submit(
         self, node_ids: np.ndarray, *, timeout: float | None = None
     ) -> RoutedRequest:
         """Split ``node_ids`` by owner and enqueue on the owning servers."""
-        if self._closed:
-            raise ServingError("the shard router is closed")
+        with self._plan_lock:
+            if self._closed:
+                raise ServingError("the shard router is closed")
+            # Pin the generation under the lock: a concurrent install_plan
+            # swaps the active pointer, but this request keeps routing (and
+            # draining) on the generation it was admitted to.
+            generation = self._active
+            generation.count_routed()
         node_ids = np.asarray(node_ids, dtype=np.int64)
         if node_ids.ndim != 1 or node_ids.size == 0:
             raise ConfigurationError(
                 "a routed request needs a non-empty 1-D array of node ids"
             )
-        owners = self.predictor.store.owner_of(node_ids)
+        owners = generation.predictor.store.owner_of(node_ids)
         parts: list[tuple[int, np.ndarray, InferenceRequest]] = []
         for shard_id in np.unique(owners):
             shard_id = int(shard_id)
             positions = np.flatnonzero(owners == shard_id)
-            handle = self.servers[shard_id].submit(
+            handle = generation.servers[shard_id].submit(
                 node_ids[positions], timeout=timeout
             )
             parts.append((shard_id, positions, handle))
-        return RoutedRequest(node_ids, parts)
+        return RoutedRequest(node_ids, parts, plan_version=generation.version)
 
     def predict_many(
         self,
@@ -165,21 +325,40 @@ class ShardRouter:
         return [handle.result(timeout=timeout) for handle in handles]
 
     def drain(self, timeout: float | None = None) -> None:
-        """Block until every shard server has answered its accepted requests."""
-        for server in self.servers.values():
-            server.drain(timeout=timeout)
+        """Block until every generation's servers answered their requests."""
+        with self._plan_lock:
+            generations = [*self._retired, self._active]
+        for generation in generations:
+            generation.drain(timeout=timeout)
 
     def stats(self) -> ShardedStatsSnapshot:
-        """Merged fleet statistics plus the untouched per-shard snapshots."""
-        return merge_serving_snapshots(
-            {shard_id: server.stats() for shard_id, server in self.servers.items()}
+        """Merged fleet statistics plus the untouched per-shard snapshots.
+
+        Covers the *active* generation's servers (use :meth:`rollout_state`
+        for per-version rows during a rollout), stamped with the active plan
+        version and the replication counters of the store's transport.
+        """
+        generation = self._active
+        merged = merge_serving_snapshots(
+            {
+                shard_id: server.stats()
+                for shard_id, server in generation.servers.items()
+            }
+        )
+        transport_stats = generation.predictor.store.transport.stats
+        return replace(
+            merged,
+            plan_version=generation.version,
+            transport_retries=transport_stats.retries,
+            transport_failovers=transport_stats.failovers,
+            transport_health_transitions=transport_stats.health_transitions,
         )
 
     def controller_state(self) -> dict[int, dict]:
         """Per-shard batching-controller state (policy, level, adjustments)."""
         return {
             shard_id: controller.describe()
-            for shard_id, controller in self.controllers.items()
+            for shard_id, controller in self._active.controllers.items()
         }
 
     def traffic(self) -> dict:
@@ -190,19 +369,22 @@ class ShardRouter:
         row/byte counters plus the transport's own round/byte stats — the
         measurement surface the locality-aware-routing follow-up needs.
         """
-        store = self.predictor.store
+        store = self._active.predictor.store
         return {
             "shard_traffic": store.traffic.as_dict(),
             "transport": store.transport.stats.as_dict(),
         }
 
     def close(self) -> None:
-        """Drain and stop every shard server."""
-        if self._closed:
-            return
-        self._closed = True
-        for server in self.servers.values():
-            server.close()
+        """Drain and stop every generation's servers."""
+        with self._plan_lock:
+            if self._closed:
+                return
+            self._closed = True
+            generations = [*self._retired, self._active]
+            self._retired = []
+        for generation in generations:
+            generation.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

@@ -64,6 +64,17 @@ class ShardedStatsSnapshot:
     cache_misses: int
     result_cache_hits: int
     result_cache_misses: int
+    #: Which :class:`~repro.shard.partitioner.ShardPlan` version answered
+    #: (the active generation's at snapshot time; see ``rollout_state()``
+    #: for per-version accounting during a live rollout).
+    plan_version: int = 0
+    #: Replication-layer counters, folded in from the store transport's
+    #: :class:`~repro.transport.TransportStats` when the fetch path runs
+    #: through a :class:`~repro.transport.ReplicatedTransport` (zero on
+    #: plain backends).
+    transport_retries: int = 0
+    transport_failovers: int = 0
+    transport_health_transitions: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -97,6 +108,10 @@ class ShardedStatsSnapshot:
             "cache_hit_rate": self.cache_hit_rate,
             "result_cache_hits": self.result_cache_hits,
             "result_cache_misses": self.result_cache_misses,
+            "plan_version": self.plan_version,
+            "transport_retries": self.transport_retries,
+            "transport_failovers": self.transport_failovers,
+            "transport_health_transitions": self.transport_health_transitions,
             "per_shard": {
                 str(shard): snapshot.as_dict()
                 for shard, snapshot in sorted(self.per_shard.items())

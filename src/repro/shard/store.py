@@ -227,6 +227,42 @@ class ShardedGraphStore:
         self._transport = transport
         return self
 
+    def use_replicated_transport(
+        self,
+        rails=None,
+        *,
+        retry_policy=None,
+        clock=None,
+        probe_after_rounds: int = 4,
+    ) -> "ShardedGraphStore":
+        """Route fetches through replica rails under the plan's replica map.
+
+        ``rails`` is one full :class:`~repro.transport.ShardTransport` per
+        replica rail; ``None`` builds ``plan.max_replication`` in-process
+        :class:`~repro.transport.LocalTransport` rails over this store's own
+        shard blocks (shared, read-only — the in-process stand-in for a
+        replicated fleet).  Returns the store; the installed transport is a
+        :class:`~repro.transport.ReplicatedTransport` honoring
+        ``plan.replicas``, ``retry_policy`` and ``probe_after_rounds``.
+        """
+        from ..transport.replica import ReplicatedTransport
+
+        if rails is None:
+            rails = [
+                LocalTransport(self.shards)
+                for _ in range(self.plan.max_replication)
+            ]
+        # An unreplicated plan places every shard on every provided rail.
+        return self.use_transport(
+            ReplicatedTransport(
+                rails,
+                self.plan.replicas,
+                retry_policy=retry_policy,
+                clock=clock,
+                probe_after_rounds=probe_after_rounds,
+            )
+        )
+
     def _requests_by_owner(
         self, node_ids: np.ndarray
     ) -> list[tuple[int, np.ndarray, np.ndarray]]:

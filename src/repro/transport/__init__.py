@@ -11,7 +11,11 @@ it:
   :class:`ShardServer` / :class:`ShardServerGroup` (``serve_shard`` is the
   blocking process target for real deployments);
 * :class:`FaultInjectingTransport` — wraps any backend with scripted
-  drops, latency, reordering and disconnects for tests.
+  drops, latency, reordering, disconnects and targeted kill-and-heal
+  schedules for tests;
+* :class:`ReplicatedTransport` — routes each request to the least-loaded
+  live replica rail, retries under a :class:`RetryPolicy` and fails over
+  mid-round to sibling replicas (see ``docs/replication.md``).
 
 Because every backend answers with identical arrays, predictions, exit
 depths and MAC totals are bit-identical across them — asserted by
@@ -29,23 +33,30 @@ from .base import (
     ShardTransport,
     TransportStats,
 )
-from .fault import FaultInjectingTransport
+from .fault import FaultInjectingTransport, KillWindow
 from .local import LocalTransport
+from .replica import ReplicatedTransport
+from .retry import NO_RETRY, RetryPolicy, call_with_retry
 from .socket import ShardServer, ShardServerGroup, SocketTransport, serve_shard
 
 __all__ = [
     "ALL_OPS",
+    "NO_RETRY",
     "OP_ADJACENCY",
     "OP_DEGREES",
     "OP_FEATURES",
     "OP_FRONTIER",
     "AdjacencyRows",
     "FaultInjectingTransport",
+    "KillWindow",
     "LocalTransport",
+    "ReplicatedTransport",
+    "RetryPolicy",
     "ShardServer",
     "ShardServerGroup",
     "ShardTransport",
     "SocketTransport",
     "TransportStats",
+    "call_with_retry",
     "serve_shard",
 ]

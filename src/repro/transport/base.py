@@ -93,6 +93,11 @@ class TransportStats:
     ``request_bytes`` / ``response_bytes`` count the *logical* payloads (row
     ids out, arrays back).  The socket backend additionally reports framed
     wire bytes (headers included) via its own ``wire_bytes_*`` counters.
+
+    ``retries`` / ``failovers`` / ``health_transitions`` stay zero on plain
+    backends; :class:`~repro.transport.replica.ReplicatedTransport` counts
+    its retry-policy re-attempts, its mid-round replica switches, and every
+    replica health flip (healthy ↔ unhealthy) there.
     """
 
     rounds: int = 0
@@ -101,6 +106,9 @@ class TransportStats:
     )
     request_bytes: int = 0
     response_bytes: int = 0
+    retries: int = 0
+    failovers: int = 0
+    health_transitions: int = 0
 
     def record_round(
         self, op: str, num_requests: int, request_bytes: int, response_bytes: int
@@ -117,6 +125,9 @@ class TransportStats:
             "request_bytes": self.request_bytes,
             "response_bytes": self.response_bytes,
             "total_bytes": self.request_bytes + self.response_bytes,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "health_transitions": self.health_transitions,
         }
 
 

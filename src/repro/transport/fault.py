@@ -17,16 +17,22 @@ ShardTransport` and perturbs its rounds on request:
   reversed order while responses are returned in the caller's order,
   verifying that no caller depends on issue order.
 
-Faults can be scheduled two ways: a ``script`` — a list of actions consumed
-one per round, each ``"ok"``, ``"drop"`` or ``"disconnect"`` — or the
-imperative :meth:`fail_next` / :meth:`disconnect` hooks.  Either way the
-wrapper is deterministic: the same script against the same store produces
-the same failures at the same rounds.
+Faults can be scheduled three ways: a ``script`` — a list of actions
+consumed one per round, each ``"ok"``, ``"drop"`` or ``"disconnect"`` —,
+the imperative :meth:`fail_next` / :meth:`disconnect` hooks, or **targeted
+kill-and-heal windows** (:meth:`schedule_kill`): kill shard ``s`` — of
+replica ``r``, when the wrapper is tagged with a ``replica_index`` — from
+round ``k`` until round ``m`` heals it, failing exactly the rounds that
+touch that shard while the rest of the fleet stays up.  Either way the
+wrapper is deterministic: the same schedule against the same store produces
+the same failures at the same rounds, which is what lets the failover fuzz
+suite assert bit-identical recovery.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..exceptions import TransportError
@@ -37,6 +43,32 @@ DROP = "drop"
 DISCONNECT = "disconnect"
 
 _ACTIONS = (OK, DROP, DISCONNECT)
+
+
+@dataclass(frozen=True)
+class KillWindow:
+    """One targeted outage: shard ``shard_id`` is dead for a round range.
+
+    The window covers 0-based wrapper rounds ``start_round`` (inclusive)
+    through ``heal_round`` (exclusive; ``None`` = never heals).  When
+    ``replica_index`` is set, the window only applies to wrappers tagged
+    with that replica index — "kill replica r of shard s" in a replicated
+    deployment where each rail wraps its backend in its own fault injector.
+    """
+
+    shard_id: int
+    start_round: int
+    heal_round: int | None = None
+    replica_index: int | None = None
+    retryable: bool = True
+
+    def active(self, round_index: int) -> bool:
+        if round_index < self.start_round:
+            return False
+        return self.heal_round is None or round_index < self.heal_round
+
+    def applies_to(self, replica_index: int | None) -> bool:
+        return self.replica_index is None or self.replica_index == replica_index
 
 
 class FaultInjectingTransport(ShardTransport):
@@ -50,11 +82,16 @@ class FaultInjectingTransport(ShardTransport):
         latency_seconds: float = 0.0,
         reorder: bool = False,
         clock=None,
+        replica_index: int | None = None,
     ) -> None:
         super().__init__()
         self.inner = inner
         self.latency_seconds = latency_seconds
         self.reorder = reorder
+        #: Which replica rail this wrapper stands for (targeted kills match
+        #: on it); ``None`` means untagged — every kill window applies.
+        self.replica_index = replica_index
+        self._kill_windows: list[KillWindow] = []
         if clock is None:
             from ..serving.clock import MONOTONIC_CLOCK
 
@@ -100,6 +137,77 @@ class FaultInjectingTransport(ShardTransport):
         with self._lock:
             self._disconnected = False
 
+    def schedule_kill(
+        self,
+        shard_id: int,
+        start_round: int,
+        heal_round: int | None = None,
+        *,
+        replica_index: int | None = None,
+        retryable: bool = True,
+    ) -> KillWindow:
+        """Kill ``shard_id`` for rounds ``[start_round, heal_round)``.
+
+        Round indices are 0-based over this wrapper's fetch rounds;
+        ``heal_round=None`` keeps the shard dead forever.  When
+        ``replica_index`` is given the window fires only on wrappers tagged
+        with that index (see the constructor) — the "kill replica r of
+        shard s at round k, heal at round m" primitive of the failover
+        suite.  ``retryable`` sets the classification of the injected
+        :class:`~repro.exceptions.TransportError` (connection-refused during
+        a kill window is retryable; a poisoned shard would not be).
+        """
+        if start_round < 0:
+            raise ValueError(f"start_round must be non-negative, got {start_round}")
+        if heal_round is not None and heal_round <= start_round:
+            raise ValueError(
+                f"heal_round ({heal_round}) must exceed start_round ({start_round})"
+            )
+        window = KillWindow(
+            shard_id=shard_id,
+            start_round=start_round,
+            heal_round=heal_round,
+            replica_index=replica_index,
+            retryable=retryable,
+        )
+        with self._lock:
+            self._kill_windows.append(window)
+        return window
+
+    def clear_kills(self) -> None:
+        """Drop every scheduled kill window."""
+        with self._lock:
+            self._kill_windows = []
+
+    def _check_kills(self, op: str, requests: RequestBatch) -> None:
+        """Raise if any request of this round hits an active kill window."""
+        with self._lock:
+            if not self._kill_windows:
+                return
+            round_index = self.rounds_seen - 1  # _next_action already ran
+            windows = list(self._kill_windows)
+        for shard_id, _ in requests:
+            for window in windows:
+                if (
+                    window.shard_id == int(shard_id)
+                    and window.active(round_index)
+                    and window.applies_to(self.replica_index)
+                ):
+                    with self._lock:
+                        self.faults_injected += 1
+                    where = (
+                        f"replica {self.replica_index} of "
+                        if self.replica_index is not None
+                        else ""
+                    )
+                    raise TransportError(
+                        f"injected kill: {where}shard {shard_id} is down on "
+                        f"round {round_index} ({op})",
+                        op=op,
+                        shard_id=int(shard_id),
+                        retryable=window.retryable,
+                    )
+
     # ------------------------------------------------------------------ #
     @property
     def num_shards(self) -> int:
@@ -115,6 +223,7 @@ class FaultInjectingTransport(ShardTransport):
                 op=op,
                 retryable=action == DROP or not self._disconnected,
             )
+        self._check_kills(op, requests)
         if self.latency_seconds > 0:
             self.clock.sleep(self.latency_seconds)
         if self.reorder and len(requests) > 1:

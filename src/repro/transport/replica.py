@@ -1,0 +1,366 @@
+"""Replica-set transport: load-balanced reads, retry-aware failover, health.
+
+All shard reads are stateless — every replica of a shard answers every
+operation with byte-identical arrays — so read replication needs no leader
+and no write path: the only hard problems are *routing* (which replica
+serves this request), *failover* (what happens when one dies mid-bundle)
+and *honest accounting*.  :class:`ReplicatedTransport` solves all three
+behind the ordinary :class:`~repro.transport.base.ShardTransport` surface,
+so the sharded store and every engine above it are replication-oblivious.
+
+Deployment model
+----------------
+Replicas are organised as **rails**: rail ``r`` is a complete
+:class:`ShardTransport` (an in-process :class:`~repro.transport.local.
+LocalTransport`, a :class:`~repro.transport.socket.SocketTransport` dialing
+a second server fleet, or a fault-injecting wrapper in tests), and the
+*replica map* — ``replicas[shard_id] -> (rail_id, ...)`` from
+:class:`~repro.shard.partitioner.ShardPlan` — says which rails actually
+host a copy of which shard.  Hot shards list extra rails; cold shards can
+stay single-homed.  Endpoint ``(shard s, rail r)`` is one replica.
+
+Routing
+-------
+Each request of a round goes to the **least-loaded live** replica of its
+shard: healthy endpoints ordered by rows served so far (ties to the lowest
+rail id — deterministic).  Requests that land on the same rail still form
+one sub-round, preserving the inner backend's pipelining.
+
+Failover
+--------
+A failing sub-round is first retried in place under the
+:class:`~repro.transport.retry.RetryPolicy` (retryable errors only, capped
+jittered backoff through the injectable clock).  When retries exhaust — or
+the error is non-retryable — every endpoint of the sub-round is marked
+unhealthy and each of its requests **fails over mid-round** to the next
+best sibling replica, each attempt under the same retry policy.  Only when
+every replica of a shard has failed in one round does the caller see an
+error: a single clean, non-retryable :class:`~repro.exceptions.
+TransportError` naming the shard and the operation.  No partial payloads
+ever escape.
+
+Health
+------
+Unhealthy endpoints are skipped by routing for ``probe_after_rounds``
+selection rounds on their shard, then re-admitted on probation: the next
+pick may route one request to them, and a success heals them (a failure
+re-marks them).  A shard whose every replica is unhealthy probes them all
+before giving up, so a healed fleet recovers without operator action.
+Every health flip, retry and failover is counted in
+:class:`~repro.transport.base.TransportStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TransportError
+from ..serving.clock import MONOTONIC_CLOCK, Clock
+from .base import RequestBatch, ShardTransport
+from .retry import RetryPolicy, call_with_retry
+
+
+@dataclass
+class _Replica:
+    """One (shard, rail) endpoint's routing state."""
+
+    shard_id: int
+    rail_id: int
+    healthy: bool = True
+    rows_served: int = 0
+    #: Shard-round at which this endpoint was last marked unhealthy.
+    marked_round: int = 0
+
+
+class ReplicatedTransport(ShardTransport):
+    """Routes every fetch to the least-loaded live replica, with failover.
+
+    Parameters
+    ----------
+    rails:
+        One full :class:`ShardTransport` per replica rail.  All rails must
+        reach the same number of shards.
+    replicas:
+        Per-shard rail ids hosting that shard
+        (:attr:`~repro.shard.partitioner.ShardPlan.replicas`).  ``None``
+        puts every shard on every rail.
+    retry_policy:
+        Per-attempt retry budget (see :class:`RetryPolicy`).  The default
+        allows two retries with capped jittered backoff.
+    clock:
+        Time source for the backoff waits — inject a
+        :class:`~repro.serving.clock.FakeClock` to retry in virtual time.
+    probe_after_rounds:
+        How many selection rounds on a shard an unhealthy replica sits out
+        before routing re-admits it on probation.
+    """
+
+    def __init__(
+        self,
+        rails: Sequence[ShardTransport],
+        replicas: Sequence[Sequence[int]] | None = None,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        clock: Clock | None = None,
+        probe_after_rounds: int = 4,
+    ) -> None:
+        super().__init__()
+        self.rails = list(rails)
+        if not self.rails:
+            raise ConfigurationError("ReplicatedTransport needs at least one rail")
+        num_shards = self.rails[0].num_shards
+        for index, rail in enumerate(self.rails):
+            if rail.num_shards != num_shards:
+                raise ConfigurationError(
+                    f"rail {index} reaches {rail.num_shards} shards, rail 0 "
+                    f"reaches {num_shards}"
+                )
+        if probe_after_rounds < 1:
+            raise ConfigurationError(
+                f"probe_after_rounds must be positive, got {probe_after_rounds}"
+            )
+        if replicas is None:
+            replicas = tuple(
+                tuple(range(len(self.rails))) for _ in range(num_shards)
+            )
+        replicas = tuple(tuple(int(r) for r in rail_ids) for rail_ids in replicas)
+        if len(replicas) != num_shards:
+            raise ConfigurationError(
+                f"replica map covers {len(replicas)} shards, rails reach "
+                f"{num_shards}"
+            )
+        for shard_id, rail_ids in enumerate(replicas):
+            if not rail_ids:
+                raise ConfigurationError(f"shard {shard_id} has no replicas")
+            for rail_id in rail_ids:
+                if not 0 <= rail_id < len(self.rails):
+                    raise ConfigurationError(
+                        f"shard {shard_id} lists rail {rail_id}, but only "
+                        f"{len(self.rails)} rails exist"
+                    )
+        self._num_shards = num_shards
+        self.replica_map = replicas
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.probe_after_rounds = probe_after_rounds
+        self._replicas: list[list[_Replica]] = [
+            [_Replica(shard_id=shard_id, rail_id=rail_id) for rail_id in rail_ids]
+            for shard_id, rail_ids in enumerate(replicas)
+        ]
+        self._shard_rounds = [0] * num_shards
+        self._health_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def fetch(self, op: str, requests: RequestBatch) -> list:
+        if not requests:
+            return []
+        # Phase 1 — route: pick the least-loaded live replica per request,
+        # then group same-rail picks so the inner backend still pipelines.
+        picks = [
+            self._pick_replica(int(shard_id), first_pick=True)
+            for shard_id, _ in requests
+        ]
+        by_rail: dict[int, list[int]] = {}
+        for position, replica in enumerate(picks):
+            by_rail.setdefault(replica.rail_id, []).append(position)
+
+        payloads: list = [None] * len(requests)
+        # Phase 2 — fetch each rail's sub-round (ascending rail id keeps the
+        # failure order deterministic), failing over per request on error.
+        for rail_id in sorted(by_rail):
+            positions = by_rail[rail_id]
+            sub_requests = [requests[position] for position in positions]
+            try:
+                answers = self._fetch_rail(rail_id, op, sub_requests)
+            except TransportError as error:
+                # Attribute the failure: an error naming a shard implicates
+                # only that shard's endpoint on this rail; an anonymous one
+                # (whole-rail death, dropped round) implicates them all.
+                culprit = error.shard_id
+                for position in positions:
+                    if culprit is None or culprit == int(requests[position][0]):
+                        self._mark_unhealthy(picks[position])
+                for position in positions:
+                    shard_id, rows = requests[position]
+                    implicated = culprit is None or culprit == int(shard_id)
+                    # A non-implicated request may retry this very rail as
+                    # its own one-request round before moving to siblings.
+                    payloads[position] = self._fail_over(
+                        op,
+                        int(shard_id),
+                        rows,
+                        tried={rail_id} if implicated else set(),
+                        cause=error,
+                    )
+                continue
+            for position, answer in zip(positions, answers):
+                self._mark_served(picks[position], requests[position][1])
+                payloads[position] = answer
+        self._record_round(op, requests, payloads)
+        return payloads
+
+    def close(self) -> None:
+        for rail in self.rails:
+            rail.close()
+
+    # ------------------------------------------------------------------ #
+    # Routing + health
+    # ------------------------------------------------------------------ #
+    def _pick_replica(self, shard_id: int, *, first_pick: bool) -> _Replica:
+        """Least-loaded live replica of ``shard_id`` (probation included).
+
+        ``first_pick`` advances the shard's selection-round counter — the
+        unit probation is measured in; failover re-picks within the same
+        round do not.
+        """
+        if not 0 <= shard_id < self._num_shards:
+            raise TransportError(
+                f"shard {shard_id} out of range [0, {self._num_shards})",
+                shard_id=shard_id,
+                retryable=False,
+            )
+        with self._health_lock:
+            if first_pick:
+                self._shard_rounds[shard_id] += 1
+            return self._pick_locked(shard_id, exclude=frozenset())
+
+    def _pick_locked(
+        self, shard_id: int, exclude: frozenset[int]
+    ) -> _Replica | None:
+        candidates = [
+            replica
+            for replica in self._replicas[shard_id]
+            if replica.rail_id not in exclude
+        ]
+        if not candidates:
+            return None
+        shard_round = self._shard_rounds[shard_id]
+        live = [
+            replica
+            for replica in candidates
+            if replica.healthy
+            or shard_round - replica.marked_round >= self.probe_after_rounds
+        ]
+        if live:
+            return min(live, key=lambda r: (r.rows_served, r.rail_id))
+        # Every remaining replica is freshly unhealthy: probe the one that
+        # has been down the longest (the all-replicas-dead last resort).
+        return min(candidates, key=lambda r: (r.marked_round, r.rail_id))
+
+    def _mark_unhealthy(self, replica: _Replica) -> None:
+        with self._health_lock:
+            if replica.healthy:
+                replica.healthy = False
+                with self._stats_lock:
+                    self.stats.health_transitions += 1
+            replica.marked_round = self._shard_rounds[replica.shard_id]
+
+    def _mark_served(self, replica: _Replica, rows: np.ndarray) -> None:
+        with self._health_lock:
+            replica.rows_served += int(np.asarray(rows).shape[0])
+            if not replica.healthy:
+                replica.healthy = True
+                with self._stats_lock:
+                    self.stats.health_transitions += 1
+
+    # ------------------------------------------------------------------ #
+    # Fetch + failover
+    # ------------------------------------------------------------------ #
+    def _fetch_rail(self, rail_id: int, op: str, sub_requests: RequestBatch) -> list:
+        """One rail sub-round under the retry policy."""
+
+        def on_retry(error: TransportError, delay: float) -> None:
+            with self._stats_lock:
+                self.stats.retries += 1
+
+        return call_with_retry(
+            self.retry_policy,
+            self.clock,
+            lambda: self.rails[rail_id].fetch(op, sub_requests),
+            on_retry=on_retry,
+        )
+
+    def _fail_over(
+        self,
+        op: str,
+        shard_id: int,
+        rows: np.ndarray,
+        *,
+        tried: set[int],
+        cause: TransportError,
+    ):
+        """Serve one request from sibling replicas after its pick failed.
+
+        Tries every remaining replica of the shard at most once (each under
+        the retry policy, health-preferred order); raises a clean,
+        non-retryable error naming the shard once all are exhausted.
+        """
+        last_error: TransportError = cause
+        while True:
+            with self._health_lock:
+                replica = self._pick_locked(shard_id, exclude=frozenset(tried))
+            if replica is None:
+                total = len(self._replicas[shard_id])
+                raise TransportError(
+                    f"all {total} replica(s) of shard {shard_id} failed "
+                    f"({op}): {last_error}",
+                    op=op,
+                    shard_id=shard_id,
+                    retryable=False,
+                ) from last_error
+            with self._stats_lock:
+                self.stats.failovers += 1
+            try:
+                answers = self._fetch_rail(replica.rail_id, op, [(shard_id, rows)])
+            except TransportError as error:
+                last_error = error
+                self._mark_unhealthy(replica)
+                tried.add(replica.rail_id)
+                continue
+            self._mark_served(replica, rows)
+            return answers[0]
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Replica health, per-endpoint load and the failover counters."""
+        with self._health_lock:
+            shards = {
+                shard_id: [
+                    {
+                        "rail": replica.rail_id,
+                        "healthy": replica.healthy,
+                        "rows_served": replica.rows_served,
+                    }
+                    for replica in endpoint_list
+                ]
+                for shard_id, endpoint_list in enumerate(self._replicas)
+            }
+        with self._stats_lock:
+            counters = {
+                "retries": self.stats.retries,
+                "failovers": self.stats.failovers,
+                "health_transitions": self.stats.health_transitions,
+            }
+        return {
+            "num_rails": len(self.rails),
+            "probe_after_rounds": self.probe_after_rounds,
+            "retry_policy": {
+                "max_attempts": self.retry_policy.max_attempts,
+                "backoff_base_seconds": self.retry_policy.backoff_base_seconds,
+                "backoff_cap_seconds": self.retry_policy.backoff_cap_seconds,
+            },
+            "shards": shards,
+            **counters,
+        }

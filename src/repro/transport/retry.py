@@ -1,0 +1,132 @@
+"""Retry policy for transport rounds: bounded, capped, deterministically jittered.
+
+A failed fetch round is worth retrying only when the transport says so
+(:attr:`~repro.exceptions.TransportError.retryable`) and only a bounded
+number of times — an unbounded retry loop against a dead shard is a hang
+with extra steps.  :class:`RetryPolicy` is the pure description of that
+budget: up to ``max_attempts`` tries, exponential backoff starting at
+``backoff_base_seconds`` and capped at ``backoff_cap_seconds``, each delay
+multiplied by a jitter factor drawn from a **seeded** generator so the exact
+delay sequence is reproducible run to run (the fuzz suite depends on it).
+
+All waiting goes through an injectable :class:`~repro.serving.clock.Clock`:
+production backs off on the monotonic clock, tests pass a
+:class:`~repro.serving.clock.FakeClock` and the whole retry ladder runs in
+virtual time — no real sleeps anywhere in the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, TypeVar
+
+from ..exceptions import ConfigurationError, TransportError
+from ..serving.clock import MONOTONIC_CLOCK, Clock
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a retryable transport failure, and how fast.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per round, first attempt included.  ``1`` disables
+        retries (every retryable failure is surfaced immediately).
+    backoff_base_seconds:
+        Delay before the first retry; each further retry doubles it.
+    backoff_cap_seconds:
+        Upper bound on any single delay, jitter included — the exponential
+        ladder flattens here instead of growing without bound.
+    jitter_fraction:
+        Each delay is scaled by a factor drawn uniformly from
+        ``[1 - jitter_fraction, 1 + jitter_fraction]``, de-synchronising
+        retry storms across clients.  ``0`` disables jitter.
+    seed:
+        Seed of the jitter generator.  :meth:`delays` re-seeds on every
+        call, so the same policy always produces the same delay sequence —
+        deterministic under test, which is the point of injectable clocks.
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.005
+    backoff_cap_seconds: float = 0.05
+    jitter_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_base_seconds must be non-negative, got "
+                f"{self.backoff_base_seconds}"
+            )
+        if self.backoff_cap_seconds < self.backoff_base_seconds:
+            raise ConfigurationError(
+                f"backoff_cap_seconds ({self.backoff_cap_seconds}) must be >= "
+                f"backoff_base_seconds ({self.backoff_base_seconds})"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction must lie in [0, 1), got {self.jitter_fraction}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """The (deterministic) backoff delay before each retry, in order.
+
+        Yields ``max_attempts - 1`` values: attempt ``i`` (0-based) failing
+        retryably waits ``delays()[i]`` seconds before attempt ``i + 1``.
+        """
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            base = min(
+                self.backoff_base_seconds * (2.0**attempt),
+                self.backoff_cap_seconds,
+            )
+            jitter = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+            yield min(base * jitter, self.backoff_cap_seconds)
+
+    def with_updates(self, **kwargs) -> "RetryPolicy":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The retries-off policy: every retryable failure surfaces immediately.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def call_with_retry(
+    policy: RetryPolicy,
+    clock: Clock | None,
+    fn: Callable[[], T],
+    *,
+    on_retry: Callable[[TransportError, float], None] | None = None,
+) -> T:
+    """Run ``fn`` under ``policy``: retry retryable :class:`TransportError`\\ s.
+
+    Non-retryable errors and non-transport exceptions propagate immediately;
+    a retryable error on the final attempt propagates as-is (the caller
+    decides whether to fail over).  ``on_retry(error, delay)`` fires before
+    each backoff wait — the hook the replicated transport uses to count
+    retries.
+    """
+    clock = clock if clock is not None else MONOTONIC_CLOCK
+    delays = policy.delays()
+    while True:
+        try:
+            return fn()
+        except TransportError as error:
+            if not error.retryable:
+                raise
+            delay = next(delays, None)
+            if delay is None:
+                raise
+            if on_retry is not None:
+                on_retry(error, delay)
+            clock.sleep(delay)

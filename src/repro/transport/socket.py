@@ -259,8 +259,20 @@ class SocketTransport(ShardTransport):
                 raise
         # Every stream is fully drained at this point; decoding (which also
         # re-raises server-side application errors) cannot desync anything,
-        # so connections survive a decode failure.
-        payloads = [wire.decode_response(op, frame) for frame in frames]
+        # so connections survive a decode failure.  Server-side application
+        # errors are deterministic (bad rows stay bad) — non-retryable, with
+        # the answering shard attached so failover can route around it.
+        payloads = []
+        for (shard_id, _), frame in zip(requests, frames):
+            try:
+                payloads.append(wire.decode_response(op, frame))
+            except TransportError as error:
+                raise TransportError(
+                    f"shard {shard_id} answered {op} with an error: {error}",
+                    op=op,
+                    shard_id=shard_id,
+                    retryable=False,
+                ) from error
         self._record_round(op, requests, payloads)
         return payloads
 
@@ -337,10 +349,14 @@ class SocketTransport(ShardTransport):
         try:
             conn = socket.create_connection((host, port), timeout=self.timeout_seconds)
         except OSError as error:
+            # Connection-refused during a kill window heals when the server
+            # returns: explicitly retryable, with the failed op and shard
+            # attached so RetryPolicy/failover act on it uniformly.
             raise TransportError(
                 f"cannot connect to shard {shard_id} at {host}:{port}: {error}",
                 op=op,
                 shard_id=shard_id,
+                retryable=True,
             ) from error
         conn.settimeout(self.timeout_seconds)
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)

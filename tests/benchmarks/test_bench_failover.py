@@ -1,0 +1,101 @@
+"""Smoke test for the failover benchmark.
+
+Runs ``benchmarks/bench_failover.py --quick`` end to end so tier-1 catches
+regressions in the replicated-transport failover path and the versioned
+rollout accounting.  Serving threads and retry ladders are involved, so the
+run is guarded by the same style of watchdog the transport suite uses: a
+hang dumps stacks and aborts instead of stalling CI.  The real numbers come
+from the full run, which writes ``BENCH_failover.json``.
+"""
+
+import faulthandler
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+#: The bench sweeps several replicated deployments plus a live rollout, so
+#: its budget is the transport suite's default times a few;
+#: REPRO_WATCHDOG_SECONDS scales it for slow CI runners (same env var the
+#: transport-suite watchdog honors).
+WATCHDOG_SECONDS = 300.0 * max(
+    1.0, float(os.environ.get("REPRO_WATCHDOG_SECONDS", "90")) / 90.0
+)
+
+
+def _dump_and_abort() -> None:  # pragma: no cover - only fires on a hang
+    sys.stderr.write(
+        f"\n*** failover-bench watchdog fired after {WATCHDOG_SECONDS}s ***\n"
+    )
+    faulthandler.dump_traceback(all_threads=True)
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def bench_watchdog():
+    timer = threading.Timer(WATCHDOG_SECONDS, _dump_and_abort)
+    timer.daemon = True
+    timer.start()
+    yield
+    timer.cancel()
+
+
+@pytest.mark.failover_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_failover
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    assert bench_failover.main(["--quick", "--output", str(output)]) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    suites = {record["suite"] for record in report["suites"]}
+    assert suites == {"failover_throughput", "rollout_in_flight"}
+
+    failover = [
+        r for r in report["suites"] if r["suite"] == "failover_throughput"
+    ]
+    # One record per (shard count, kill count) pair.
+    assert len(failover) == 4
+    for record in failover:
+        assert record["predictions_equal"]
+        assert record["depths_equal"]
+        assert record["macs_equal"]
+        assert record["macs_total"] > 0
+        assert record["throughput_nodes_per_second"] > 0
+        if record["replica_kills"]:
+            # A killed rail must actually exercise the failover path.
+            assert record["transport"]["failovers"] > 0
+            assert record["transport"]["health_transitions"] > 0
+        else:
+            assert record["transport"]["failovers"] == 0
+    # The offline MAC oracle is deterministic: every sharding and every
+    # kill schedule lands on the same total.
+    assert len({record["macs_total"] for record in failover}) == 1
+
+    rollout = [r for r in report["suites"] if r["suite"] == "rollout_in_flight"]
+    assert len(rollout) == 1
+    record = rollout[0]
+    assert record["old_plan_predictions_equal"]
+    assert record["new_plan_predictions_equal"]
+    assert record["old_plan_depths_equal"]
+    assert record["new_plan_depths_equal"]
+    assert record["requests_failed"] == 0
+    assert record["retired_generations"] == 1
+    assert record["final_plan_version"] == 1
+    assert record["throughput_nodes_per_second"] > 0
+
+    aggregate = report["aggregate"]
+    assert aggregate["all_predictions_equal"]
+    assert aggregate["all_macs_equal"]
+    assert aggregate["total_failovers"] > 0
+    assert aggregate["rollout_requests_failed"] == 0
+    assert aggregate["min_degraded_throughput_ratio"] > 0

@@ -123,6 +123,61 @@ class TestSocketFaults:
             transport.close()
 
 
+class TestKillWindows:
+    def test_kill_fires_only_on_target_shard_and_heals(self, sharded):
+        store = sharded.store
+        fault = FaultInjectingTransport(LocalTransport(store.shards))
+        # Shard 1 is down for this wrapper's rounds [0, 3); shard-0-only
+        # fetches sail through, and round 3 onward everything works again.
+        fault.schedule_kill(1, 0, 3)
+        store.use_transport(fault)
+        try:
+            only_shard0 = store.shards[0].owned[:4]
+            store.fetch_degrees(only_shard0)  # round 0: no shard-1 request
+            with pytest.raises(TransportError, match="shard 1 is down"):
+                store.fetch_degrees(np.arange(8))  # round 1 touches shard 1
+            with pytest.raises(TransportError, match="shard 1 is down"):
+                store.fetch_degrees(np.arange(8))  # round 2 still inside
+            healed = store.fetch_degrees(np.arange(8))  # round 3: healed
+            assert healed.shape == (8,)
+            assert fault.faults_injected == 2
+        finally:
+            store.use_transport(LocalTransport(store.shards))
+
+    def test_kill_targets_one_replica_wrapper_only(self, sharded):
+        store = sharded.store
+        replica0 = FaultInjectingTransport(
+            LocalTransport(store.shards), replica_index=0
+        )
+        replica1 = FaultInjectingTransport(
+            LocalTransport(store.shards), replica_index=1
+        )
+        for wrapper in (replica0, replica1):
+            wrapper.schedule_kill(0, 0, replica_index=0)
+        with pytest.raises(TransportError, match="replica 0 of shard 0"):
+            store.use_transport(replica0).fetch_degrees(np.arange(6))
+        # The same window on the replica-1 wrapper never applies.
+        degrees = store.use_transport(replica1).fetch_degrees(np.arange(6))
+        assert degrees.shape == (6,)
+        store.use_transport(LocalTransport(store.shards))
+
+    def test_kill_window_validation(self, sharded):
+        fault = FaultInjectingTransport(LocalTransport(sharded.store.shards))
+        with pytest.raises(ValueError, match="start_round"):
+            fault.schedule_kill(0, -1)
+        with pytest.raises(ValueError, match="heal_round"):
+            fault.schedule_kill(0, 5, 5)
+
+    def test_clear_kills(self, sharded):
+        store = sharded.store
+        fault = FaultInjectingTransport(LocalTransport(store.shards))
+        fault.schedule_kill(0, 0)
+        fault.clear_kills()
+        degrees = store.use_transport(fault).fetch_degrees(np.arange(5))
+        assert degrees.shape == (5,)
+        store.use_transport(LocalTransport(store.shards))
+
+
 class TestServingUnderFaults:
     def test_failed_bundle_leaves_no_partial_cache_entry_and_retry_recovers(
         self, sharded, small_deployment
