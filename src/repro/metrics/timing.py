@@ -61,6 +61,22 @@ class LatencySummary:
             "max": self.max,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencySummary":
+        """Inverse of :meth:`as_dict` — rebuilds the summary from a plain dict.
+
+        Round-trips through JSON: ``count`` is restored as an ``int`` even
+        though ``as_dict`` emits it as a float alongside the other fields.
+        """
+        return cls(
+            count=int(payload["count"]),
+            mean=float(payload["mean"]),
+            p50=float(payload["p50"]),
+            p95=float(payload["p95"]),
+            p99=float(payload["p99"]),
+            max=float(payload["max"]),
+        )
+
     def scaled(self, factor: float) -> "LatencySummary":
         """Same summary in different units (e.g. ``scaled(1e3)`` for ms)."""
         return LatencySummary(
@@ -76,9 +92,14 @@ class LatencySummary:
 def latency_summary(samples) -> LatencySummary:
     """p50/p95/p99 latency summary of ``samples`` (any float iterable, seconds).
 
-    The serving stats surface uses this for per-request latencies; an empty
-    sample set yields an all-zero summary rather than an error so callers can
-    snapshot statistics before the first request completes.
+    Degenerate inputs have explicit, documented semantics:
+
+    * **Empty** — an all-zero summary (``count=0``) rather than an error, so
+      callers can snapshot statistics before the first request completes.
+      Zeros here mean "no data", not "zero latency"; check ``count`` before
+      interpreting the percentiles.
+    * **Single sample** — every percentile, the mean and the max all equal
+      that one sample exactly (no interpolation artefacts).
     """
     import numpy as np
 
@@ -86,6 +107,9 @@ def latency_summary(samples) -> LatencySummary:
                         dtype=np.float64)
     if values.size == 0:
         return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+    if values.size == 1:
+        only = float(values[0])
+        return LatencySummary(count=1, mean=only, p50=only, p95=only, p99=only, max=only)
     p50, p95, p99 = np.percentile(values, [50.0, 95.0, 99.0])
     return LatencySummary(
         count=int(values.size),

@@ -1,0 +1,61 @@
+"""Observability: request tracing, a unified metrics registry, exporters.
+
+The serving stack (`repro.serving`), shard router (`repro.shard`) and
+transports (`repro.transport`) emit **spans** — timed, attributed tree
+nodes — through a :class:`Tracer` into a bounded :class:`TraceRecorder`,
+and publish their aggregate counters into a :class:`MetricsRegistry`.
+Exporters turn recorded spans into JSON-lines dumps, Chrome trace-event
+files (openable in Perfetto / ``chrome://tracing``) and Prometheus-style
+text; :class:`CriticalPathAnalyzer` decomposes per-request latency into
+queue / coalesce / fetch / compute / scatter components and ranks shards
+by attributed load — the signal the auto-rebalancer roadmap item needs.
+
+Everything is off by default: a ``tracer=None`` anywhere in the stack
+means the exact pre-observability code path runs, with zero per-request
+allocations.  All span timestamps come from the injectable
+:class:`~repro.serving.clock.Clock`, so tests on a
+:class:`~repro.serving.clock.FakeClock` assert exact virtual-time span
+trees.  See ``docs/observability.md``.
+"""
+
+from .analysis import CriticalPathAnalyzer, RequestBreakdown, ShardLoad
+from .export import (
+    chrome_trace,
+    load_spans_jsonl,
+    prometheus_text,
+    spans_to_dicts,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish_sharded_snapshot,
+    publish_transport_traffic,
+)
+from .trace import NULL_TRACER, Span, TraceContext, Tracer, TraceRecorder
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "TraceRecorder",
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "publish_sharded_snapshot",
+    "publish_transport_traffic",
+    "CriticalPathAnalyzer",
+    "RequestBreakdown",
+    "ShardLoad",
+    "spans_to_dicts",
+    "write_spans_jsonl",
+    "load_spans_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+]

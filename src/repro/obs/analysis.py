@@ -1,0 +1,244 @@
+"""Critical-path decomposition and shard-load attribution over span trees.
+
+:class:`CriticalPathAnalyzer` consumes recorded spans (optionally merged
+with a shard server's stitched wire-side spans) and answers the two
+questions the aggregate snapshots cannot:
+
+* **"Where did this request's latency go?"** — :meth:`request_breakdowns`
+  splits each trace's wall time into queue wait, coalesce wait, support
+  build, cross-shard fetch, engine compute, scatter, and retry backoff,
+  with whatever remains reported as ``unattributed`` (honesty beats a
+  breakdown that always sums to 100%).
+* **"Which shard is hot?"** — :meth:`shard_load` folds every
+  ``fetch.round`` span's per-shard row counts and (row-proportionally)
+  its duration into per-shard totals and ranks them.  This is the
+  observed-load signal the ROADMAP's automatic-rebalancing item calls
+  for, and on a skewed workload its ranking matches the transport's own
+  request counters (asserted in the test suite).
+
+The span taxonomy the serving stack emits is documented in
+``docs/observability.md``; the analyzer is deliberately tolerant of
+partial trees (sampling, ring-buffer eviction, untraced layers).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .trace import Span
+
+#: Span names that map 1:1 onto a breakdown component.
+_DIRECT_COMPONENTS = {
+    "queue.wait": "queue",
+    "batch.coalesce": "coalesce",
+    "engine.compute": "compute",
+    "batch.replay": "compute",
+    "scatter": "scatter",
+    "fetch.round": "fetch",
+}
+
+#: Container spans: structure, not time attribution of their own.
+_CONTAINERS = {"request", "route", "batch.execute"}
+
+
+@dataclass
+class RequestBreakdown:
+    """One trace's wall time split into serving-path components (seconds)."""
+
+    trace_id: int
+    total: float
+    components: dict[str, float] = field(default_factory=dict)
+    retries: int = 0
+    failovers: int = 0
+    request_ids: list[int] = field(default_factory=list)
+
+    @property
+    def unattributed(self) -> float:
+        return max(0.0, self.total - sum(self.components.values()))
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "total": self.total,
+            "components": dict(self.components),
+            "unattributed": self.unattributed,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "request_ids": list(self.request_ids),
+        }
+
+
+@dataclass
+class ShardLoad:
+    """Load attributed to one shard across every analysed fetch round."""
+
+    shard_id: int
+    rows: int = 0
+    rounds: int = 0
+    seconds: float = 0.0
+    server_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "rows": self.rows,
+            "rounds": self.rounds,
+            "seconds": self.seconds,
+            "server_seconds": self.server_seconds,
+        }
+
+
+class CriticalPathAnalyzer:
+    """Builds per-trace trees from spans and attributes time and load."""
+
+    def __init__(self, spans: Iterable[Span]) -> None:
+        self.spans = list(spans)
+        self._by_trace: dict[int, list[Span]] = defaultdict(list)
+        self._children: dict[int, list[Span]] = defaultdict(list)
+        for span in self.spans:
+            self._by_trace[span.trace_id].append(span)
+            if span.parent_id is not None:
+                self._children[span.parent_id].append(span)
+
+    # ------------------------------------------------------------------ #
+    def trace_ids(self) -> list[int]:
+        return sorted(self._by_trace)
+
+    def roots(self) -> list[Span]:
+        """Root spans (no recorded parent), ordered by start time."""
+        roots = [
+            span
+            for spans in self._by_trace.values()
+            for span in spans
+            if span.parent_id is None
+        ]
+        return sorted(roots, key=lambda s: (s.start, s.trace_id))
+
+    def children_of(self, span: Span) -> list[Span]:
+        return sorted(self._children.get(span.span_id, []), key=lambda s: s.start)
+
+    def tree(self, trace_id: int) -> list[tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` walk of one trace."""
+        out: list[tuple[int, Span]] = []
+
+        def walk(span: Span, depth: int) -> None:
+            out.append((depth, span))
+            for child in self.children_of(span):
+                walk(child, depth + 1)
+
+        for root in self.roots():
+            if root.trace_id == trace_id:
+                walk(root, 0)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def request_breakdowns(self) -> list[RequestBreakdown]:
+        """One latency decomposition per trace, ordered by root start."""
+        breakdowns = []
+        for root in self.roots():
+            breakdowns.append(self._decompose(root))
+        return breakdowns
+
+    def _decompose(self, root: Span) -> RequestBreakdown:
+        spans = self._by_trace[root.trace_id]
+        breakdown = RequestBreakdown(trace_id=root.trace_id, total=root.duration)
+        components: dict[str, float] = defaultdict(float)
+        saw_batch = False
+        queue_wait = 0.0
+        for span in spans:
+            name = span.name
+            if name in ("batch.execute", "batch.replay"):
+                saw_batch = True
+            if name == "queue.wait":
+                queue_wait += span.duration
+            component = _DIRECT_COMPONENTS.get(name)
+            if component is not None:
+                components[component] += span.duration
+            elif name == "support.build":
+                nested_fetch = sum(
+                    child.duration
+                    for child in self.children_of(span)
+                    if child.name == "fetch.round"
+                )
+                components["build"] += max(0.0, span.duration - nested_fetch)
+            elif name == "transport.retry":
+                breakdown.retries += 1
+                components["retry_wait"] += float(
+                    span.attributes.get("backoff_seconds", 0.0)
+                )
+            elif name == "transport.failover":
+                breakdown.failovers += 1
+            if name == "request":
+                request_id = span.attributes.get("request_id")
+                if request_id is not None:
+                    breakdown.request_ids.append(int(request_id))
+        if not saw_batch:
+            # This request rode along in a batch whose execution spans live
+            # on the primary request's trace; everything after the queue is
+            # time spent waiting on (and inside) that batch.
+            wait = max(0.0, root.duration - queue_wait)
+            if wait > 0.0:
+                components["batch_wait"] = wait
+        breakdown.components = dict(components)
+        return breakdown
+
+    def breakdown_totals(self) -> dict[str, float]:
+        """Component sums across every analysed trace (seconds)."""
+        totals: dict[str, float] = defaultdict(float)
+        for breakdown in self.request_breakdowns():
+            for component, seconds in breakdown.components.items():
+                totals[component] += seconds
+            totals["unattributed"] += breakdown.unattributed
+            totals["total"] += breakdown.total
+        return dict(totals)
+
+    # ------------------------------------------------------------------ #
+    def shard_load(self) -> list[ShardLoad]:
+        """Per-shard attributed load, ranked hottest (most rows) first.
+
+        Each ``fetch.round`` span carries the shard ids and per-shard row
+        counts of that round; the round's duration is attributed to its
+        shards proportionally to rows (evenly when the round fetched zero
+        rows).  Wire-side ``server.*`` spans stitched in from a shard
+        server's trace log add exact server-side service time.
+        """
+        loads: dict[int, ShardLoad] = {}
+
+        def load_for(shard_id: int) -> ShardLoad:
+            if shard_id not in loads:
+                loads[shard_id] = ShardLoad(shard_id=shard_id)
+            return loads[shard_id]
+
+        for span in self.spans:
+            if span.name == "fetch.round":
+                shards = [int(s) for s in span.attributes.get("shards", [])]
+                rows = [int(r) for r in span.attributes.get("rows", [])]
+                if len(rows) != len(shards):
+                    rows = [0] * len(shards)
+                total_rows = sum(rows)
+                for shard_id, shard_rows in zip(shards, rows):
+                    entry = load_for(shard_id)
+                    entry.rows += shard_rows
+                    entry.rounds += 1
+                    if total_rows > 0:
+                        entry.seconds += span.duration * (shard_rows / total_rows)
+                    elif shards:
+                        entry.seconds += span.duration / len(shards)
+            elif span.name.startswith("server."):
+                shard_id = span.attributes.get("shard")
+                if shard_id is not None:
+                    load_for(int(shard_id)).server_seconds += span.duration
+        return sorted(
+            loads.values(), key=lambda load: (-load.rows, load.shard_id)
+        )
+
+    def shard_ranking(self) -> list[int]:
+        """Shard ids hottest-first (ties broken by id)."""
+        return [load.shard_id for load in self.shard_load()]
+
+    # ------------------------------------------------------------------ #
+    def merged_with(self, extra_spans: Sequence[Span]) -> "CriticalPathAnalyzer":
+        """A new analyzer over these spans plus ``extra_spans`` (stitching)."""
+        return CriticalPathAnalyzer(self.spans + list(extra_spans))

@@ -1,0 +1,298 @@
+"""Spans, trace contexts, the bounded recorder, and the tracer front-end.
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  Every call site in the serving stack guards on
+   ``tracer is None`` (the default), so the disabled path allocates nothing
+   and branches once.  A constructed-but-disabled :class:`Tracer`
+   (``enabled=False``, or no recorder) also refuses to allocate contexts:
+   all of its factory methods return ``None`` and ``emit`` is a no-op.
+2. **Explicit timestamps.**  The serving path already stamps
+   ``enqueued_at`` / ``dispatched_at`` / ``completed_at`` from the
+   injectable :class:`~repro.serving.clock.Clock`; spans are emitted
+   *completed*, with those exact stamps, rather than opened and closed
+   across threads.  Under a :class:`~repro.serving.clock.FakeClock` the
+   same float ticks therefore appear bit-identically in the request's
+   response *and* its span tree, which is what the deterministic tests
+   assert.
+3. **Bounded memory.**  :class:`TraceRecorder` is a ring buffer: a
+   misbehaving workload overwrites old spans instead of growing without
+   bound, and counts what it dropped.
+
+``TraceContext`` is the id triple carried on a request (and over the wire
+— see :mod:`repro.transport.wire`); ``Span`` is the immutable record of a
+finished timed region.  ``None`` is the universal "not traced" sentinel:
+``Tracer.child(None)`` is ``None``, ``Tracer.emit(name, None, ...)`` does
+nothing, so call sites never branch on sampling themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..exceptions import ConfigurationError
+from ..serving.clock import MONOTONIC_CLOCK, Clock
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a traced request carries: which trace, which span."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None = None
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished, timed, attributed region of a trace.
+
+    ``start`` and ``end`` are :class:`~repro.serving.clock.Clock` readings
+    (seconds; virtual under ``FakeClock``).  ``attributes`` carries
+    JSON-serialisable scalars/lists only — exporters dump them verbatim.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def context(self) -> TraceContext:
+        """The context under which children of this span nest."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=self.span_id, parent_id=self.parent_id
+        )
+
+
+class TraceRecorder:
+    """Thread-safe bounded ring buffer of finished spans.
+
+    When full, the oldest span is overwritten and :attr:`dropped` grows —
+    tracing never becomes a memory leak, only a shorter tail of history.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self._dropped += 1
+            self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+
+class Tracer:
+    """Hands out trace contexts, records finished spans, samples requests.
+
+    ``sample_every=n`` traces every n-th root (deterministic modular
+    counting, not random — the test suite depends on knowing exactly which
+    submissions are traced).  A tracer with ``enabled=False`` or no
+    recorder is inert: every factory returns ``None`` and ``emit`` drops
+    the span, so call sites stay branch-free.
+
+    Span ids are unique per tracer; ``id_offset`` shifts the allocation
+    range so spans minted in another process (a forked shard server) can
+    join the same trace without colliding — see
+    :meth:`repro.transport.socket.ShardServer`.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder | None = None,
+        *,
+        clock: Clock | None = None,
+        sample_every: int = 1,
+        enabled: bool = True,
+        id_offset: int = 0,
+    ) -> None:
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be positive, got {sample_every}"
+            )
+        if enabled and recorder is None:
+            recorder = TraceRecorder()
+        self.recorder = recorder if enabled else None
+        self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        self.sample_every = sample_every
+        self.enabled = bool(enabled and self.recorder is not None)
+        self._lock = threading.Lock()
+        self._next_trace = 1
+        self._next_span = 1 + id_offset
+        self._roots_seen = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Context allocation
+    # ------------------------------------------------------------------ #
+    def new_trace(self) -> TraceContext | None:
+        """Root context for a fresh request, or ``None`` when not sampled."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            index = self._roots_seen
+            self._roots_seen += 1
+            if index % self.sample_every != 0:
+                return None
+            trace_id = self._next_trace
+            self._next_trace += 1
+            span_id = self._next_span
+            self._next_span += 1
+        return TraceContext(trace_id=trace_id, span_id=span_id, parent_id=None)
+
+    def child(self, parent: TraceContext | None) -> TraceContext | None:
+        """A fresh span id under ``parent`` (``None`` propagates)."""
+        if parent is None or not self.enabled:
+            return None
+        with self._lock:
+            span_id = self._next_span
+            self._next_span += 1
+        return TraceContext(
+            trace_id=parent.trace_id, span_id=span_id, parent_id=parent.span_id
+        )
+
+    # ------------------------------------------------------------------ #
+    # Span emission
+    # ------------------------------------------------------------------ #
+    def emit(
+        self,
+        name: str,
+        ctx: TraceContext | None,
+        start: float,
+        end: float,
+        **attributes,
+    ) -> Span | None:
+        """Record a finished span *at* ``ctx`` (its id, under its parent)."""
+        if ctx is None or not self.enabled:
+            return None
+        span = Span(
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_id=ctx.parent_id,
+            name=name,
+            start=start,
+            end=end,
+            attributes=attributes,
+        )
+        self.recorder.record(span)
+        return span
+
+    def emit_under(
+        self,
+        name: str,
+        parent: TraceContext | None,
+        start: float,
+        end: float,
+        **attributes,
+    ) -> Span | None:
+        """Allocate a child id under ``parent`` and record the span there."""
+        return self.emit(name, self.child(parent), start, end, **attributes)
+
+    def event(self, name: str, parent: TraceContext | None, **attributes) -> Span | None:
+        """Zero-duration marker (retry fired, failover taken) at ``now()``."""
+        if parent is None or not self.enabled:
+            return None
+        now = self.clock.now()
+        return self.emit_under(name, parent, now, now, **attributes)
+
+    class _SpanHandle:
+        """Context manager for a clock-timed region; yields the child ctx."""
+
+        __slots__ = ("_tracer", "_name", "_ctx", "_attrs", "_start")
+
+        def __init__(self, tracer: "Tracer", name: str, ctx, attrs) -> None:
+            self._tracer = tracer
+            self._name = name
+            self._ctx = ctx
+            self._attrs = attrs
+
+        def __enter__(self):
+            self._start = self._tracer.clock.now()
+            return self._ctx
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            if exc_type is not None:
+                self._attrs["error"] = repr(exc)
+            self._tracer.emit(
+                self._name,
+                self._ctx,
+                self._start,
+                self._tracer.clock.now(),
+                **self._attrs,
+            )
+            return False
+
+    def span(self, name: str, parent: TraceContext | None, **attributes):
+        """``with tracer.span("fetch.round", parent) as ctx: ...``"""
+        return Tracer._SpanHandle(self, name, self.child(parent), attributes)
+
+    # ------------------------------------------------------------------ #
+    # Thread-local current context (worker threads activate their batch's
+    # compute context; the store's fetch sites pick it up as parent).
+    # ------------------------------------------------------------------ #
+    def current(self) -> TraceContext | None:
+        return getattr(self._local, "ctx", None)
+
+    class _Activation:
+        __slots__ = ("_tracer", "_ctx", "_prior")
+
+        def __init__(self, tracer: "Tracer", ctx) -> None:
+            self._tracer = tracer
+            self._ctx = ctx
+
+        def __enter__(self):
+            self._prior = getattr(self._tracer._local, "ctx", None)
+            self._tracer._local.ctx = self._ctx
+            return self._ctx
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            self._tracer._local.ctx = self._prior
+            return False
+
+    def activate(self, ctx: TraceContext | None):
+        """Bind ``ctx`` as this thread's current context for a region."""
+        return Tracer._Activation(self, ctx)
+
+    # ------------------------------------------------------------------ #
+    def spans(self) -> list[Span]:
+        return self.recorder.spans() if self.recorder is not None else []
+
+
+#: Shared inert tracer: every factory returns ``None``, nothing records.
+NULL_TRACER = Tracer(enabled=False)

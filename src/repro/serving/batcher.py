@@ -52,6 +52,10 @@ class MicroBatch:
     #: The controller limits this batch was formed under (observability —
     #: tests and the adaptive bench read the width the policy granted).
     limits: BatchLimits | None = None
+    #: When coalescing began (the first member was popped); ``formed_at -
+    #: started_at`` is the coalesce wait the tracing layer reports.  ``None``
+    #: for hand-assembled batches.
+    started_at: float | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -117,6 +121,7 @@ class MicroBatcher:
         first = self.queue.pop(timeout=poll_timeout)
         if first is None:
             return None
+        started_at = self.clock.now()
         # One controller decision per micro-batch, made once the batch is
         # known to exist: the coalescable depth counts the popped head.
         limits = self.controller.limits(
@@ -143,10 +148,13 @@ class MicroBatcher:
             # slept until the deadline or a new arrival.
             if wait <= 0 or self.queue.is_closed:
                 break
-        return self._assemble(requests, limits)
+        return self._assemble(requests, limits, started_at)
 
     def _assemble(
-        self, requests: list[InferenceRequest], limits: BatchLimits
+        self,
+        requests: list[InferenceRequest],
+        limits: BatchLimits,
+        started_at: float | None = None,
     ) -> MicroBatch:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
@@ -164,4 +172,5 @@ class MicroBatcher:
             offsets=offsets,
             formed_at=self.clock.now(),
             limits=limits,
+            started_at=started_at,
         )

@@ -69,6 +69,7 @@ class InferenceRequest:
         node_ids: np.ndarray,
         *,
         enqueued_at: float | None = None,
+        trace=None,
     ) -> None:
         node_ids = np.asarray(node_ids, dtype=np.int64)
         if node_ids.ndim != 1 or node_ids.size == 0:
@@ -77,6 +78,9 @@ class InferenceRequest:
             )
         self.request_id = request_id
         self.node_ids = node_ids
+        #: Root :class:`~repro.obs.TraceContext` of this request, or ``None``
+        #: when untraced (tracing off, or the sampler skipped it).
+        self.trace = trace
         # The server stamps requests with its clock; standalone construction
         # falls back to real time so batcher deadlines still make sense.
         self.enqueued_at = (

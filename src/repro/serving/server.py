@@ -41,6 +41,11 @@ from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .stats import ServingStats, ServingStatsSnapshot
 from .worker import WorkerPool, WorkItem, WorkOutput
 
+#: Default ``trace_parent``: "no parent given — start a sampled root trace".
+#: Distinct from an *explicit* ``None``, which means "this request was
+#: sampled out upstream (the shard router); do not trace it here either".
+_NEW_TRACE = object()
+
 
 class InferenceServer:
     """Request queue + dynamic micro-batching + worker pool + subgraph cache."""
@@ -52,6 +57,7 @@ class InferenceServer:
         *,
         clock: Clock | None = None,
         controller: BatchController | None = None,
+        tracer=None,
     ) -> None:
         if not predictor.prepared:
             raise ServingError(
@@ -60,6 +66,10 @@ class InferenceServer:
         self.predictor = predictor
         self.config = config if config is not None else ServingConfig()
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
+        #: Optional :class:`~repro.obs.Tracer`.  ``None`` (the default) is
+        #: the zero-cost path: every tracing site guards on this attribute,
+        #: so no span, context, or closure is ever allocated per request.
+        self.tracer = tracer
         self.queue = RequestQueue(
             self.config.queue_capacity, self.config.overflow_policy,
             clock=self.clock,
@@ -94,6 +104,7 @@ class InferenceServer:
             predictor,
             num_workers=self.config.num_workers,
             backend=self.config.backend,
+            tracer=tracer if self.config.backend == "thread" else None,
         )
         # Dispatcher-owned engine, used only for bundle building on cache
         # misses (build_support touches no propagation buffers).
@@ -114,18 +125,35 @@ class InferenceServer:
     # Client surface
     # ------------------------------------------------------------------ #
     def submit(
-        self, node_ids: np.ndarray, *, timeout: float | None = None
+        self,
+        node_ids: np.ndarray,
+        *,
+        timeout: float | None = None,
+        trace_parent=_NEW_TRACE,
     ) -> InferenceRequest:
         """Enqueue one request; returns its handle immediately.
 
         Raises :class:`~repro.exceptions.BackpressureError` under the
         ``"reject"`` overflow policy (or after ``timeout`` under
-        ``"block"``) when the queue is full.
+        ``"block"``) when the queue is full.  ``trace_parent`` nests the
+        request's trace under an existing context (the shard router's
+        ``route`` span) instead of starting a fresh sampled trace; pass an
+        explicit ``None`` to mark the request as sampled out upstream.
         """
         if not self._accepting:
             raise ServingError("the server is closed to new requests")
+        trace = None
+        if self.tracer is not None:
+            trace = (
+                self.tracer.new_trace()
+                if trace_parent is _NEW_TRACE
+                else self.tracer.child(trace_parent)
+            )
         request = InferenceRequest(
-            next(self._request_ids), node_ids, enqueued_at=self.clock.now()
+            next(self._request_ids),
+            node_ids,
+            enqueued_at=self.clock.now(),
+            trace=trace,
         )
         self._stats.mark_submission()
         with self._inflight_lock:
@@ -238,6 +266,26 @@ class InferenceServer:
             # fails this micro-batch's requests only — the dispatcher must
             # outlive every malformed request.
             try:
+                # Tracing: batch-level spans hang off the first traced
+                # member (the "primary") — one batch tree per micro-batch,
+                # not one per request.  ``primary is None`` (tracing off or
+                # nothing sampled) keeps every site below dormant.
+                primary = None
+                if self.tracer is not None:
+                    primary = next(
+                        (r.trace for r in micro_batch.requests if r.trace is not None),
+                        None,
+                    )
+                    if primary is not None and micro_batch.started_at is not None:
+                        self.tracer.emit_under(
+                            "batch.coalesce",
+                            primary,
+                            micro_batch.started_at,
+                            micro_batch.formed_at,
+                            batch_id=micro_batch.batch_id,
+                            num_requests=micro_batch.num_requests,
+                            num_nodes=micro_batch.num_nodes,
+                        )
                 # Both caches key on the canonical (sorted) node multiset, so
                 # permuted repeats of a node-set share one entry; ``rank``
                 # rebases canonical-order artefacts back to batch order.
@@ -258,6 +306,11 @@ class InferenceServer:
                     canonical_idx = np.empty_like(rank)
                     canonical_idx[rank] = np.arange(rank.shape[0], dtype=np.int64)
 
+                batch_ctx = compute_ctx = None
+                if primary is not None:
+                    batch_ctx = self.tracer.child(primary)
+                    compute_ctx = self.tracer.child(batch_ctx)
+
                 bundle = None
                 cache_hit = False
                 bundle_is_fresh = False
@@ -269,7 +322,26 @@ class InferenceServer:
                     if bundle is None:
                         # Build (and insert) the canonical-order bundle; the
                         # actual batch order is restored by rebasing below.
-                        bundle = self._sampler.build_support(sorted_ids)
+                        if batch_ctx is not None:
+                            # The build's fetch rounds (sharded stores) nest
+                            # under this span via the activated context.
+                            build_ctx = self.tracer.child(batch_ctx)
+                            build_start = self.clock.now()
+                            with self.tracer.activate(build_ctx):
+                                bundle = self._sampler.build_support(sorted_ids)
+                            self.tracer.emit(
+                                "support.build",
+                                build_ctx,
+                                build_start,
+                                self.clock.now(),
+                                batch_id=micro_batch.batch_id,
+                                num_targets=int(sorted_ids.shape[0]),
+                                num_support=int(
+                                    bundle.support.node_ids.shape[0]
+                                ),
+                            )
+                        else:
+                            bundle = self._sampler.build_support(sorted_ids)
                         self.cache.put(key, bundle)
                         bundle_is_fresh = True
                     if not np.array_equal(sorted_ids, micro_batch.node_ids):
@@ -279,6 +351,16 @@ class InferenceServer:
                     dispatched_at - request.enqueued_at
                     for request in micro_batch.requests
                 ]
+                if primary is not None:
+                    for request in micro_batch.requests:
+                        if request.trace is not None:
+                            self.tracer.emit_under(
+                                "queue.wait",
+                                request.trace,
+                                request.enqueued_at,
+                                dispatched_at,
+                                batch_id=micro_batch.batch_id,
+                            )
                 self.pool.submit(
                     WorkItem(
                         batch_id=micro_batch.batch_id,
@@ -287,8 +369,11 @@ class InferenceServer:
                         bundle_is_fresh=bundle_is_fresh,
                         callback=lambda output, mb=micro_batch, waits=queue_waits,
                         hit=cache_hit, rkey=result_key, cidx=canonical_idx,
-                        sent=dispatched_at:
-                        self._on_batch_done(mb, waits, hit, output, rkey, cidx, sent),
+                        sent=dispatched_at, bctx=batch_ctx:
+                        self._on_batch_done(
+                            mb, waits, hit, output, rkey, cidx, sent, bctx
+                        ),
+                        trace=compute_ctx,
                     )
                 )
             except BaseException as error:  # noqa: BLE001 - forwarded per request
@@ -335,6 +420,49 @@ class InferenceServer:
                     result_cache_hit=True,
                 )
             )
+        if self.tracer is not None:
+            primary = next(
+                (r.trace for r in micro_batch.requests if r.trace is not None), None
+            )
+            if primary is not None:
+                if micro_batch.started_at is not None:
+                    self.tracer.emit_under(
+                        "batch.coalesce",
+                        primary,
+                        micro_batch.started_at,
+                        micro_batch.formed_at,
+                        batch_id=micro_batch.batch_id,
+                        num_requests=micro_batch.num_requests,
+                    )
+                # A replay is answered at dispatch: zero-duration compute.
+                self.tracer.emit_under(
+                    "batch.replay",
+                    primary,
+                    completed_at,
+                    completed_at,
+                    batch_id=micro_batch.batch_id,
+                    num_nodes=micro_batch.num_nodes,
+                )
+                for request in micro_batch.requests:
+                    if request.trace is None:
+                        continue
+                    self.tracer.emit_under(
+                        "queue.wait",
+                        request.trace,
+                        request.enqueued_at,
+                        completed_at,
+                        batch_id=micro_batch.batch_id,
+                    )
+                    self.tracer.emit(
+                        "request",
+                        request.trace,
+                        request.enqueued_at,
+                        completed_at,
+                        request_id=request.request_id,
+                        num_nodes=request.num_nodes,
+                        batch_id=micro_batch.batch_id,
+                        result_cache_hit=True,
+                    )
         self._stats.record_replayed_batch(
             num_nodes=micro_batch.num_nodes,
             num_requests=micro_batch.num_requests,
@@ -351,6 +479,20 @@ class InferenceServer:
         """Fail every request of a batch that never reached a worker."""
         for request in micro_batch.requests:
             request._fail(error)
+        if self.tracer is not None:
+            failed_at = self.clock.now()
+            for request in micro_batch.requests:
+                if request.trace is not None:
+                    self.tracer.emit(
+                        "request",
+                        request.trace,
+                        request.enqueued_at,
+                        failed_at,
+                        request_id=request.request_id,
+                        batch_id=micro_batch.batch_id,
+                        status="failed",
+                        error=str(error),
+                    )
         self._stats.record_failure(micro_batch.num_requests)
         with self._inflight_lock:
             self._inflight -= micro_batch.num_requests
@@ -369,6 +511,7 @@ class InferenceServer:
         result_key: bytes | None = None,
         canonical_idx: np.ndarray | None = None,
         dispatched_at: float | None = None,
+        batch_ctx=None,
     ) -> None:
         try:
             if output.error is not None or output.result is None:
@@ -377,6 +520,20 @@ class InferenceServer:
                 )
                 for request in micro_batch.requests:
                     request._fail(error)
+                if self.tracer is not None:
+                    failed_at = self.clock.now()
+                    for request in micro_batch.requests:
+                        if request.trace is not None:
+                            self.tracer.emit(
+                                "request",
+                                request.trace,
+                                request.enqueued_at,
+                                failed_at,
+                                request_id=request.request_id,
+                                batch_id=micro_batch.batch_id,
+                                status="failed",
+                                error=str(error),
+                            )
                 self._stats.record_failure(micro_batch.num_requests)
                 return
             result = output.result
@@ -428,6 +585,42 @@ class InferenceServer:
                         batch_timings=result.timings,
                     )
                 )
+            if self.tracer is not None and batch_ctx is not None:
+                # The scatter span covers the per-request fulfil loop above;
+                # the batch.execute span is the dispatch-to-completion region
+                # whose children (compute, fetch rounds, scatter) explain it.
+                self.tracer.emit_under(
+                    "scatter",
+                    batch_ctx,
+                    completed_at,
+                    self.clock.now(),
+                    batch_id=micro_batch.batch_id,
+                    num_requests=micro_batch.num_requests,
+                )
+                if dispatched_at is not None:
+                    self.tracer.emit(
+                        "batch.execute",
+                        batch_ctx,
+                        dispatched_at,
+                        completed_at,
+                        batch_id=micro_batch.batch_id,
+                        num_requests=micro_batch.num_requests,
+                        num_nodes=micro_batch.num_nodes,
+                        worker_id=output.worker_id,
+                        cache_hit=cache_hit,
+                        macs=int(result.macs.total),
+                    )
+                for request in micro_batch.requests:
+                    if request.trace is not None:
+                        self.tracer.emit(
+                            "request",
+                            request.trace,
+                            request.enqueued_at,
+                            completed_at,
+                            request_id=request.request_id,
+                            num_nodes=request.num_nodes,
+                            batch_id=micro_batch.batch_id,
+                        )
             self._stats.record_batch(
                 worker_id=output.worker_id,
                 num_nodes=micro_batch.num_nodes,

@@ -55,6 +55,10 @@ class WorkItem:
     bundle: SupportBundle | None
     bundle_is_fresh: bool
     callback: Callable[["WorkOutput"], None]
+    #: Pre-allocated ``engine.compute`` trace context (``None`` untraced).
+    #: The worker emits the span at this exact id and activates it around
+    #: ``run_batch``, so in-engine fetch rounds nest under the compute span.
+    trace: object | None = None
 
 
 @dataclass
@@ -92,6 +96,7 @@ class WorkerPool:
         *,
         num_workers: int,
         backend: str = "thread",
+        tracer=None,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
@@ -106,6 +111,10 @@ class WorkerPool:
         self.predictor = predictor
         self.num_workers = num_workers
         self.backend = backend
+        #: Optional :class:`~repro.obs.Tracer` for per-batch compute spans.
+        #: Thread backend only — the process backend cannot share a recorder
+        #: across the fork boundary, so items arrive untraced there.
+        self.tracer = tracer
         self._closed = False
         if backend == "thread":
             self._inbox: _queue_mod.SimpleQueue = _queue_mod.SimpleQueue()
@@ -169,7 +178,23 @@ class WorkerPool:
             if item is _SHUTDOWN:
                 break
             try:
-                result = engine.run_batch(item.node_ids, bundle=item.bundle)
+                tracer = self.tracer
+                if tracer is not None and item.trace is not None:
+                    compute_start = tracer.clock.now()
+                    with tracer.activate(item.trace):
+                        result = engine.run_batch(item.node_ids, bundle=item.bundle)
+                    tracer.emit(
+                        "engine.compute",
+                        item.trace,
+                        compute_start,
+                        tracer.clock.now(),
+                        batch_id=item.batch_id,
+                        worker_id=worker_id,
+                        num_nodes=int(item.node_ids.shape[0]),
+                        macs=int(result.macs.total),
+                    )
+                else:
+                    result = engine.run_batch(item.node_ids, bundle=item.bundle)
                 if item.bundle is not None and item.bundle_is_fresh:
                     # The engine skips sampling accounting for provided
                     # bundles; a freshly built one is real work, so its cost

@@ -42,6 +42,12 @@ import numpy as np
 
 from ..core.config import ServingConfig
 from ..exceptions import ConfigurationError, ServingError
+from ..obs.export import prometheus_text
+from ..obs.registry import (
+    MetricsRegistry,
+    publish_sharded_snapshot,
+    publish_transport_traffic,
+)
 from ..serving.clock import Clock
 from ..serving.controller import build_controller
 from ..serving.queue import InferenceRequest, ServingResponse
@@ -83,10 +89,20 @@ class RoutedRequest:
         parts: list[tuple[int, np.ndarray, InferenceRequest]],
         *,
         plan_version: int = 0,
+        tracer=None,
+        trace=None,
+        submitted_at: float | None = None,
     ) -> None:
         self.node_ids = node_ids
         self.plan_version = plan_version
         self._parts = parts
+        #: Router-level :class:`~repro.obs.TraceContext` (``None`` untraced);
+        #: the ``route`` span is emitted when :meth:`result` first gathers
+        #: every shard's answer, so its end stamp is the fan-in instant.
+        self._tracer = tracer
+        self._trace = trace
+        self._submitted_at = submitted_at
+        self._route_emitted = False
 
     def done(self) -> bool:
         """Whether every sub-request has completed (or failed)."""
@@ -104,6 +120,21 @@ class RoutedRequest:
             depths[positions] = response.depths
             per_shard[shard_id] = response
             latency = max(latency, response.latency_seconds)
+        if (
+            self._tracer is not None
+            and self._trace is not None
+            and not self._route_emitted
+        ):
+            self._route_emitted = True
+            self._tracer.emit(
+                "route",
+                self._trace,
+                self._submitted_at,
+                self._tracer.clock.now(),
+                plan_version=self.plan_version,
+                num_shards=len(per_shard),
+                num_nodes=int(self.node_ids.shape[0]),
+            )
         return RoutedResponse(
             node_ids=self.node_ids,
             predictions=predictions,
@@ -168,9 +199,19 @@ class ShardRouter:
         config: ServingConfig | None = None,
         *,
         clock: Clock | None = None,
+        tracer=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config if config is not None else ServingConfig()
         self._clock = clock
+        #: Optional :class:`~repro.obs.Tracer` threaded through every
+        #: generation's servers, stores and transports; ``None`` keeps the
+        #: whole fleet on the zero-cost untraced path.
+        self.tracer = tracer
+        #: The fleet's :class:`~repro.obs.MetricsRegistry`; :meth:`stats`
+        #: republishes every snapshot into it so one scrape surface covers
+        #: serving, traffic and transport counters.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._plan_lock = threading.Lock()
         self._closed = False
         self._retired: list[_Generation] = []
@@ -188,12 +229,18 @@ class ShardRouter:
             shard_id: build_controller(self.config)
             for shard_id in range(predictor.num_shards)
         }
+        if self.tracer is not None:
+            # One tracer for the whole generation: per-shard servers, the
+            # store's fetch rounds and the transport's wire frames all stamp
+            # spans into the same recorder under the same clock.
+            predictor.store.use_tracer(self.tracer)
         servers = {
             shard_id: InferenceServer(
                 predictor.shard_view(shard_id),
                 self.config,
                 clock=self._clock,
                 controller=controllers[shard_id],
+                tracer=self.tracer,
             )
             for shard_id in range(predictor.num_shards)
         }
@@ -299,15 +346,32 @@ class ShardRouter:
                 "a routed request needs a non-empty 1-D array of node ids"
             )
         owners = generation.predictor.store.owner_of(node_ids)
+        route_ctx = None
+        submitted_at = None
+        if self.tracer is not None:
+            # The router-level root: per-shard server requests become its
+            # children via ``trace_parent``, so one trace tree covers the
+            # whole fan-out (an unsampled request stays fully untraced —
+            # the servers never see a parent and allocate nothing).
+            route_ctx = self.tracer.new_trace()
+            if route_ctx is not None:
+                submitted_at = self.tracer.clock.now()
         parts: list[tuple[int, np.ndarray, InferenceRequest]] = []
         for shard_id in np.unique(owners):
             shard_id = int(shard_id)
             positions = np.flatnonzero(owners == shard_id)
             handle = generation.servers[shard_id].submit(
-                node_ids[positions], timeout=timeout
+                node_ids[positions], timeout=timeout, trace_parent=route_ctx
             )
             parts.append((shard_id, positions, handle))
-        return RoutedRequest(node_ids, parts, plan_version=generation.version)
+        return RoutedRequest(
+            node_ids,
+            parts,
+            plan_version=generation.version,
+            tracer=self.tracer,
+            trace=route_ctx,
+            submitted_at=submitted_at,
+        )
 
     def predict_many(
         self,
@@ -346,13 +410,28 @@ class ShardRouter:
             }
         )
         transport_stats = generation.predictor.store.transport.stats
-        return replace(
+        snapshot = replace(
             merged,
             plan_version=generation.version,
             transport_retries=transport_stats.retries,
             transport_failovers=transport_stats.failovers,
             transport_health_transitions=transport_stats.health_transitions,
         )
+        # Re-sync the registry from the authoritative accumulators: counters
+        # move to the snapshot totals (never replayed as deltas), gauges take
+        # the latest reading — one scrape surface for the whole fleet.
+        publish_sharded_snapshot(self.registry, snapshot)
+        publish_transport_traffic(self.registry, self.traffic())
+        return snapshot
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the fleet's metrics registry.
+
+        Refreshes the registry from a fresh :meth:`stats` snapshot first, so
+        the scrape always reflects the current counters.
+        """
+        self.stats()
+        return prometheus_text(self.registry)
 
     def controller_state(self) -> dict[int, dict]:
         """Per-shard batching-controller state (policy, level, adjustments)."""

@@ -203,6 +203,10 @@ class ShardedGraphStore:
         # All online fetches route through the transport; the default is the
         # in-process zero-copy backend (today's behavior).
         self._transport: ShardTransport = LocalTransport(self.shards)
+        # Optional request tracing: when a tracer is attached *and* the
+        # calling thread has an active trace context, every transport round
+        # becomes a ``fetch.round`` span (see repro.obs).
+        self._tracer = None
 
     # ------------------------------------------------------------------ #
     # Transport plumbing
@@ -225,6 +229,22 @@ class ShardedGraphStore:
                 f"{self.num_shards}"
             )
         self._transport = transport
+        if self._tracer is not None:
+            transport.use_tracer(self._tracer)
+        return self
+
+    def use_tracer(self, tracer) -> "ShardedGraphStore":
+        """Attach a :class:`~repro.obs.Tracer` to the fetch path.
+
+        Each transport round issued while the calling thread holds an active
+        trace context (the serving layer activates one per support build /
+        engine run) is recorded as a ``fetch.round`` span carrying the
+        per-shard row counts; the transport itself also receives the tracer
+        so the socket backend can propagate ids over the wire and the
+        replicated backend can mark retries and failovers.  ``None`` detaches.
+        """
+        self._tracer = tracer
+        self._transport.use_tracer(tracer)
         return self
 
     def use_replicated_transport(
@@ -308,6 +328,38 @@ class ShardedGraphStore:
                     getattr(self.traffic, remote_attr) + count,
                 )
                 self.traffic.bytes_remote += nbytes
+
+    def _traced_fetch(self, op: str, requests: list) -> list:
+        """Issue one transport round, as a ``fetch.round`` span when traced.
+
+        The span is a child of the calling thread's active context (the
+        support-build or engine-compute span the serving layer activated)
+        and carries the round's per-shard row counts — the raw material of
+        :meth:`repro.obs.CriticalPathAnalyzer.shard_load`.  While the round
+        runs, the span's own context is active, so the socket client stamps
+        its ids onto every frame and the replicated transport parents its
+        retry/failover events correctly.
+        """
+        fetch = getattr(self._transport, op)
+        tracer = self._tracer
+        if tracer is None:
+            return fetch(requests)
+        ctx = tracer.child(tracer.current())
+        if ctx is None:
+            return fetch(requests)
+        start = tracer.clock.now()
+        with tracer.activate(ctx):
+            payloads = fetch(requests)
+        tracer.emit(
+            "fetch.round",
+            ctx,
+            start,
+            tracer.clock.now(),
+            op=op,
+            shards=[int(shard_id) for shard_id, _ in requests],
+            rows=[int(np.asarray(rows).shape[0]) for _, rows in requests],
+        )
+        return payloads
 
     # ------------------------------------------------------------------ #
     # Construction (the offline partitioning job)
@@ -519,8 +571,8 @@ class ShardedGraphStore:
         requests = self._requests_by_owner(frontier)
         if not requests:
             return np.empty(0, dtype=np.int64)
-        pieces = self._transport.frontier_columns(
-            [(shard_id, rows) for shard_id, _, rows in requests]
+        pieces = self._traced_fetch(
+            "frontier_columns", [(shard_id, rows) for shard_id, _, rows in requests]
         )
         for (shard_id, _, rows), piece in zip(requests, pieces):
             self._count_traffic(
@@ -577,8 +629,8 @@ class ShardedGraphStore:
         """
         index_dtype = self.shards[0].nrm_indices.dtype
         requests = self._requests_by_owner(node_ids)
-        responses = self._transport.adjacency_rows(
-            [(shard_id, rows) for shard_id, _, rows in requests]
+        responses = self._traced_fetch(
+            "adjacency_rows", [(shard_id, rows) for shard_id, _, rows in requests]
         )
 
         lengths = np.empty(node_ids.shape[0], dtype=np.int64)
@@ -631,8 +683,8 @@ class ShardedGraphStore:
         """Hop-0 feature rows of ``node_ids``, fetched from their owners."""
         out = np.empty((node_ids.shape[0], self.num_features), dtype=self.dtype)
         requests = self._requests_by_owner(node_ids)
-        responses = self._transport.feature_rows(
-            [(shard_id, rows) for shard_id, _, rows in requests]
+        responses = self._traced_fetch(
+            "feature_rows", [(shard_id, rows) for shard_id, _, rows in requests]
         )
         for (shard_id, mask, rows), response in zip(requests, responses):
             out[mask] = response
@@ -658,8 +710,8 @@ class ShardedGraphStore:
             raise GraphConstructionError("node ids out of range")
         out = np.empty(node_ids.shape[0], dtype=np.float64)
         requests = self._requests_by_owner(node_ids)
-        responses = self._transport.degree_rows(
-            [(shard_id, rows) for shard_id, _, rows in requests]
+        responses = self._traced_fetch(
+            "degree_rows", [(shard_id, rows) for shard_id, _, rows in requests]
         )
         for (shard_id, mask, rows), response in zip(requests, responses):
             out[mask] = response

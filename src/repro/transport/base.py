@@ -144,6 +144,17 @@ class ShardTransport(ABC):
     def __init__(self) -> None:
         self.stats = TransportStats()
         self._stats_lock = threading.Lock()
+        #: Optional :class:`~repro.obs.Tracer`.  Backends that can enrich a
+        #: trace (the socket client propagating ids over the wire, the
+        #: replicated transport marking retries/failovers) read the current
+        #: thread-local round context from it; ``None`` (default) costs one
+        #: attribute check per round.
+        self.tracer = None
+
+    def use_tracer(self, tracer) -> "ShardTransport":
+        """Attach a tracer (wrappers propagate it to their inner backends)."""
+        self.tracer = tracer
+        return self
 
     # ------------------------------------------------------------------ #
     @property

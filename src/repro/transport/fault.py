@@ -213,6 +213,12 @@ class FaultInjectingTransport(ShardTransport):
     def num_shards(self) -> int:
         return self.inner.num_shards
 
+    def use_tracer(self, tracer) -> "FaultInjectingTransport":
+        """Attach a tracer here and on the wrapped backend."""
+        self.tracer = tracer
+        self.inner.use_tracer(tracer)
+        return self
+
     def fetch(self, op: str, requests: RequestBatch) -> list:
         action = self._next_action()
         if action == DISCONNECT and hasattr(self.inner, "disconnect"):

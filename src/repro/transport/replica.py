@@ -161,6 +161,13 @@ class ReplicatedTransport(ShardTransport):
     def num_shards(self) -> int:
         return self._num_shards
 
+    def use_tracer(self, tracer) -> "ReplicatedTransport":
+        """Attach a tracer here and on every rail (wire propagation)."""
+        self.tracer = tracer
+        for rail in self.rails:
+            rail.use_tracer(tracer)
+        return self
+
     def fetch(self, op: str, requests: RequestBatch) -> list:
         if not requests:
             return []
@@ -282,6 +289,16 @@ class ReplicatedTransport(ShardTransport):
         def on_retry(error: TransportError, delay: float) -> None:
             with self._stats_lock:
                 self.stats.retries += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "transport.retry",
+                    self.tracer.current(),
+                    op=op,
+                    rail=rail_id,
+                    shard=error.shard_id,
+                    backoff_seconds=delay,
+                    error=str(error),
+                )
 
         return call_with_retry(
             self.retry_policy,
@@ -320,6 +337,15 @@ class ReplicatedTransport(ShardTransport):
                 ) from last_error
             with self._stats_lock:
                 self.stats.failovers += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "transport.failover",
+                    self.tracer.current(),
+                    op=op,
+                    shard=shard_id,
+                    to_rail=replica.rail_id,
+                    error=str(last_error),
+                )
             try:
                 answers = self._fetch_rail(replica.rail_id, op, [(shard_id, rows)])
             except TransportError as error:

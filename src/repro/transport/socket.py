@@ -21,8 +21,11 @@ benchmarks.
 
 from __future__ import annotations
 
+import json
+import os
 import socket
 import threading
+import time
 from typing import Sequence
 
 from ..exceptions import TransportError
@@ -31,12 +34,30 @@ from .base import RequestBatch, ShardTransport, answer_from_shard
 
 
 class ShardServer:
-    """Serves one shard's blocks over TCP; one thread per connection."""
+    """Serves one shard's blocks over TCP; one thread per connection.
+
+    ``trace_log`` (optional) is a path the server appends one JSON span per
+    *traced* request to — requests whose frames carry a
+    :data:`~repro.transport.wire.TRACE_FLAG` header.  Each record parents
+    under the client's in-flight ``fetch.round`` span (the propagated span
+    id), with server-minted span ids offset by the server pid so ids from
+    different processes never collide; ``repro.obs.load_spans_jsonl``
+    reads the file back for cross-process trace stitching.  Timestamps are
+    ``time.monotonic()`` — on Linux a system-wide clock, so they are
+    directly comparable with a client tracing on the monotonic clock.
+    """
 
     def __init__(
-        self, shard, *, host: str = "127.0.0.1", port: int = 0
+        self,
+        shard,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        trace_log: str | os.PathLike | None = None,
     ) -> None:
         self.shard = shard
+        self.trace_log = trace_log
+        self._trace_span_ids = iter(range(1, 1 << 62))
         self._listener = socket.create_server((host, port))
         # A timed accept loop: closing the listener from another thread does
         # not reliably wake a blocking accept(), so the loop polls the stop
@@ -112,10 +133,13 @@ class ShardServer:
                 if payload is None:
                     return
                 try:
-                    op, rows = wire.decode_request(payload)
+                    op, rows, trace = wire.decode_request_traced(payload)
+                    started = time.monotonic()
                     response = wire.encode_response(
                         op, answer_from_shard(self.shard, op, rows)
                     )
+                    if trace is not None and self.trace_log is not None:
+                        self._log_span(op, rows, trace, started)
                 except TransportError as error:
                     response = wire.encode_error(str(error))
                 except Exception as error:  # noqa: BLE001 - shipped to client
@@ -132,6 +156,32 @@ class ShardServer:
                 self._connections.discard(conn)
             _close_socket(conn)
 
+    def _log_span(
+        self, op: str, rows, trace: tuple[int, int], started: float
+    ) -> None:
+        """Append one server-side span for a traced request (JSONL)."""
+        trace_id, parent_span_id = trace
+        pid = os.getpid()
+        with self._conn_lock:
+            span_id = (pid << 24) + next(self._trace_span_ids)
+        record = {
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent_id": parent_span_id,
+            "name": f"server.{op}",
+            "start": started,
+            "end": time.monotonic(),
+            "attributes": {
+                "shard": int(self.shard.shard_id),
+                "rows": int(rows.shape[0]),
+                "pid": pid,
+            },
+        }
+        # One O_APPEND write per record keeps concurrent connection threads
+        # (and forked sibling servers sharing the file) line-atomic.
+        with open(self.trace_log, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
     def __enter__(self) -> "ShardServer":
         return self.start()
 
@@ -140,7 +190,13 @@ class ShardServer:
 
 
 def serve_shard(
-    shard, *, host: str = "127.0.0.1", port: int = 0, ready=None, port_out=None
+    shard,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready=None,
+    port_out=None,
+    trace_log: str | os.PathLike | None = None,
 ) -> None:
     """Blocking process target: serve ``shard`` until the process dies.
 
@@ -151,7 +207,7 @@ def serve_shard(
     and ``ready`` (e.g. ``multiprocessing.Event``) is set once the listener
     accepts connections, so the parent knows when to dial.
     """
-    server = ShardServer(shard, host=host, port=port).start()
+    server = ShardServer(shard, host=host, port=port, trace_log=trace_log).start()
     if port_out is not None:
         port_out.value = server.address[1]
     if ready is not None:
@@ -163,8 +219,17 @@ def serve_shard(
 class ShardServerGroup:
     """One :class:`ShardServer` per shard of a store — the loopback fleet."""
 
-    def __init__(self, shards: Sequence, *, host: str = "127.0.0.1") -> None:
-        self.servers = [ShardServer(shard, host=host) for shard in shards]
+    def __init__(
+        self,
+        shards: Sequence,
+        *,
+        host: str = "127.0.0.1",
+        trace_log: str | os.PathLike | None = None,
+    ) -> None:
+        # One shared trace log is safe: every server appends line-atomically.
+        self.servers = [
+            ShardServer(shard, host=host, trace_log=trace_log) for shard in shards
+        ]
 
     @property
     def addresses(self) -> list[tuple[str, int]]:
@@ -293,7 +358,12 @@ class SocketTransport(ShardTransport):
         return frames
 
     def _send(self, op: str, shard_id: int, rows) -> None:
-        data = wire.frame(wire.encode_request(op, rows))
+        trace = None
+        if self.tracer is not None:
+            ctx = self.tracer.current()
+            if ctx is not None:
+                trace = (ctx.trace_id, ctx.span_id)
+        data = wire.frame(wire.encode_request(op, rows, trace=trace))
         conn = self._connection(op, shard_id)
         try:
             conn.sendall(data)

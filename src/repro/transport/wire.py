@@ -85,19 +85,54 @@ def _dtype_from_code(code: int) -> np.dtype:
         ) from None
 
 
-def encode_request(op: str, rows: np.ndarray) -> bytes:
+#: High bit of the opcode byte flags an appended trace header (see below);
+#: untraced requests stay byte-identical to the pre-tracing wire format.
+TRACE_FLAG = 0x80
+
+
+def encode_request(
+    op: str, rows: np.ndarray, *, trace: tuple[int, int] | None = None
+) -> bytes:
+    """Encode one request; ``trace=(trace_id, span_id)`` rides in-band.
+
+    A traced request sets :data:`TRACE_FLAG` on the opcode and inserts
+    ``[u64 trace_id] [u64 span_id]`` between the head and the rows, so the
+    serving shard can mint spans that stitch into the caller's trace.
+    """
     rows = np.asarray(rows, dtype=np.int64)
-    return _REQ_HEAD.pack(OPCODES[op], rows.shape[0]) + _i64(rows)
+    if trace is None:
+        return _REQ_HEAD.pack(OPCODES[op], rows.shape[0]) + _i64(rows)
+    trace_id, span_id = trace
+    return (
+        _REQ_HEAD.pack(OPCODES[op] | TRACE_FLAG, rows.shape[0])
+        + _U64x2.pack(trace_id, span_id)
+        + _i64(rows)
+    )
 
 
 def decode_request(payload: bytes) -> tuple[str, np.ndarray]:
+    """Decode a request, dropping any trace header (compatibility surface)."""
+    op, rows, _ = decode_request_traced(payload)
+    return op, rows
+
+
+def decode_request_traced(
+    payload: bytes,
+) -> tuple[str, np.ndarray, tuple[int, int] | None]:
+    """Decode a request plus its ``(trace_id, span_id)`` header, if present."""
     opcode, num_rows = _REQ_HEAD.unpack_from(payload)
+    trace = None
+    offset = _REQ_HEAD.size
+    if opcode & TRACE_FLAG:
+        opcode &= ~TRACE_FLAG
+        trace = _U64x2.unpack_from(payload, offset)
+        offset += _U64x2.size
     if opcode not in OPS_BY_CODE:
         raise TransportError(f"unknown opcode {opcode}", retryable=False)
     rows = np.frombuffer(
-        payload, dtype="<i8", count=num_rows, offset=_REQ_HEAD.size
+        payload, dtype="<i8", count=num_rows, offset=offset
     ).astype(np.int64, copy=False)
-    return OPS_BY_CODE[opcode], rows
+    return OPS_BY_CODE[opcode], rows, trace
 
 
 def encode_error(message: str) -> bytes:

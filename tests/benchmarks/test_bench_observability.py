@@ -1,0 +1,103 @@
+"""Smoke test for the observability benchmark.
+
+Runs ``benchmarks/bench_observability.py --quick`` end to end so tier-1
+catches regressions in the tracing overhead gate, the traced-vs-untraced
+equivalence assertions and the critical-path analysis surface.  Serving
+threads are involved, so the run is guarded by the same watchdog style the
+transport suite uses.  The real numbers come from the full run, which
+writes ``BENCH_observability.json``.
+"""
+
+import faulthandler
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+#: The bench runs the streaming workload four times (two modes, two
+#: repeats) plus a routed traced/untraced pair; REPRO_WATCHDOG_SECONDS
+#: scales the budget for slow CI runners.
+WATCHDOG_SECONDS = 300.0 * max(
+    1.0, float(os.environ.get("REPRO_WATCHDOG_SECONDS", "90")) / 90.0
+)
+
+
+def _dump_and_abort() -> None:  # pragma: no cover - only fires on a hang
+    sys.stderr.write(
+        f"\n*** observability-bench watchdog fired after {WATCHDOG_SECONDS}s ***\n"
+    )
+    faulthandler.dump_traceback(all_threads=True)
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def bench_watchdog():
+    timer = threading.Timer(WATCHDOG_SECONDS, _dump_and_abort)
+    timer.daemon = True
+    timer.start()
+    yield
+    timer.cancel()
+
+
+@pytest.mark.obs_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_observability
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    trace = tmp_path / "trace.json"
+    assert bench_observability.main(
+        ["--quick", "--output", str(output), "--trace-output", str(trace)]
+    ) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    suites = {record["suite"] for record in report["suites"]}
+    assert suites == {"server_overhead", "routed_tracing"}
+
+    (overhead,) = [
+        r for r in report["suites"] if r["suite"] == "server_overhead"
+    ]
+    assert overhead["predictions_identical"]
+    assert overhead["depths_identical"]
+    assert overhead["macs_identical"]
+    assert overhead["tracing_overhead_within_slo"]
+    assert overhead["traced_throughput_ratio"] >= overhead["overhead_slo"]
+    assert overhead["sequential_macs"] > 0
+    # Root + queue wait per tick, batch spans on the primaries.
+    assert overhead["spans_per_request"] >= 2.0
+
+    (routed,) = [r for r in report["suites"] if r["suite"] == "routed_tracing"]
+    assert routed["predictions_identical"]
+    assert routed["depths_identical"]
+    assert routed["route_span_count_equal"]
+    assert routed["span_counts"]["route"] == routed["requests"]
+    assert routed["span_counts"]["fetch.round"] > 0
+    # One decomposition per route root; sub-requests hang under it.
+    assert routed["request_breakdowns"] == routed["requests"]
+    assert routed["breakdown_totals"]["total"] > 0
+    assert set(routed["shard_rows"]) == {"0", "1"}
+    assert routed["shard_ranking"][0] == int(
+        max(routed["shard_rows"], key=routed["shard_rows"].get)
+    )
+    assert routed["metrics_exported"] > 10
+
+    # The sample Chrome trace is a valid trace-event document.
+    doc = json.loads(trace.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert any(event["ph"] == "X" for event in doc["traceEvents"])
+
+    aggregate = report["aggregate"]
+    assert aggregate["all_predictions_identical"]
+    assert aggregate["all_depths_identical"]
+    assert aggregate["all_macs_identical"]
+    assert aggregate["tracing_overhead_within_slo"]
+    assert aggregate["route_span_counts_equal"]
+    assert aggregate["min_attributed_fraction"] > 0.5

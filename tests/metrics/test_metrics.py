@@ -140,3 +140,48 @@ class TestTiming:
     def test_time_callable_invalid_repeats(self):
         with pytest.raises(ValueError):
             time_callable(lambda: None, repeats=0)
+
+
+class TestLatencySummary:
+    """Satellite: explicit degenerate-input semantics and dict round trips."""
+
+    def test_empty_samples_yield_all_zero_summary(self):
+        from repro.metrics.timing import latency_summary
+
+        summary = latency_summary([])
+        assert summary.count == 0
+        assert (summary.mean, summary.p50, summary.p95, summary.p99,
+                summary.max) == (0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_single_sample_pins_every_percentile_exactly(self):
+        from repro.metrics.timing import latency_summary
+
+        summary = latency_summary([0.125])
+        assert summary.count == 1
+        assert (summary.mean, summary.p50, summary.p95, summary.p99,
+                summary.max) == (0.125, 0.125, 0.125, 0.125, 0.125)
+
+    def test_multi_sample_percentiles_are_ordered(self):
+        from repro.metrics.timing import latency_summary
+
+        summary = latency_summary([0.01 * i for i in range(1, 101)])
+        assert summary.count == 100
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+        assert summary.max == pytest.approx(1.0)
+
+    def test_as_dict_from_dict_round_trip(self):
+        import json
+
+        from repro.metrics.timing import LatencySummary, latency_summary
+
+        summary = latency_summary([0.1, 0.2, 0.3, 0.9])
+        payload = json.loads(json.dumps(summary.as_dict()))
+        restored = LatencySummary.from_dict(payload)
+        assert restored == summary
+        assert isinstance(restored.count, int)
+
+    def test_round_trip_survives_scaling(self):
+        from repro.metrics.timing import LatencySummary, latency_summary
+
+        summary = latency_summary([0.25, 0.75]).scaled(1e3)
+        assert LatencySummary.from_dict(summary.as_dict()) == summary

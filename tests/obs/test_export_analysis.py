@@ -1,0 +1,160 @@
+"""Exporter round trips and critical-path analysis over synthetic span trees."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CriticalPathAnalyzer,
+    Span,
+    chrome_trace,
+    load_spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def _span(trace, span_id, parent, name, start, end, **attrs):
+    return Span(trace, span_id, parent, name, start, end, attrs)
+
+
+def request_tree():
+    """One fully-instrumented request: queue → coalesce → build/fetch → compute."""
+    return [
+        _span(1, 1, None, "request", 0.0, 10.0, request_id=0, num_nodes=4),
+        _span(1, 2, 1, "queue.wait", 0.0, 2.0),
+        _span(1, 3, 1, "batch.coalesce", 2.0, 3.0, batch_id=0),
+        _span(1, 4, 1, "batch.execute", 3.0, 9.5, batch_id=0),
+        _span(1, 5, 4, "support.build", 3.0, 6.0, batch_id=0),
+        _span(1, 6, 5, "fetch.round", 3.5, 5.5, op="feature_rows",
+              shards=[0, 2], rows=[30, 10]),
+        _span(1, 7, 4, "engine.compute", 6.0, 9.0, batch_id=0),
+        _span(1, 8, 4, "scatter", 9.0, 9.5, batch_id=0),
+        _span(1, 9, 6, "transport.retry", 4.0, 4.0, backoff_seconds=0.25),
+    ]
+
+
+class TestJsonlExport:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        spans = request_tree()
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(spans, path) == len(spans)
+        restored = load_spans_jsonl(path)
+        assert restored == spans
+
+    def test_server_log_records_load_as_spans(self, tmp_path):
+        # The shard server writes the same schema by hand — keep them coupled.
+        record = {
+            "trace_id": 1, "span_id": (1234 << 24) + 1, "parent_id": 6,
+            "name": "server.feature_rows", "start": 1.0, "end": 1.5,
+            "attributes": {"shard": 2, "rows": 10, "pid": 1234},
+        }
+        path = tmp_path / "server.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        (span,) = load_spans_jsonl(path)
+        assert span.name == "server.feature_rows"
+        assert span.parent_id == 6
+        assert span.attributes["shard"] == 2
+
+
+class TestChromeTrace:
+    def test_events_are_rebased_microseconds(self):
+        doc = chrome_trace(request_tree(), process_name="test-proc")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "test-proc"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(request_tree())
+        root = next(e for e in complete if e["name"] == "request")
+        assert root["ts"] == 0.0 and root["dur"] == 10.0 * 1e6
+        compute = next(e for e in complete if e["name"] == "engine.compute")
+        assert compute["ts"] == 6.0 * 1e6
+        assert all(e["tid"] == 1 for e in complete)
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(request_tree(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == len(request_tree()) + 1
+
+
+class TestCriticalPathAnalyzer:
+    def test_tree_walk_orders_depth_first(self):
+        analyzer = CriticalPathAnalyzer(request_tree())
+        walk = analyzer.tree(1)
+        assert [(depth, span.name) for depth, span in walk[:4]] == [
+            (0, "request"),
+            (1, "queue.wait"),
+            (1, "batch.coalesce"),
+            (1, "batch.execute"),
+        ]
+        depths = {span.name: depth for depth, span in walk}
+        assert depths["fetch.round"] == 3
+        assert depths["transport.retry"] == 4
+
+    def test_breakdown_components_attribute_exactly(self):
+        analyzer = CriticalPathAnalyzer(request_tree())
+        (breakdown,) = analyzer.request_breakdowns()
+        assert breakdown.total == 10.0
+        assert breakdown.components["queue"] == 2.0
+        assert breakdown.components["coalesce"] == 1.0
+        assert breakdown.components["fetch"] == 2.0
+        # support.build minus its nested fetch round: 3.0 - 2.0.
+        assert breakdown.components["build"] == 1.0
+        assert breakdown.components["compute"] == 3.0
+        assert breakdown.components["scatter"] == 0.5
+        assert breakdown.components["retry_wait"] == 0.25
+        assert breakdown.retries == 1
+        assert breakdown.request_ids == [0]
+        payload = breakdown.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_rider_request_gets_batch_wait(self):
+        # A non-primary request: only its root and queue wait were recorded.
+        spans = [
+            _span(2, 20, None, "request", 0.0, 8.0, request_id=1),
+            _span(2, 21, 20, "queue.wait", 0.0, 3.0),
+        ]
+        (breakdown,) = CriticalPathAnalyzer(spans).request_breakdowns()
+        assert breakdown.components == {"queue": 3.0, "batch_wait": 5.0}
+        assert breakdown.unattributed == 0.0
+
+    def test_shard_load_attributes_rows_and_time(self):
+        analyzer = CriticalPathAnalyzer(request_tree())
+        loads = analyzer.shard_load()
+        assert [(load.shard_id, load.rows) for load in loads] == [(0, 30), (2, 10)]
+        # 2.0s round split 30:10 across the two shards.
+        assert loads[0].seconds == 1.5 and loads[1].seconds == 0.5
+        assert analyzer.shard_ranking() == [0, 2]
+
+    def test_server_spans_add_service_time(self):
+        spans = request_tree() + [
+            _span(1, (99 << 24) + 1, 6, "server.feature_rows", 4.0, 4.7,
+                  shard=2, rows=10, pid=99),
+        ]
+        analyzer = CriticalPathAnalyzer(spans)
+        by_shard = {load.shard_id: load for load in analyzer.shard_load()}
+        assert by_shard[2].server_seconds == pytest.approx(0.7)
+        assert by_shard[0].server_seconds == 0.0
+
+    def test_merged_with_stitches_extra_spans(self):
+        base = CriticalPathAnalyzer(request_tree())
+        extra = [
+            _span(1, (99 << 24) + 1, 6, "server.feature_rows", 4.0, 4.5,
+                  shard=0, rows=30, pid=99)
+        ]
+        merged = base.merged_with(extra)
+        assert len(merged.spans) == len(base.spans) + 1
+        walk = merged.tree(1)
+        assert any(span.name == "server.feature_rows" and depth == 4
+                   for depth, span in walk)
+
+    def test_breakdown_totals_sum_across_traces(self):
+        spans = request_tree() + [
+            _span(2, 20, None, "request", 0.0, 8.0, request_id=1),
+            _span(2, 21, 20, "queue.wait", 0.0, 3.0),
+        ]
+        totals = CriticalPathAnalyzer(spans).breakdown_totals()
+        assert totals["total"] == 18.0
+        assert totals["queue"] == 5.0
+        assert totals["batch_wait"] == 5.0

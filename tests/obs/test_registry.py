@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry, its metric types and publishers."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, prometheus_text
+
+
+class TestCounter:
+    def test_inc_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_set_total_resyncs_but_never_backwards(self):
+        counter = MetricsRegistry().counter("rows_total")
+        counter.set_total(10)
+        counter.set_total(10)
+        counter.set_total(12)
+        assert counter.value == 12.0
+        with pytest.raises(ConfigurationError):
+            counter.set_total(11)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_cumulative_bucket_semantics(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        assert histogram.buckets() == [(0.1, 1), (1.0, 3), (10.0, 4)]
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("empty", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("rows_total", shard="0")
+        b = registry.counter("rows_total", shard="0")
+        c = registry.counter("rows_total", shard="1")
+        assert a is b and a is not c
+
+    def test_kind_mismatch_is_refused(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_snapshot_flattens_with_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("rows_total", shard="1").inc(7)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["rows_total{shard=1}"] == 7.0
+        assert snap["depth"] == 2.0
+        assert snap["lat_count"] == 1.0
+        assert snap["lat_sum"] == 0.5
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_rows_total", shard="2", kind="remote").inc(3)
+        registry.gauge("repro_depth").set(1.5)
+        registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_rows_total counter" in text
+        assert 'repro_rows_total{kind="remote",shard="2"} 3' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 1.5" in text
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_seconds_count 1" in text
+
+
+class TestPublishers:
+    def test_publish_transport_traffic_maps_counters_and_gauges(self):
+        from repro.obs import publish_transport_traffic
+
+        registry = MetricsRegistry()
+        traffic = {
+            "shard_traffic": {
+                "features": {
+                    "local_rows": 10, "remote_rows": 4,
+                    "local_bytes": 400, "remote_bytes": 160,
+                },
+                "remote_byte_fraction": 0.25,
+            },
+            "transport": {
+                "rounds": 6,
+                "requests": {"feature_rows": 9},
+                "bytes_fetched": 560,
+            },
+        }
+        publish_transport_traffic(registry, traffic)
+        snap = registry.snapshot()
+        assert snap["repro_fetch_rows_total{category=features,kind=local}"] == 10
+        assert snap["repro_fetch_rows_total{category=features,kind=remote}"] == 4
+        assert snap["repro_fetch_bytes_total{category=features,kind=remote}"] == 160
+        assert snap["repro_remote_byte_fraction"] == 0.25
+        assert snap["repro_transport_rounds_total"] == 6
+        assert snap["repro_transport_requests_total{op=feature_rows}"] == 9
+        assert snap["repro_transport_bytes_total"] == 560
+        # Publishing the same totals again is idempotent (resync, not replay).
+        publish_transport_traffic(registry, traffic)
+        assert registry.snapshot() == snap
+
+
+class TestSnapshotDictRoundTrips:
+    """Satellite: both stats snapshots survive ``as_dict`` → JSON round trips."""
+
+    @pytest.fixture(scope="class")
+    def serving_snapshot(self, trained_nai, tiny_dataset):
+        import numpy as np
+
+        from repro.core import ServingConfig
+        from repro.serving import InferenceServer
+
+        config = trained_nai.inference_config(
+            t_min=1, t_max=3,
+            distance_threshold=trained_nai.suggest_distance_threshold(0.5),
+            batch_size=32,
+        )
+        predictor = trained_nai.build_predictor(policy="distance", config=config)
+        predictor.prepare(tiny_dataset.graph, tiny_dataset.features)
+        with InferenceServer(predictor, ServingConfig(num_workers=1)) as server:
+            server.submit(np.array([0, 1, 2])).result(timeout=60.0)
+            return server.stats()
+
+    def test_serving_snapshot_as_dict_is_json_round_trippable(
+        self, serving_snapshot
+    ):
+        payload = serving_snapshot.as_dict()
+        restored = json.loads(json.dumps(payload))
+        assert restored == payload
+        assert restored["requests_completed"] == 1
+        assert restored["latency_ms"]["count"] == 1.0
+
+    def test_sharded_snapshot_as_dict_is_json_round_trippable(
+        self, serving_snapshot
+    ):
+        from repro.shard.stats import merge_serving_snapshots
+
+        merged = merge_serving_snapshots(
+            {0: serving_snapshot, 1: serving_snapshot}
+        )
+        payload = merged.as_dict()
+        restored = json.loads(json.dumps(payload))
+        assert restored == payload
+        assert restored["requests_completed"] == 2
+        assert set(restored["per_shard"]) == {"0", "1"}

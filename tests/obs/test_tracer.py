@@ -1,0 +1,132 @@
+"""Unit tests for the tracer core: contexts, recorder, sampling, no-op mode."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import NULL_TRACER, Span, TraceContext, TraceRecorder, Tracer
+from repro.serving import FakeClock
+
+
+class TestTraceRecorder:
+    def test_ring_buffer_overwrites_oldest_and_counts_drops(self):
+        recorder = TraceRecorder(capacity=3)
+        for i in range(5):
+            recorder.record(Span(1, i, None, "s", float(i), float(i)))
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        assert [span.span_id for span in recorder.spans()] == [2, 3, 4]
+
+    def test_clear_resets_spans_and_drop_count(self):
+        recorder = TraceRecorder(capacity=1)
+        recorder.record(Span(1, 1, None, "a", 0.0, 1.0))
+        recorder.record(Span(1, 2, None, "b", 0.0, 1.0))
+        assert recorder.dropped == 1
+        recorder.clear()
+        assert len(recorder) == 0 and recorder.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(capacity=0)
+
+
+class TestTracerAllocation:
+    def test_new_trace_allocates_sequential_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        a = tracer.new_trace()
+        b = tracer.new_trace()
+        assert (a.trace_id, b.trace_id) == (1, 2)
+        assert a.span_id != b.span_id
+        assert a.parent_id is None
+
+    def test_child_nests_and_propagates_none(self):
+        tracer = Tracer(clock=FakeClock())
+        root = tracer.new_trace()
+        child = tracer.child(root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert tracer.child(None) is None
+
+    def test_sampling_is_deterministic_modular(self):
+        tracer = Tracer(clock=FakeClock(), sample_every=3)
+        sampled = [tracer.new_trace() is not None for _ in range(9)]
+        assert sampled == [True, False, False] * 3
+
+    def test_id_offset_shifts_span_ids(self):
+        tracer = Tracer(clock=FakeClock(), id_offset=1000)
+        assert tracer.new_trace().span_id == 1001
+
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(sample_every=0)
+
+
+class TestTracerEmission:
+    def test_emit_records_at_context_identity(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        root = tracer.new_trace()
+        span = tracer.emit("request", root, 1.0, 3.5, request_id=7)
+        assert span.span_id == root.span_id
+        assert span.duration == 2.5
+        assert span.attributes == {"request_id": 7}
+        assert tracer.spans() == [span]
+
+    def test_span_context_manager_times_with_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        root = tracer.new_trace()
+        with tracer.span("fetch.round", root, op="feature_rows") as ctx:
+            clock.advance(2.0)
+        (span,) = [s for s in tracer.spans() if s.name == "fetch.round"]
+        assert span.start == 0.0 and span.end == 2.0
+        assert span.parent_id == root.span_id
+        assert span.span_id == ctx.span_id
+
+    def test_event_is_zero_duration(self):
+        clock = FakeClock(start=5.0)
+        tracer = Tracer(clock=clock)
+        root = tracer.new_trace()
+        span = tracer.event("transport.retry", root, backoff_seconds=0.1)
+        assert span.start == span.end == 5.0
+
+    def test_activation_is_thread_local(self):
+        tracer = Tracer(clock=FakeClock())
+        root = tracer.new_trace()
+        seen_in_thread = []
+
+        def probe():
+            seen_in_thread.append(tracer.current())
+
+        with tracer.activate(root):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            assert tracer.current() == root
+        assert tracer.current() is None
+        assert seen_in_thread == [None]
+
+    def test_activation_restores_prior_context(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.new_trace()
+        inner = tracer.child(outer)
+        with tracer.activate(outer):
+            with tracer.activate(inner):
+                assert tracer.current() == inner
+            assert tracer.current() == outer
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_allocates_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.new_trace() is None
+        assert tracer.child(TraceContext(1, 1)) is None
+        assert tracer.emit("x", TraceContext(1, 1), 0.0, 1.0) is None
+        assert tracer.event("x", TraceContext(1, 1)) is None
+        assert tracer.spans() == []
+        assert tracer.recorder is None
+
+    def test_null_tracer_is_shared_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.new_trace() is None
