@@ -14,6 +14,7 @@ from .core import (
     DistillationConfig,
     GateNAP,
     GateTrainingConfig,
+    MonitorConfig,
     InferenceResult,
     NAIConfig,
     NAIPredictor,
@@ -36,6 +37,7 @@ __all__ = [
     "GAMLP",
     "GateNAP",
     "GateTrainingConfig",
+    "MonitorConfig",
     "InferenceResult",
     "InferenceServer",
     "NAI",

@@ -3,6 +3,7 @@
 from .config import (
     DistillationConfig,
     GateTrainingConfig,
+    MonitorConfig,
     NAIConfig,
     ServingConfig,
     ShardConfig,
@@ -36,6 +37,7 @@ __all__ = [
     "FitReport",
     "GateNAP",
     "GateTrainingConfig",
+    "MonitorConfig",
     "GateTrainingHistory",
     "InceptionDistillation",
     "InferenceResult",

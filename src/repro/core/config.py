@@ -421,6 +421,163 @@ class ShardConfig:
 
 
 @dataclass(frozen=True)
+class MonitorConfig:
+    """Knobs of the health monitor / SLO / auto-rebalance loop
+    (:mod:`repro.obs.monitor`, :mod:`repro.obs.slo`,
+    :mod:`repro.obs.rebalance`).
+
+    All durations are measured on the injectable
+    :class:`~repro.serving.clock.Clock` — under a
+    :class:`~repro.serving.clock.FakeClock` the "1m"/"1h" burn windows are
+    virtual-time equivalents, which is what makes the whole control loop
+    deterministic in tests.
+
+    Attributes
+    ----------
+    window_seconds:
+        Span of the sliding windows behind every ``*_window`` gauge.
+    num_buckets:
+        Sub-window buckets per sliding window; expiry granularity is
+        ``window_seconds / num_buckets``.
+    cadence_seconds:
+        Minimum spacing between :meth:`~repro.obs.monitor.HealthMonitor.
+        maybe_tick` snapshots.
+    sample_cap:
+        Retained distribution samples per window (oldest buckets evict
+        whole; within a bucket excess samples are dropped and counted).
+    latency_slo_threshold_seconds:
+        Per-request latency above this counts against the latency SLO's
+        error budget.  ``0`` disables the latency SLO.
+    latency_slo_budget_fraction:
+        Allowed fraction of slow requests (e.g. ``0.05`` ≙ "p95 under
+        threshold").
+    error_slo_budget_fraction:
+        Allowed fraction of failed requests.  ``0`` disables the error SLO.
+    fast_burn_window_seconds / slow_burn_window_seconds:
+        The two burn-rate windows (Google-SRE multi-window alerting): the
+        fast window reacts, the slow window confirms the burn is sustained.
+    burn_rate_threshold:
+        Both windows must burn the budget faster than this multiple for the
+        alert condition to hold.
+    alert_for_seconds:
+        How long the condition must hold before ``pending`` escalates to
+        ``firing``.
+    resolve_after_seconds:
+        How long the condition must stay clear before ``firing`` resolves
+        (hysteresis against flapping).
+    min_alert_events:
+        Fast-window event floor below which no alert fires (a single slow
+        request in an idle window is not an incident).
+    cooldown_seconds:
+        Minimum spacing between auto-rebalance plan installs.
+    rebalance_boost:
+        Extra replica rails granted to observed-hot shards in a proposed
+        plan.
+    rebalance_hot_fraction:
+        Fraction of shards (by windowed heat) the advisor treats as hot.
+    """
+
+    window_seconds: float = 60.0
+    num_buckets: int = 12
+    cadence_seconds: float = 5.0
+    sample_cap: int = 4096
+    latency_slo_threshold_seconds: float = 0.0
+    latency_slo_budget_fraction: float = 0.05
+    error_slo_budget_fraction: float = 0.0
+    fast_burn_window_seconds: float = 60.0
+    slow_burn_window_seconds: float = 3600.0
+    burn_rate_threshold: float = 1.0
+    alert_for_seconds: float = 0.0
+    resolve_after_seconds: float = 30.0
+    min_alert_events: int = 8
+    cooldown_seconds: float = 120.0
+    rebalance_boost: int = 1
+    rebalance_hot_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ConfigurationError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.num_buckets < 1:
+            raise ConfigurationError(
+                f"num_buckets must be positive, got {self.num_buckets}"
+            )
+        if self.cadence_seconds < 0:
+            raise ConfigurationError(
+                f"cadence_seconds must be non-negative, got {self.cadence_seconds}"
+            )
+        if self.sample_cap < 1:
+            raise ConfigurationError(
+                f"sample_cap must be positive, got {self.sample_cap}"
+            )
+        if self.latency_slo_threshold_seconds < 0:
+            raise ConfigurationError(
+                f"latency_slo_threshold_seconds must be non-negative, got "
+                f"{self.latency_slo_threshold_seconds}"
+            )
+        for name in ("latency_slo_budget_fraction", "error_slo_budget_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{name} must lie in [0, 1), got {value}"
+                )
+        if self.latency_slo_threshold_seconds > 0 and (
+            self.latency_slo_budget_fraction <= 0
+        ):
+            raise ConfigurationError(
+                "a latency SLO needs a positive latency_slo_budget_fraction"
+            )
+        if self.fast_burn_window_seconds <= 0:
+            raise ConfigurationError(
+                f"fast_burn_window_seconds must be positive, got "
+                f"{self.fast_burn_window_seconds}"
+            )
+        if self.slow_burn_window_seconds < self.fast_burn_window_seconds:
+            raise ConfigurationError(
+                "slow_burn_window_seconds must be at least "
+                "fast_burn_window_seconds"
+            )
+        if self.burn_rate_threshold <= 0:
+            raise ConfigurationError(
+                f"burn_rate_threshold must be positive, got "
+                f"{self.burn_rate_threshold}"
+            )
+        if self.alert_for_seconds < 0:
+            raise ConfigurationError(
+                f"alert_for_seconds must be non-negative, got "
+                f"{self.alert_for_seconds}"
+            )
+        if self.resolve_after_seconds < 0:
+            raise ConfigurationError(
+                f"resolve_after_seconds must be non-negative, got "
+                f"{self.resolve_after_seconds}"
+            )
+        if self.min_alert_events < 1:
+            raise ConfigurationError(
+                f"min_alert_events must be positive, got {self.min_alert_events}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be non-negative, got "
+                f"{self.cooldown_seconds}"
+            )
+        if self.rebalance_boost < 0:
+            raise ConfigurationError(
+                f"rebalance_boost must be non-negative, got {self.rebalance_boost}"
+            )
+        if not 0.0 < self.rebalance_hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"rebalance_hot_fraction must lie in (0, 1], got "
+                f"{self.rebalance_hot_fraction}"
+            )
+
+    def with_updates(self, **kwargs) -> "MonitorConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class GateTrainingConfig:
     """Hyper-parameters for training the NAP gates (Section III-A2)."""
 

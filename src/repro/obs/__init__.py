@@ -16,6 +16,16 @@ allocations.  All span timestamps come from the injectable
 :class:`~repro.serving.clock.Clock`, so tests on a
 :class:`~repro.serving.clock.FakeClock` assert exact virtual-time span
 trees.  See ``docs/observability.md``.
+
+On top of the passive layer sits the *active* loop:
+:class:`SlidingWindow`/:class:`HealthMonitor` derive windowed (last-N-
+seconds) per-shard load from the cumulative accumulators,
+:class:`SLOEngine` evaluates declarative :class:`SLO` specs as
+multi-window burn rates and emits :class:`Alert` lifecycle transitions
+through :class:`AlertSink`\\ s, and :class:`RebalanceAdvisor`/
+:class:`AutoRebalancer` turn a firing burn alert into a versioned
+replica-boosted plan rollout — observation-driven rebalancing with the
+bit-identical-results guarantee intact.
 """
 
 from .analysis import CriticalPathAnalyzer, RequestBreakdown, ShardLoad
@@ -27,6 +37,8 @@ from .export import (
     write_chrome_trace,
     write_spans_jsonl,
 )
+from .monitor import FleetHealth, HealthMonitor, ShardHealth, SlidingWindow
+from .rebalance import AutoRebalancer, RebalanceAdvisor, RebalanceProposal
 from .registry import (
     Counter,
     Gauge,
@@ -35,9 +47,38 @@ from .registry import (
     publish_sharded_snapshot,
     publish_transport_traffic,
 )
+from .slo import (
+    FIRING,
+    PENDING,
+    RESOLVED,
+    SLO,
+    Alert,
+    AlertSink,
+    LogAlertSink,
+    MemoryAlertSink,
+    SLOEngine,
+    slos_from_config,
+)
 from .trace import NULL_TRACER, Span, TraceContext, Tracer, TraceRecorder
 
 __all__ = [
+    "SlidingWindow",
+    "HealthMonitor",
+    "ShardHealth",
+    "FleetHealth",
+    "SLO",
+    "SLOEngine",
+    "Alert",
+    "AlertSink",
+    "LogAlertSink",
+    "MemoryAlertSink",
+    "slos_from_config",
+    "PENDING",
+    "FIRING",
+    "RESOLVED",
+    "RebalanceAdvisor",
+    "RebalanceProposal",
+    "AutoRebalancer",
     "Span",
     "TraceContext",
     "TraceRecorder",

@@ -137,11 +137,30 @@ def write_chrome_trace(spans: Sequence[Span], path, **kwargs) -> Path:
 # ---------------------------------------------------------------------- #
 # Prometheus text exposition
 # ---------------------------------------------------------------------- #
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec.
+
+    Backslash first (it is the escape character), then the quote that
+    would end the value and the newline that would end the sample line.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` continuation escaping: backslash and newline only."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels, extra: dict | None = None) -> str:
     pairs = list(labels) + sorted((extra or {}).items())
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
     return "{" + body + "}"
 
 
@@ -156,6 +175,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     typed: set[str] = set()
     for metric in registry.collect():
         if metric.name not in typed:
+            help_text = registry.help_text(metric.name)
+            if help_text is None:
+                help_text = f"{metric.kind} {metric.name}"
+            lines.append(f"# HELP {metric.name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             typed.add(metric.name)
         if isinstance(metric, Histogram):

@@ -72,15 +72,12 @@ class Counter:
 
         The serving/transport accumulators already hold exact monotone
         totals; publishing re-states them rather than replaying deltas.
-        A total below the current value is refused — that would mean two
-        sources are fighting over one metric.
+        A total below the current value re-bases the counter — the
+        Prometheus counter-reset semantic — which happens legitimately
+        when a versioned rollout swaps in a fresh generation whose
+        accumulators start from zero.
         """
         with self._lock:
-            if total < self._value:
-                raise ConfigurationError(
-                    f"counter {self.name} cannot move backwards "
-                    f"({self._value} -> {total})"
-                )
             self._value = float(total)
 
     @property
@@ -171,6 +168,17 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[tuple[str, LabelKey], object] = {}
+        self._help: dict[str, str] = {}
+
+    def set_help(self, name: str, text: str) -> None:
+        """Attach a ``# HELP`` line to metric ``name`` (all label sets)."""
+        with self._lock:
+            self._help[name] = str(text)
+
+    def help_text(self, name: str) -> str | None:
+        """The help text registered for ``name``, or ``None``."""
+        with self._lock:
+            return self._help.get(name)
 
     def _get(self, factory, name: str, labels: dict[str, str], **kwargs):
         key = (name, _label_key(labels))

@@ -210,6 +210,38 @@ class InferenceServer:
             controller_adjustments=self.controller.adjustments,
         )
 
+    def interval_latency_samples(self) -> tuple[float, ...]:
+        """Raw request latencies of the current interval window.
+
+        Non-destructive; :meth:`interval_stats` (its default ``reset``)
+        consumes the interval.  See
+        :meth:`~repro.serving.stats.ServingStats.interval_snapshot`.
+        """
+        return self._stats.interval_latency_samples()
+
+    def interval_stats(self, *, reset: bool = True) -> ServingStatsSnapshot:
+        """Statistics since the last interval reset (then reset by default).
+
+        Counters and summaries cover only the interval window; the
+        queue/cache gauges are the same instantaneous levels as
+        :meth:`stats`.
+        """
+        return self._stats.interval_snapshot(
+            reset=reset,
+            queue_depth=self.queue.depth,
+            queue_max_depth=self.queue.max_depth,
+            requests_rejected=self.queue.rejected,
+            requests_shed=self.queue.shed,
+            cache_hits=self.cache.hits if self.cache else 0,
+            cache_misses=self.cache.misses if self.cache else 0,
+            cache_entries=len(self.cache) if self.cache else 0,
+            result_cache_hits=self.result_cache.hits if self.result_cache else 0,
+            result_cache_misses=self.result_cache.misses if self.result_cache else 0,
+            result_cache_entries=len(self.result_cache) if self.result_cache else 0,
+            batch_policy=self.controller.name,
+            controller_adjustments=self.controller.adjustments,
+        )
+
     def close(self) -> None:
         """Serve everything already accepted, then stop all machinery."""
         if self._closed:

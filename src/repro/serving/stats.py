@@ -146,6 +146,35 @@ class ServingStats:
         self._replayed_macs = MACBreakdown()
         self._first_activity: float | None = None
         self._last_activity: float | None = None
+        self._reset_window_locked(self.clock.now())
+
+    def _reset_window_locked(self, now: float) -> None:
+        self._win_opened = now
+        self._win_latencies: list[float] = []
+        self._win_queue_waits: list[float] = []
+        self._win_widths: list[int] = []
+        self._win_macs = MACBreakdown()
+        self._win_replayed_macs = MACBreakdown()
+        self._win_timings = TimingBreakdown()
+        self._win_requests_completed = 0
+        self._win_requests_failed = 0
+        self._win_nodes_completed = 0
+        self._win_batches_dispatched = 0
+        self._win_batch_requests = 0
+        self._win_requests_replayed = 0
+        self._win_nodes_replayed = 0
+        self._win_batches_replayed = 0
+
+    def reset_window(self) -> None:
+        """Open a fresh interval window (see :meth:`interval_snapshot`).
+
+        The cumulative accumulators — and the since-first-request
+        throughput window of :meth:`snapshot` — are untouched; only the
+        interval state is cleared.
+        """
+        now = self.clock.now()
+        with self._lock:
+            self._reset_window_locked(now)
 
     def mark_submission(self) -> None:
         """Open the throughput window at the first accepted request."""
@@ -182,6 +211,15 @@ class ServingStats:
             self._batch_widths.append(num_nodes)
             self._latencies.extend(latencies)
             self._queue_waits.extend(queue_waits)
+            self._win_macs = self._win_macs.merged_with(macs)
+            self._win_timings = self._win_timings.merged_with(timings)
+            self._win_batches_dispatched += 1
+            self._win_batch_requests += num_requests
+            self._win_requests_completed += num_requests
+            self._win_nodes_completed += num_nodes
+            self._win_widths.append(num_nodes)
+            self._win_latencies.extend(latencies)
+            self._win_queue_waits.extend(queue_waits)
             if self._first_activity is None:
                 self._first_activity = now
             self._last_activity = now
@@ -214,6 +252,15 @@ class ServingStats:
             self._replayed_macs = self._replayed_macs.merged_with(macs)
             self._latencies.extend(latencies)
             self._queue_waits.extend(queue_waits)
+            self._win_batches_replayed += 1
+            self._win_requests_replayed += num_requests
+            self._win_nodes_replayed += num_nodes
+            self._win_requests_completed += num_requests
+            self._win_nodes_completed += num_nodes
+            self._win_widths.append(num_nodes)
+            self._win_replayed_macs = self._win_replayed_macs.merged_with(macs)
+            self._win_latencies.extend(latencies)
+            self._win_queue_waits.extend(queue_waits)
             if self._first_activity is None:
                 self._first_activity = now
             self._last_activity = now
@@ -221,7 +268,97 @@ class ServingStats:
     def record_failure(self, num_requests: int) -> None:
         with self._lock:
             self.requests_failed += num_requests
+            self._win_requests_failed += num_requests
             self._last_activity = self.clock.now()
+
+    def interval_latency_samples(self) -> tuple[float, ...]:
+        """Raw per-request latencies of the current interval window.
+
+        Non-destructive — pair with :meth:`interval_snapshot` (or
+        :meth:`reset_window`) to consume the interval.
+        """
+        with self._lock:
+            return tuple(self._win_latencies)
+
+    def interval_snapshot(
+        self,
+        *,
+        reset: bool = True,
+        queue_depth: int = 0,
+        queue_max_depth: int = 0,
+        requests_rejected: int = 0,
+        requests_shed: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        cache_entries: int = 0,
+        result_cache_hits: int = 0,
+        result_cache_misses: int = 0,
+        result_cache_entries: int = 0,
+        batch_policy: str = "static",
+        controller_adjustments: int = 0,
+    ) -> ServingStatsSnapshot:
+        """Render the window opened by the last :meth:`reset_window`.
+
+        Counters, latency/queue-wait summaries and MAC totals cover only
+        the interval; throughput is interval nodes over interval wall time
+        (``now - window opened``), so an empty window reports zeros instead
+        of dividing by nothing.  ``reset=True`` (default) opens a fresh
+        window afterwards, making back-to-back calls a delta stream with no
+        external bookkeeping.  Queue/cache gauges are instantaneous levels,
+        passed through exactly as in :meth:`snapshot`.
+        """
+        now = self.clock.now()
+        with self._lock:
+            window = max(now - self._win_opened, 0.0)
+            batches = self._win_batches_dispatched
+            width_summary = latency_summary(self._win_widths)
+            lookups = cache_hits + cache_misses
+            result_lookups = result_cache_hits + result_cache_misses
+            snapshot = ServingStatsSnapshot(
+                requests_completed=self._win_requests_completed,
+                requests_failed=self._win_requests_failed,
+                requests_rejected=requests_rejected,
+                requests_shed=requests_shed,
+                nodes_completed=self._win_nodes_completed,
+                batches_dispatched=batches,
+                avg_batch_nodes=(
+                    self._win_nodes_completed / batches if batches else 0.0
+                ),
+                avg_batch_requests=(
+                    self._win_batch_requests / batches if batches else 0.0
+                ),
+                batch_width_p50=width_summary.p50,
+                batch_width_p95=width_summary.p95,
+                batch_policy=batch_policy,
+                controller_adjustments=controller_adjustments,
+                throughput_nodes_per_second=(
+                    self._win_nodes_completed / window if window > 0 else 0.0
+                ),
+                latency=latency_summary(self._win_latencies),
+                queue_wait=latency_summary(self._win_queue_waits),
+                queue_depth=queue_depth,
+                queue_max_depth=queue_max_depth,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+                cache_entries=cache_entries,
+                macs=self._win_macs.merged_with(MACBreakdown()),
+                timings=self._win_timings.merged_with(TimingBreakdown()),
+                per_worker={},
+                requests_replayed=self._win_requests_replayed,
+                nodes_replayed=self._win_nodes_replayed,
+                batches_replayed=self._win_batches_replayed,
+                replayed_macs=self._win_replayed_macs.merged_with(MACBreakdown()),
+                result_cache_hits=result_cache_hits,
+                result_cache_misses=result_cache_misses,
+                result_cache_hit_rate=(
+                    result_cache_hits / result_lookups if result_lookups else 0.0
+                ),
+                result_cache_entries=result_cache_entries,
+            )
+            if reset:
+                self._reset_window_locked(now)
+            return snapshot
 
     def snapshot(
         self,

@@ -24,7 +24,7 @@ See ``docs/sharding.md`` for the guided tour and
 behind ``BENCH_sharding.json``.
 """
 
-from .partitioner import GraphPartitioner, ShardPlan
+from .partitioner import GraphPartitioner, ShardPlan, plan_replicas_for_load
 from .predictor import ShardEngine, ShardServingView, ShardedPredictor
 from .router import RoutedRequest, RoutedResponse, ShardRouter
 from .stationary import (
@@ -42,6 +42,7 @@ __all__ = [
     "RoutedResponse",
     "ShardEngine",
     "ShardPlan",
+    "plan_replicas_for_load",
     "ShardRouter",
     "ShardServingView",
     "ShardTraffic",

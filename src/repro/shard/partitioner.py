@@ -105,6 +105,28 @@ class ShardPlan:
         """Return a copy of the plan stamped with ``version``."""
         return replace(self, version=version)
 
+    def with_replicas(
+        self,
+        replicas: tuple[tuple[int, ...], ...],
+        *,
+        version: int | None = None,
+    ) -> "ShardPlan":
+        """Return a copy with a new replica map (and optionally version).
+
+        Ownership is untouched — moving replicas never moves data, which
+        is what lets the rebalance advisor propose a plan the router can
+        install without repartitioning.
+        """
+        if len(replicas) != self.num_shards:
+            raise GraphConstructionError(
+                f"replica map covers {len(replicas)} shards, plan has "
+                f"{self.num_shards}"
+            )
+        replicas = tuple(tuple(int(r) for r in rail_ids) for rail_ids in replicas)
+        if version is None:
+            return replace(self, replicas=replicas)
+        return replace(self, replicas=replicas, version=version)
+
     def shard_of(self, node_ids: np.ndarray) -> np.ndarray:
         """Owning shard of every node in ``node_ids``."""
         return self.owner[np.asarray(node_ids, dtype=np.int64)]
@@ -112,6 +134,36 @@ class ShardPlan:
     def shard_sizes(self) -> list[int]:
         """Number of owned nodes per shard."""
         return [int(ids.shape[0]) for ids in self.owned]
+
+
+def plan_replicas_for_load(
+    load,
+    *,
+    base: int,
+    boost: int,
+    hot_fraction: float,
+) -> tuple[tuple[int, ...], ...]:
+    """Load-ranked replica placement, shared by partitioner and advisor.
+
+    Every shard gets rails ``0 .. base-1``; the hottest ``hot_fraction``
+    of shards by ``load`` — at least one whenever ``boost > 0``, ties to
+    the lower shard id — get ``boost`` extra rails on top.  ``load`` may
+    be any per-shard non-negative weight: accumulated degree at partition
+    time, windowed rows-per-second when the rebalance advisor re-plans
+    from observations.
+    """
+    load = np.asarray(load, dtype=np.float64)
+    num_shards = int(load.shape[0])
+    if boost == 0:
+        return tuple(tuple(range(base)) for _ in range(num_shards))
+    num_hot = min(num_shards, max(1, math.ceil(hot_fraction * num_shards)))
+    # Hottest first; load ties break to the lower shard id.
+    ranked = np.lexsort((np.arange(num_shards), -load))
+    hot = set(int(shard) for shard in ranked[:num_hot])
+    return tuple(
+        tuple(range(base + (boost if shard in hot else 0)))
+        for shard in range(num_shards)
+    )
 
 
 class GraphPartitioner:
@@ -156,22 +208,14 @@ class GraphPartitioner:
         get ``hot_shard_boost`` extra rails on top.
         """
         config = self.config
-        base = config.replication_factor
-        if config.hot_shard_boost == 0:
-            return tuple(tuple(range(base)) for _ in range(config.num_shards))
-        degrees = graph.degrees()
         load = np.zeros(config.num_shards, dtype=np.float64)
-        np.add.at(load, owner, degrees)
-        num_hot = min(
-            config.num_shards,
-            max(1, math.ceil(config.hot_shard_fraction * config.num_shards)),
-        )
-        # Hottest first; degree ties break to the lower shard id.
-        ranked = np.lexsort((np.arange(config.num_shards), -load))
-        hot = set(int(shard) for shard in ranked[:num_hot])
-        return tuple(
-            tuple(range(base + (config.hot_shard_boost if shard in hot else 0)))
-            for shard in range(config.num_shards)
+        if config.hot_shard_boost > 0:
+            np.add.at(load, owner, graph.degrees())
+        return plan_replicas_for_load(
+            load,
+            base=config.replication_factor,
+            boost=config.hot_shard_boost,
+            hot_fraction=config.hot_shard_fraction,
         )
 
     # ------------------------------------------------------------------ #

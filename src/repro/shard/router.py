@@ -52,6 +52,7 @@ from ..serving.clock import Clock
 from ..serving.controller import build_controller
 from ..serving.queue import InferenceRequest, ServingResponse
 from ..serving.server import InferenceServer
+from ..serving.stats import ServingStatsSnapshot
 from .predictor import ShardedPredictor
 from .stats import ShardedStatsSnapshot, merge_serving_snapshots
 
@@ -423,6 +424,34 @@ class ShardRouter:
         publish_sharded_snapshot(self.registry, snapshot)
         publish_transport_traffic(self.registry, self.traffic())
         return snapshot
+
+    def interval_latency_samples(self) -> dict[int, tuple[float, ...]]:
+        """Per-shard raw request latencies of the current interval window.
+
+        Non-destructive; read these *before* :meth:`interval_stats` (which
+        resets the window by default).  Covers the active generation.
+        """
+        return {
+            shard_id: server.interval_latency_samples()
+            for shard_id, server in self._active.servers.items()
+        }
+
+    def interval_stats(
+        self, *, reset: bool = True
+    ) -> dict[int, ServingStatsSnapshot]:
+        """Per-shard statistics since the last interval reset.
+
+        The windowed-delta surface behind
+        :class:`~repro.obs.monitor.HealthMonitor`: each call returns what
+        each active-generation server did since the previous call (with
+        ``reset=True``, the default).  During a rollout the freshly
+        installed generation starts with empty intervals; the draining
+        generation's tail is accounted in :meth:`rollout_state`, not here.
+        """
+        return {
+            shard_id: server.interval_stats(reset=reset)
+            for shard_id, server in self._active.servers.items()
+        }
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the fleet's metrics registry.

@@ -254,6 +254,8 @@ class ShardedGraphStore:
         retry_policy=None,
         clock=None,
         probe_after_rounds: int = 4,
+        route_by: str = "rows",
+        latency_window_seconds: float = 30.0,
     ) -> "ShardedGraphStore":
         """Route fetches through replica rails under the plan's replica map.
 
@@ -263,7 +265,10 @@ class ShardedGraphStore:
         shard blocks (shared, read-only — the in-process stand-in for a
         replicated fleet).  Returns the store; the installed transport is a
         :class:`~repro.transport.ReplicatedTransport` honoring
-        ``plan.replicas``, ``retry_policy`` and ``probe_after_rounds``.
+        ``plan.replicas``, ``retry_policy`` and ``probe_after_rounds``;
+        ``route_by="latency"`` spreads reads by windowed per-replica
+        latency instead of rows served (see
+        :class:`~repro.transport.ReplicatedTransport`).
         """
         from ..transport.replica import ReplicatedTransport
 
@@ -280,6 +285,8 @@ class ShardedGraphStore:
                 retry_policy=retry_policy,
                 clock=clock,
                 probe_after_rounds=probe_after_rounds,
+                route_by=route_by,
+                latency_window_seconds=latency_window_seconds,
             )
         )
 

@@ -59,6 +59,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError, TransportError
+from ..obs.monitor import SlidingWindow
 from ..serving.clock import MONOTONIC_CLOCK, Clock
 from .base import RequestBatch, ShardTransport
 from .retry import RetryPolicy, call_with_retry
@@ -74,6 +75,8 @@ class _Replica:
     rows_served: int = 0
     #: Shard-round at which this endpoint was last marked unhealthy.
     marked_round: int = 0
+    #: Windowed sub-round latency of this endpoint (latency routing only).
+    latency_window: SlidingWindow | None = None
 
 
 class ReplicatedTransport(ShardTransport):
@@ -97,6 +100,19 @@ class ReplicatedTransport(ShardTransport):
     probe_after_rounds:
         How many selection rounds on a shard an unhealthy replica sits out
         before routing re-admits it on probation.
+    route_by:
+        ``"rows"`` (default) picks the live replica that served the fewest
+        rows — exact, free, and blind to *how fast* replicas answer.
+        ``"latency"`` picks the replica with the lowest windowed mean
+        sub-round latency (measured on the injectable clock), so a slow
+        rail — cold cache, noisy neighbour, long haul — organically sheds
+        read traffic to its faster siblings.  Replicas are byte-identical,
+        so the routing policy can never change results, only placement.
+    latency_window_seconds / latency_window_buckets:
+        Span and granularity of the per-endpoint latency window.  An
+        endpoint with no samples in the window reads as 0 and is probed
+        first (ties fall back to rows served, then rail id — still fully
+        deterministic).
     """
 
     def __init__(
@@ -107,6 +123,9 @@ class ReplicatedTransport(ShardTransport):
         retry_policy: RetryPolicy | None = None,
         clock: Clock | None = None,
         probe_after_rounds: int = 4,
+        route_by: str = "rows",
+        latency_window_seconds: float = 30.0,
+        latency_window_buckets: int = 6,
     ) -> None:
         super().__init__()
         self.rails = list(rails)
@@ -142,6 +161,10 @@ class ReplicatedTransport(ShardTransport):
                         f"shard {shard_id} lists rail {rail_id}, but only "
                         f"{len(self.rails)} rails exist"
                     )
+        if route_by not in ("rows", "latency"):
+            raise ConfigurationError(
+                f"route_by must be 'rows' or 'latency', got {route_by!r}"
+            )
         self._num_shards = num_shards
         self.replica_map = replicas
         self.retry_policy = (
@@ -149,8 +172,25 @@ class ReplicatedTransport(ShardTransport):
         )
         self.clock = clock if clock is not None else MONOTONIC_CLOCK
         self.probe_after_rounds = probe_after_rounds
+        self.route_by = route_by
         self._replicas: list[list[_Replica]] = [
-            [_Replica(shard_id=shard_id, rail_id=rail_id) for rail_id in rail_ids]
+            [
+                _Replica(
+                    shard_id=shard_id,
+                    rail_id=rail_id,
+                    latency_window=(
+                        SlidingWindow(
+                            latency_window_seconds,
+                            num_buckets=latency_window_buckets,
+                            clock=self.clock,
+                            sample_cap=256,
+                        )
+                        if route_by == "latency"
+                        else None
+                    ),
+                )
+                for rail_id in rail_ids
+            ]
             for shard_id, rail_ids in enumerate(replicas)
         ]
         self._shard_rounds = [0] * num_shards
@@ -187,6 +227,7 @@ class ReplicatedTransport(ShardTransport):
         for rail_id in sorted(by_rail):
             positions = by_rail[rail_id]
             sub_requests = [requests[position] for position in positions]
+            started = self.clock.now() if self.route_by == "latency" else 0.0
             try:
                 answers = self._fetch_rail(rail_id, op, sub_requests)
             except TransportError as error:
@@ -210,6 +251,12 @@ class ReplicatedTransport(ShardTransport):
                         cause=error,
                     )
                 continue
+            if self.route_by == "latency":
+                # Every request of the sub-round experienced the whole
+                # round; attribute its duration to each endpoint once.
+                elapsed = self.clock.now() - started
+                for replica in {id(picks[p]): picks[p] for p in positions}.values():
+                    replica.latency_window.observe(elapsed)
             for position, answer in zip(positions, answers):
                 self._mark_served(picks[position], requests[position][1])
                 payloads[position] = answer
@@ -259,6 +306,19 @@ class ReplicatedTransport(ShardTransport):
             or shard_round - replica.marked_round >= self.probe_after_rounds
         ]
         if live:
+            if self.route_by == "latency":
+                # Fastest windowed endpoint wins; an endpoint with no
+                # recent samples reads 0 and gets probed.  Ties (both
+                # cold, or equally fast) fall back to the rows-served
+                # order, so the policy stays deterministic.
+                return min(
+                    live,
+                    key=lambda r: (
+                        r.latency_window.mean(),
+                        r.rows_served,
+                        r.rail_id,
+                    ),
+                )
             return min(live, key=lambda r: (r.rows_served, r.rail_id))
         # Every remaining replica is freshly unhealthy: probe the one that
         # has been down the longest (the all-replicas-dead last resort).
@@ -346,6 +406,7 @@ class ReplicatedTransport(ShardTransport):
                     to_rail=replica.rail_id,
                     error=str(last_error),
                 )
+            started = self.clock.now() if self.route_by == "latency" else 0.0
             try:
                 answers = self._fetch_rail(replica.rail_id, op, [(shard_id, rows)])
             except TransportError as error:
@@ -353,6 +414,8 @@ class ReplicatedTransport(ShardTransport):
                 self._mark_unhealthy(replica)
                 tried.add(replica.rail_id)
                 continue
+            if self.route_by == "latency":
+                replica.latency_window.observe(self.clock.now() - started)
             self._mark_served(replica, rows)
             return answers[0]
 
@@ -368,6 +431,15 @@ class ReplicatedTransport(ShardTransport):
                         "rail": replica.rail_id,
                         "healthy": replica.healthy,
                         "rows_served": replica.rows_served,
+                        **(
+                            {
+                                "latency_mean_window": (
+                                    replica.latency_window.mean()
+                                )
+                            }
+                            if replica.latency_window is not None
+                            else {}
+                        ),
                     }
                     for replica in endpoint_list
                 ]
@@ -382,6 +454,7 @@ class ReplicatedTransport(ShardTransport):
         return {
             "num_rails": len(self.rails),
             "probe_after_rounds": self.probe_after_rounds,
+            "route_by": self.route_by,
             "retry_policy": {
                 "max_attempts": self.retry_policy.max_attempts,
                 "backoff_base_seconds": self.retry_policy.backoff_base_seconds,

@@ -1,0 +1,97 @@
+"""Smoke test for the monitoring benchmark.
+
+Runs ``benchmarks/bench_monitor.py --quick`` end to end so tier-1 catches
+regressions in the monitor-overhead gate, the monitored-vs-bare
+equivalence assertions and the alert → rebalance → recovery loop.  Serving
+threads and real sleeps are involved, so the run is guarded by the same
+watchdog style the transport suite uses.  The real numbers come from the
+full run, which writes ``BENCH_monitor.json``.
+"""
+
+import faulthandler
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+#: The bench runs the overhead workload ten times (two modes, five
+#: repeats) plus the auto-rebalance loop twice — the unmonitored pass
+#: keeps paying the injected 50ms hot-shard delay, so it dominates.
+#: REPRO_WATCHDOG_SECONDS scales the budget for slow CI runners.
+WATCHDOG_SECONDS = 300.0 * max(
+    1.0, float(os.environ.get("REPRO_WATCHDOG_SECONDS", "90")) / 90.0
+)
+
+
+def _dump_and_abort() -> None:  # pragma: no cover - only fires on a hang
+    sys.stderr.write(
+        f"\n*** monitor-bench watchdog fired after {WATCHDOG_SECONDS}s ***\n"
+    )
+    faulthandler.dump_traceback(all_threads=True)
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def bench_watchdog():
+    timer = threading.Timer(WATCHDOG_SECONDS, _dump_and_abort)
+    timer.daemon = True
+    timer.start()
+    yield
+    timer.cancel()
+
+
+@pytest.mark.monitor_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_monitor
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    assert bench_monitor.main(["--quick", "--output", str(output)]) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    suites = {record["suite"] for record in report["suites"]}
+    assert suites == {"monitor_overhead", "auto_rebalance_loop"}
+
+    (overhead,) = [
+        r for r in report["suites"] if r["suite"] == "monitor_overhead"
+    ]
+    assert overhead["predictions_identical"]
+    assert overhead["depths_identical"]
+    assert overhead["macs_identical"]
+    assert overhead["monitor_overhead_within_slo"]
+    assert overhead["monitored_throughput_ratio"] >= overhead["overhead_slo"]
+    assert overhead["monitor_ticks"] > 1  # the monitored mode really ticked
+    assert overhead["run_macs"] > 0
+
+    (loop,) = [
+        r for r in report["suites"] if r["suite"] == "auto_rebalance_loop"
+    ]
+    assert loop["alert_states"] == ["pending", "firing", "resolved"]
+    assert loop["installs"] == 1
+    assert loop["plan_versions_served"] == [0, 1]
+    hot = str(loop["hot_shard"])
+    assert loop["boosted_diff"]["boosted"][hot] == {"from": 1, "to": 2}
+    assert loop["failed_requests"] == 0
+    # The congested window breached the SLO; the rebalanced one meets it.
+    assert loop["congested_p95_seconds"] > loop["slo_threshold_seconds"]
+    assert loop["recovered_p95_seconds"] < loop["slo_threshold_seconds"]
+    assert loop["p95_recovered_within_slo"]
+    assert loop["predictions_identical"]
+    assert loop["depths_identical"]
+    assert loop["macs_identical"]
+
+    aggregate = report["aggregate"]
+    assert aggregate["all_predictions_identical"]
+    assert aggregate["all_depths_identical"]
+    assert aggregate["all_macs_identical"]
+    assert aggregate["monitor_overhead_within_slo"]
+    assert aggregate["all_alerts_resolved"]
+    assert aggregate["all_p95_recovered_within_slo"]

@@ -18,14 +18,16 @@ class TestCounter:
         with pytest.raises(ConfigurationError):
             counter.inc(-1)
 
-    def test_set_total_resyncs_but_never_backwards(self):
+    def test_set_total_resyncs_and_rebases_on_counter_reset(self):
         counter = MetricsRegistry().counter("rows_total")
         counter.set_total(10)
         counter.set_total(10)
         counter.set_total(12)
         assert counter.value == 12.0
-        with pytest.raises(ConfigurationError):
-            counter.set_total(11)
+        # A lower total is the Prometheus counter-reset semantic: a rollout
+        # swapped in a fresh generation whose accumulators restart at zero.
+        counter.set_total(3)
+        assert counter.value == 3.0
 
 
 class TestGauge:
@@ -92,6 +94,47 @@ class TestPrometheusText:
         assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
         assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
         assert "repro_lat_seconds_count 1" in text
+
+
+class TestPrometheusEscaping:
+    """Hostile label values and ``# HELP`` lines survive exposition."""
+
+    def test_hostile_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", path='a"b\\c\nd').inc(3)
+        text = prometheus_text(registry)
+        # Backslash doubles first, then the quote and the newline escape —
+        # the order that keeps the scrape parseable.
+        assert 'm_total{path="a\\"b\\\\c\\nd"} 3' in text
+        # No raw newline may leak into the sample line.
+        sample = next(line for line in text.splitlines() if line.startswith("m_"))
+        assert sample == 'm_total{path="a\\"b\\\\c\\nd"} 3'
+
+    def test_help_lines_default_and_custom(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total").inc()
+        registry.gauge("g")
+        registry.set_help("g", "Queue depth right now")
+        text = prometheus_text(registry)
+        assert "# HELP m_total counter m_total" in text  # default text
+        assert "# HELP g Queue depth right now" in text
+        assert text.index("# HELP g") < text.index("# TYPE g gauge")
+
+    def test_help_text_is_escaped_but_keeps_quotes(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        registry.set_help("g", 'rows "served"\nper \\ second')
+        text = prometheus_text(registry)
+        # HELP escaping covers backslash and newline only; quotes stay.
+        assert '# HELP g rows "served"\\nper \\\\ second' in text
+
+    def test_help_emitted_once_per_name_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", shard="0").inc()
+        registry.counter("m_total", shard="1").inc()
+        text = prometheus_text(registry)
+        assert text.count("# HELP m_total") == 1
+        assert text.count("# TYPE m_total") == 1
 
 
 class TestPublishers:

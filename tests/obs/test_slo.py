@@ -1,0 +1,236 @@
+"""Burn-rate math and the pending → firing → resolved alert lifecycle."""
+
+import logging
+
+import pytest
+
+from repro.core import MonitorConfig
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    FIRING,
+    PENDING,
+    RESOLVED,
+    SLO,
+    FleetHealth,
+    LogAlertSink,
+    MemoryAlertSink,
+    SLOEngine,
+    slos_from_config,
+)
+from repro.metrics.timing import latency_summary
+from repro.serving.clock import FakeClock
+
+
+def _health(samples=(), completed=None, failed=0):
+    """A minimal FleetHealth carrying only the interval delta fields."""
+    if completed is None:
+        completed = len(samples)
+    return FleetHealth(
+        at=0.0,
+        plan_version=0,
+        per_shard={},
+        latency=latency_summary(list(samples)),
+        request_rate=0.0,
+        failure_rate=0.0,
+        transport_retry_rate=0.0,
+        transport_failover_rate=0.0,
+        remote_byte_rate=0.0,
+        interval_latency_samples=tuple(samples),
+        interval_completed=completed,
+        interval_failed=failed,
+    )
+
+
+def latency_slo(**overrides):
+    spec = dict(
+        name="latency",
+        objective="latency",
+        threshold_seconds=0.1,
+        budget_fraction=0.05,
+        fast_window_seconds=60.0,
+        slow_window_seconds=3600.0,
+        burn_rate_threshold=1.0,
+        for_seconds=0.0,
+        resolve_after_seconds=30.0,
+        min_events=1,
+    )
+    spec.update(overrides)
+    return SLO(**spec)
+
+
+class TestBurnRates:
+    def test_latency_burn_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        engine = SLOEngine([latency_slo()], clock=clock)
+        # 1 bad sample out of 10 with a 5% budget: burn = 0.1 / 0.05 = 2.
+        engine.ingest(_health(samples=(0.5,) + (0.01,) * 9))
+        assert engine.burn_rates("latency") == (pytest.approx(2.0),) * 2
+
+    def test_error_rate_burn_counts_failures(self):
+        clock = FakeClock()
+        slo = latency_slo(
+            name="errors", objective="error_rate", threshold_seconds=0.0,
+            budget_fraction=0.01,
+        )
+        engine = SLOEngine([slo], clock=clock)
+        engine.ingest(_health(completed=98, failed=2))
+        # 2/100 failures over a 1% budget: burn 2.
+        assert engine.burn_rates("errors")[0] == pytest.approx(2.0)
+
+    def test_empty_windows_burn_zero(self):
+        engine = SLOEngine([latency_slo()], clock=FakeClock())
+        assert engine.burn_rates("latency") == (0.0, 0.0)
+        assert engine.evaluate() == []
+        assert engine.state_of("latency") == RESOLVED
+
+    def test_fast_window_forgets_old_badness(self):
+        clock = FakeClock()
+        engine = SLOEngine([latency_slo()], clock=clock)
+        engine.ingest(_health(samples=(0.5, 0.5)))
+        clock.advance(61.0)
+        engine.ingest(_health(samples=(0.01,) * 3))
+        burn_fast, burn_slow = engine.burn_rates("latency")
+        assert burn_fast == 0.0  # bad events aged out of the 60s window
+        assert burn_slow == pytest.approx((2 / 5) / 0.05)  # 1h window keeps them
+
+
+class TestAlertLifecycle:
+    def test_zero_for_seconds_fires_in_one_evaluation(self):
+        clock = FakeClock()
+        sink = MemoryAlertSink()
+        engine = SLOEngine([latency_slo()], sinks=[sink], clock=clock)
+        transitions = engine.tick(_health(samples=(0.5, 0.5)))
+        assert [a.state for a in transitions] == [PENDING, FIRING]
+        assert sink.states("latency") == [PENDING, FIRING]
+        assert engine.firing() == ["latency"]
+
+    def test_for_seconds_delays_firing(self):
+        clock = FakeClock()
+        engine = SLOEngine([latency_slo(for_seconds=10.0)], clock=clock)
+        engine.tick(_health(samples=(0.5,)))
+        assert engine.state_of("latency") == PENDING
+        clock.advance(9.0)
+        engine.tick(_health(samples=(0.5,)))
+        assert engine.state_of("latency") == PENDING
+        clock.advance(1.0)
+        (alert,) = engine.tick(_health(samples=(0.5,)))
+        assert alert.state == FIRING
+
+    def test_pending_that_clears_resolves_silently(self):
+        clock = FakeClock()
+        sink = MemoryAlertSink()
+        engine = SLOEngine(
+            [latency_slo(for_seconds=10.0)], sinks=[sink], clock=clock
+        )
+        engine.tick(_health(samples=(0.5,)))
+        clock.advance(61.0)  # condition ages out before for_seconds matured
+        engine.tick(_health(samples=(0.01,)))
+        assert engine.state_of("latency") == RESOLVED
+        assert sink.states("latency") == [PENDING]  # no firing, no resolved
+
+    def test_min_events_gates_the_condition(self):
+        clock = FakeClock()
+        engine = SLOEngine([latency_slo(min_events=5)], clock=clock)
+        engine.tick(_health(samples=(0.5, 0.5)))
+        assert engine.state_of("latency") == RESOLVED
+        engine.tick(_health(samples=(0.5, 0.5, 0.5)))
+        assert engine.state_of("latency") == FIRING
+
+    def test_firing_resolves_after_sustained_clear(self):
+        clock = FakeClock()
+        sink = MemoryAlertSink()
+        engine = SLOEngine([latency_slo()], sinks=[sink], clock=clock)
+        engine.tick(_health(samples=(0.5, 0.5)))
+        assert engine.state_of("latency") == FIRING
+        clock.advance(61.0)  # badness leaves the fast window
+        engine.tick(_health(samples=(0.01,)))
+        assert engine.state_of("latency") == FIRING  # hysteresis: not yet
+        clock.advance(30.0)
+        engine.tick(_health(samples=(0.01,)))
+        assert engine.state_of("latency") == RESOLVED
+        assert sink.states("latency") == [PENDING, FIRING, RESOLVED]
+
+    def test_flapping_condition_rearms_the_resolve_clock(self):
+        clock = FakeClock()
+        engine = SLOEngine([latency_slo()], clock=clock)
+        engine.tick(_health(samples=(0.5, 0.5)))
+        clock.advance(61.0)
+        engine.tick(_health(samples=(0.01,)))  # clear starts
+        clock.advance(10.0)
+        engine.tick(_health(samples=(0.5, 0.5)))  # condition returns
+        clock.advance(25.0)
+        engine.tick(_health(samples=(0.01,) * 20))
+        # 25s since the flap is under resolve_after_seconds=30: still firing.
+        assert engine.state_of("latency") == FIRING
+
+
+class TestSinksAndConfig:
+    def test_memory_sink_filters_by_slo(self):
+        clock = FakeClock()
+        sink = MemoryAlertSink()
+        engine = SLOEngine(
+            [
+                latency_slo(),
+                latency_slo(name="errors", objective="error_rate",
+                            threshold_seconds=0.0, budget_fraction=0.01),
+            ],
+            sinks=[sink],
+            clock=clock,
+        )
+        engine.tick(_health(samples=(0.5,), completed=0, failed=1))
+        assert sink.states("latency") == [PENDING, FIRING]
+        assert sink.states("errors") == [PENDING, FIRING]
+        assert len(sink.states()) == 4
+
+    def test_log_sink_writes_transitions(self, caplog):
+        sink = LogAlertSink()
+        engine = SLOEngine([latency_slo()], sinks=[sink], clock=FakeClock())
+        with caplog.at_level(logging.INFO, logger="repro.obs.slo"):
+            engine.tick(_health(samples=(0.5,)))
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("pending" in m for m in messages)
+        assert any("firing" in m for m in messages)
+        firing = next(r for r in caplog.records if "firing" in r.getMessage())
+        assert firing.levelno == logging.WARNING
+
+    def test_slos_from_config_builds_the_declared_objectives(self):
+        assert slos_from_config(MonitorConfig()) == []  # both disabled
+        config = MonitorConfig(
+            latency_slo_threshold_seconds=0.2,
+            error_slo_budget_fraction=0.01,
+            burn_rate_threshold=2.0,
+            min_alert_events=4,
+        )
+        slos = {slo.name: slo for slo in slos_from_config(config)}
+        assert set(slos) == {"latency", "error_rate"}
+        assert slos["latency"].threshold_seconds == 0.2
+        assert slos["latency"].burn_rate_threshold == 2.0
+        assert slos["error_rate"].budget_fraction == 0.01
+        assert slos["error_rate"].min_events == 4
+
+    def test_duplicate_slo_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SLOEngine([latency_slo(), latency_slo()], clock=FakeClock())
+
+    def test_describe_reports_state_and_burns(self):
+        engine = SLOEngine([latency_slo()], clock=FakeClock())
+        engine.tick(_health(samples=(0.5,)))
+        description = engine.describe()
+        assert description["latency"]["state"] == FIRING
+        assert description["latency"]["burn_fast"] == pytest.approx(20.0)
+
+    def test_slo_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLO(name="", objective="latency", threshold_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", objective="availability")
+        with pytest.raises(ConfigurationError):
+            SLO(name="x", objective="latency", threshold_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            latency_slo(budget_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            latency_slo(slow_window_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            latency_slo(burn_rate_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            latency_slo(min_events=0)
