@@ -245,6 +245,17 @@ class ServingConfig:
     latency_sample_cap:
         Maximum number of per-request latency samples retained for the
         percentile statistics (oldest samples are dropped first).
+    prefetch_depth:
+        Number of speculative support fetches the asynchronous prefetch
+        pipeline (:class:`~repro.serving.prefetch.PrefetchPipeline`) may
+        have outstanding.  ``0`` (default) disables prefetch — the
+        dispatcher builds cache-missed bundles inline, serializing
+        transport fetch with compute.  Positive values hand misses to that
+        many background fetcher threads so batch N+1's cross-shard fetch
+        rounds overlap batch N's compute; served results stay bit-identical
+        (bundles are canonical-key interchangeable and sampling executes no
+        MACs).  Requires the supporting-subgraph cache, i.e. the
+        ``"thread"`` backend, the fused engine and ``cache_capacity > 0``.
     """
 
     num_workers: int = 4
@@ -264,6 +275,7 @@ class ServingConfig:
     cache_capacity: int = 64
     result_cache_capacity: int = 0
     latency_sample_cap: int = 100_000
+    prefetch_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -345,6 +357,10 @@ class ServingConfig:
         if self.latency_sample_cap < 1:
             raise ConfigurationError(
                 f"latency_sample_cap must be positive, got {self.latency_sample_cap}"
+            )
+        if self.prefetch_depth < 0:
+            raise ConfigurationError(
+                f"prefetch_depth must be non-negative, got {self.prefetch_depth}"
             )
 
     def with_updates(self, **kwargs) -> "ServingConfig":

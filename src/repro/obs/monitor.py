@@ -167,16 +167,41 @@ class SlidingWindow:
         with self._lock:
             return sum(bucket.count for bucket in self._live_locked(now))
 
+    def _covered_locked(self, now: float) -> float:
+        """Span actually covered by the live buckets at ``now``.
+
+        The ring holds the buckets of epochs ``[current - num_buckets + 1,
+        current]``, and the current epoch's bucket is only *partially*
+        elapsed — right after a rollover the oldest full bucket has just
+        been reclaimed, so the live span is ``now`` minus the start of the
+        oldest live epoch, not the full ``window_seconds``.  Dividing by
+        the window there over-divides every rate by up to one bucket span
+        (the pre-fix bug).  Floored at one span so a reading taken moments
+        after start/reset is a per-bucket average, not a spike.
+        """
+        window_start = (
+            int(now // self._span) - self.num_buckets + 1
+        ) * self._span
+        covered = now - max(self._started, window_start)
+        return min(self.window_seconds, max(covered, self._span))
+
     def covered_seconds(self) -> float:
         """Wall span the window currently covers (ramps up after start)."""
         now = self.clock.now()
         with self._lock:
-            elapsed = now - self._started
-        return min(self.window_seconds, max(elapsed, self._span))
+            return self._covered_locked(now)
 
     def rate(self) -> float:
-        """Windowed total per second of covered window span."""
-        return self.total() / self.covered_seconds()
+        """Windowed total per second of covered window span.
+
+        Total and covered span are read under one lock at one ``now`` —
+        two separate reads could straddle a bucket rollover and pair a new
+        window's total with the old window's span.
+        """
+        now = self.clock.now()
+        with self._lock:
+            total = sum(bucket.total for bucket in self._live_locked(now))
+            return total / self._covered_locked(now)
 
     def mean(self) -> float:
         """Mean of the observed samples inside the window (0 when empty)."""

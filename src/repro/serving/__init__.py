@@ -15,6 +15,9 @@ offline :class:`~repro.core.NAIPredictor` into that service:
   recurring batches of a streaming workload;
 * :class:`WorkerPool` — thread (default) or fork-process workers, each
   owning a private :class:`~repro.core.inference.BatchEngine`;
+* :class:`PrefetchPipeline` — background fetchers that overlap a sharded
+  deployment's cross-shard support fetch rounds with the pool's compute
+  (``ServingConfig.prefetch_depth``; see ``docs/prefetch.md``);
 * :class:`InferenceServer` — the glue, exposing ``submit`` / ``result``
   semantics plus a :class:`ServingStatsSnapshot` observability surface
   (throughput, p50/p95/p99 latency, cache hit rate, queue depth).
@@ -25,8 +28,9 @@ for the throughput/equivalence benchmark behind ``BENCH_serving.json``.
 """
 
 from .batcher import MicroBatch, MicroBatcher
-from .cache import CachedResult, ResultCache, SubgraphCache
+from .cache import CacheCounters, CachedResult, ResultCache, SubgraphCache
 from .clock import MONOTONIC_CLOCK, Clock, FakeClock, MonotonicClock
+from .prefetch import BusyTracker, PrefetchPipeline, PrefetchTask
 from .controller import (
     BatchController,
     BatchLimits,
@@ -50,6 +54,8 @@ __all__ = [
     "MONOTONIC_CLOCK",
     "BatchController",
     "BatchLimits",
+    "BusyTracker",
+    "CacheCounters",
     "CachedResult",
     "Clock",
     "FakeClock",
@@ -60,6 +66,8 @@ __all__ = [
     "MicroBatch",
     "MicroBatcher",
     "MonotonicClock",
+    "PrefetchPipeline",
+    "PrefetchTask",
     "QueuePressurePolicy",
     "RequestQueue",
     "ResultCache",

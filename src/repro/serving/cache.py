@@ -42,6 +42,32 @@ from ..exceptions import ConfigurationError
 from ..graph.sampling import support_cache_key
 
 
+@dataclass(frozen=True)
+class CacheCounters:
+    """One consistent reading of a cache's counters, taken under its lock.
+
+    Reading ``hits``, ``misses`` and ``len(cache)`` as three separate
+    attribute accesses lets concurrent lookups advance the counters between
+    reads, producing snapshots where e.g. ``hits + misses`` disagrees with
+    the hit rate that was ever true at any instant.  :meth:`_LruCache.
+    counters` takes all of them atomically; the serving stats snapshot
+    consumes this instead of piecewise reads.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
 class _LruCache:
     """Thread-safe LRU with hit/miss/eviction accounting (shared machinery).
 
@@ -91,6 +117,31 @@ class _LruCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def peek(self, key: bytes):
+        """Like :meth:`get` but without hit/miss accounting.
+
+        The prefetch pipeline re-checks keys whose miss the dispatcher
+        already counted (a sibling fetch may have inserted the bundle in the
+        meantime); counting that second lookup would double-book the stats
+        relative to serialized execution.  Recency is still refreshed — the
+        entry is about to be used.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def counters(self) -> CacheCounters:
+        """All counters in one consistent reading (see :class:`CacheCounters`)."""
+        with self._lock:
+            return CacheCounters(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._entries),
+            )
 
     def __len__(self) -> int:
         with self._lock:

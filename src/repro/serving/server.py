@@ -31,12 +31,13 @@ import numpy as np
 
 from ..core.config import ServingConfig
 from ..core.inference import NAIPredictor
-from ..exceptions import ServingError
+from ..exceptions import ConfigurationError, ServingError
 from ..graph.sampling import canonical_order
 from .batcher import MicroBatch, MicroBatcher
 from .cache import CachedResult, ResultCache, SubgraphCache
 from .clock import MONOTONIC_CLOCK, Clock
 from .controller import BatchController, build_controller
+from .prefetch import BusyTracker, PrefetchPipeline, PrefetchTask
 from .queue import InferenceRequest, RequestQueue, ServingResponse
 from .stats import ServingStats, ServingStatsSnapshot
 from .worker import WorkerPool, WorkItem, WorkOutput
@@ -94,6 +95,13 @@ class InferenceServer:
             and predictor.config.engine == "fused"
         ):
             self.cache = SubgraphCache(self.config.cache_capacity)
+        # Gate prefetch before any thread machinery spins up: the pipeline
+        # is a cache-fill path, so it needs the cache's own preconditions.
+        if self.config.prefetch_depth > 0 and self.cache is None:
+            raise ConfigurationError(
+                "prefetch_depth > 0 requires the supporting-subgraph cache: "
+                "backend='thread', the fused engine and cache_capacity > 0"
+            )
         # The opt-in result cache replays recorded per-node outputs for exact
         # canonical node-set repeats; it exchanges plain arrays only, so it
         # works with every backend and engine.
@@ -110,6 +118,20 @@ class InferenceServer:
         # misses (build_support touches no propagation buffers).
         self._sampler = predictor.make_engine() if self.cache is not None else None
         self._stats = ServingStats(self.config.latency_sample_cap, clock=self.clock)
+        # Asynchronous prefetch: cache misses are fetched by background
+        # fetcher threads so batch N+1's transport rounds overlap batch N's
+        # compute.  Needs the subgraph cache (same preconditions), because
+        # the pipeline *is* a cache-fill path.
+        self._busy: BusyTracker | None = None
+        self._prefetch: PrefetchPipeline | None = None
+        if self.config.prefetch_depth > 0:
+            self._busy = BusyTracker(self.clock)
+            self._prefetch = PrefetchPipeline(
+                make_engine=predictor.make_engine,
+                execute=self._prefetch_execute,
+                cancel=self._prefetch_cancel,
+                depth=self.config.prefetch_depth,
+            )
         self._request_ids = itertools.count()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
@@ -195,17 +217,21 @@ class InferenceServer:
 
     def stats(self) -> ServingStatsSnapshot:
         """Current throughput/latency/cache/queue statistics."""
+        # One consistent counter reading per cache (hits/misses/entries move
+        # together under the cache lock) instead of racy piecewise reads.
+        cache = self.cache.counters() if self.cache else None
+        results = self.result_cache.counters() if self.result_cache else None
         return self._stats.snapshot(
             queue_depth=self.queue.depth,
             queue_max_depth=self.queue.max_depth,
             requests_rejected=self.queue.rejected,
             requests_shed=self.queue.shed,
-            cache_hits=self.cache.hits if self.cache else 0,
-            cache_misses=self.cache.misses if self.cache else 0,
-            cache_entries=len(self.cache) if self.cache else 0,
-            result_cache_hits=self.result_cache.hits if self.result_cache else 0,
-            result_cache_misses=self.result_cache.misses if self.result_cache else 0,
-            result_cache_entries=len(self.result_cache) if self.result_cache else 0,
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            cache_entries=cache.entries if cache else 0,
+            result_cache_hits=results.hits if results else 0,
+            result_cache_misses=results.misses if results else 0,
+            result_cache_entries=results.entries if results else 0,
             batch_policy=self.controller.name,
             controller_adjustments=self.controller.adjustments,
         )
@@ -226,29 +252,40 @@ class InferenceServer:
         queue/cache gauges are the same instantaneous levels as
         :meth:`stats`.
         """
+        cache = self.cache.counters() if self.cache else None
+        results = self.result_cache.counters() if self.result_cache else None
         return self._stats.interval_snapshot(
             reset=reset,
             queue_depth=self.queue.depth,
             queue_max_depth=self.queue.max_depth,
             requests_rejected=self.queue.rejected,
             requests_shed=self.queue.shed,
-            cache_hits=self.cache.hits if self.cache else 0,
-            cache_misses=self.cache.misses if self.cache else 0,
-            cache_entries=len(self.cache) if self.cache else 0,
-            result_cache_hits=self.result_cache.hits if self.result_cache else 0,
-            result_cache_misses=self.result_cache.misses if self.result_cache else 0,
-            result_cache_entries=len(self.result_cache) if self.result_cache else 0,
+            cache_hits=cache.hits if cache else 0,
+            cache_misses=cache.misses if cache else 0,
+            cache_entries=cache.entries if cache else 0,
+            result_cache_hits=results.hits if results else 0,
+            result_cache_misses=results.misses if results else 0,
+            result_cache_entries=results.entries if results else 0,
             batch_policy=self.controller.name,
             controller_adjustments=self.controller.adjustments,
         )
 
-    def close(self) -> None:
-        """Serve everything already accepted, then stop all machinery."""
+    def close(self, *, abort: bool = False) -> None:
+        """Serve everything already accepted, then stop all machinery.
+
+        ``abort=True`` skips the drain: requests still queued — including
+        micro-batches whose support fetch is waiting in the prefetch
+        pipeline — are *failed* with :class:`~repro.exceptions.ServingError`
+        instead of served.  Batches already fetching or computing complete
+        normally, so every accepted request is answered one way or the
+        other; nothing strands.
+        """
         if self._closed:
             return
         self._accepting = False
         try:
-            self.drain()
+            if not abort:
+                self.drain()
         finally:
             self._closed = True
             self.queue.close()
@@ -264,6 +301,16 @@ class InferenceServer:
                     if self._inflight <= 0:
                         self._idle.notify_all()
             self._dispatcher.join()
+            # Stop the prefetch pipeline after the dispatcher (its last
+            # submitter) and before the pool (its downstream): in-flight
+            # fetches finish and submit, queued tasks are cancelled through
+            # _fail_micro_batch, which releases their in-flight slots.
+            if self._prefetch is not None:
+                cancelled = self._prefetch.stop(
+                    ServingError("server shut down before prefetch dispatch")
+                )
+                if cancelled:
+                    self._stats.record_prefetch_cancelled(cancelled)
             self.pool.shutdown()
 
     def __enter__(self) -> "InferenceServer":
@@ -338,10 +385,9 @@ class InferenceServer:
                     canonical_idx = np.empty_like(rank)
                     canonical_idx[rank] = np.arange(rank.shape[0], dtype=np.int64)
 
-                batch_ctx = compute_ctx = None
+                batch_ctx = None
                 if primary is not None:
                     batch_ctx = self.tracer.child(primary)
-                    compute_ctx = self.tracer.child(batch_ctx)
 
                 bundle = None
                 cache_hit = False
@@ -351,65 +397,166 @@ class InferenceServer:
                     key = self.cache.key_for(sorted_ids, depth)
                     bundle = self.cache.get(key)
                     cache_hit = bundle is not None
+                    if bundle is None and self._prefetch is not None:
+                        # Hand the fetch to the pipeline and move straight on
+                        # to coalescing the next micro-batch: its transport
+                        # rounds overlap the pool's compute (and each other,
+                        # at depth > 1).  The fetcher finishes the batch.
+                        self._stats.record_prefetch_issued()
+                        self._prefetch.submit(
+                            PrefetchTask(
+                                micro_batch=micro_batch,
+                                sorted_ids=sorted_ids,
+                                rank=rank,
+                                cache_key=key,
+                                result_key=result_key,
+                                canonical_idx=canonical_idx,
+                                batch_ctx=batch_ctx,
+                            )
+                        )
+                        continue
                     if bundle is None:
                         # Build (and insert) the canonical-order bundle; the
                         # actual batch order is restored by rebasing below.
-                        if batch_ctx is not None:
-                            # The build's fetch rounds (sharded stores) nest
-                            # under this span via the activated context.
-                            build_ctx = self.tracer.child(batch_ctx)
-                            build_start = self.clock.now()
-                            with self.tracer.activate(build_ctx):
-                                bundle = self._sampler.build_support(sorted_ids)
-                            self.tracer.emit(
-                                "support.build",
-                                build_ctx,
-                                build_start,
-                                self.clock.now(),
-                                batch_id=micro_batch.batch_id,
-                                num_targets=int(sorted_ids.shape[0]),
-                                num_support=int(
-                                    bundle.support.node_ids.shape[0]
-                                ),
-                            )
-                        else:
-                            bundle = self._sampler.build_support(sorted_ids)
+                        bundle = self._build_bundle(
+                            micro_batch, sorted_ids, batch_ctx, self._sampler
+                        )
                         self.cache.put(key, bundle)
                         bundle_is_fresh = True
                     if not np.array_equal(sorted_ids, micro_batch.node_ids):
                         bundle = bundle.with_target_order(rank)
-                dispatched_at = self.clock.now()
-                queue_waits = [
-                    dispatched_at - request.enqueued_at
-                    for request in micro_batch.requests
-                ]
-                if primary is not None:
-                    for request in micro_batch.requests:
-                        if request.trace is not None:
-                            self.tracer.emit_under(
-                                "queue.wait",
-                                request.trace,
-                                request.enqueued_at,
-                                dispatched_at,
-                                batch_id=micro_batch.batch_id,
-                            )
-                self.pool.submit(
-                    WorkItem(
-                        batch_id=micro_batch.batch_id,
-                        node_ids=micro_batch.node_ids,
-                        bundle=bundle,
-                        bundle_is_fresh=bundle_is_fresh,
-                        callback=lambda output, mb=micro_batch, waits=queue_waits,
-                        hit=cache_hit, rkey=result_key, cidx=canonical_idx,
-                        sent=dispatched_at, bctx=batch_ctx:
-                        self._on_batch_done(
-                            mb, waits, hit, output, rkey, cidx, sent, bctx
-                        ),
-                        trace=compute_ctx,
-                    )
+                self._submit_work(
+                    micro_batch, bundle, cache_hit, bundle_is_fresh,
+                    result_key, canonical_idx, batch_ctx,
                 )
             except BaseException as error:  # noqa: BLE001 - forwarded per request
                 self._fail_micro_batch(micro_batch, error)
+
+    def _build_bundle(
+        self, micro_batch: MicroBatch, sorted_ids: np.ndarray, batch_ctx, sampler
+    ):
+        """Build the canonical-order support bundle (traced when sampled)."""
+        if batch_ctx is None:
+            return sampler.build_support(sorted_ids)
+        # The build's fetch rounds (sharded stores) nest under this span via
+        # the activated context.
+        build_ctx = self.tracer.child(batch_ctx)
+        build_start = self.clock.now()
+        with self.tracer.activate(build_ctx):
+            bundle = sampler.build_support(sorted_ids)
+        self.tracer.emit(
+            "support.build",
+            build_ctx,
+            build_start,
+            self.clock.now(),
+            batch_id=micro_batch.batch_id,
+            num_targets=int(sorted_ids.shape[0]),
+            num_support=int(bundle.support.node_ids.shape[0]),
+        )
+        return bundle
+
+    def _submit_work(
+        self,
+        micro_batch: MicroBatch,
+        bundle,
+        cache_hit: bool,
+        bundle_is_fresh: bool,
+        result_key: bytes | None,
+        canonical_idx: np.ndarray | None,
+        batch_ctx,
+    ) -> None:
+        """Dispatch a resolved micro-batch to the pool (dispatcher or fetcher)."""
+        compute_ctx = None
+        if batch_ctx is not None:
+            compute_ctx = self.tracer.child(batch_ctx)
+        dispatched_at = self.clock.now()
+        queue_waits = [
+            dispatched_at - request.enqueued_at
+            for request in micro_batch.requests
+        ]
+        if self.tracer is not None:
+            for request in micro_batch.requests:
+                if request.trace is not None:
+                    self.tracer.emit_under(
+                        "queue.wait",
+                        request.trace,
+                        request.enqueued_at,
+                        dispatched_at,
+                        batch_id=micro_batch.batch_id,
+                    )
+        if self._busy is not None:
+            self._busy.enter()
+        try:
+            self.pool.submit(
+                WorkItem(
+                    batch_id=micro_batch.batch_id,
+                    node_ids=micro_batch.node_ids,
+                    bundle=bundle,
+                    bundle_is_fresh=bundle_is_fresh,
+                    callback=lambda output, mb=micro_batch, waits=queue_waits,
+                    hit=cache_hit, rkey=result_key, cidx=canonical_idx,
+                    sent=dispatched_at, bctx=batch_ctx:
+                    self._on_batch_done(
+                        mb, waits, hit, output, rkey, cidx, sent, bctx
+                    ),
+                    trace=compute_ctx,
+                )
+            )
+        except BaseException:
+            if self._busy is not None:
+                self._busy.exit()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Prefetch pipeline callbacks (run on fetcher threads)
+    # ------------------------------------------------------------------ #
+    def _prefetch_execute(self, task: PrefetchTask, sampler) -> None:
+        """Finish a handed-off micro-batch: fetch (or re-find) and submit."""
+        micro_batch = task.micro_batch
+        assert self.cache is not None and self._busy is not None
+        fetch_start = self.clock.now()
+        busy_before = self._busy.busy_seconds()
+        # A sibling fetch may have inserted this key since the dispatcher's
+        # counted miss; peek() skips the double-booked hit/miss accounting.
+        bundle = self.cache.peek(task.cache_key)
+        cache_hit = bundle is not None
+        bundle_is_fresh = False
+        if bundle is None:
+            bundle = self._build_bundle(
+                micro_batch, task.sorted_ids, task.batch_ctx, sampler
+            )
+            self.cache.put(task.cache_key, bundle)
+            bundle_is_fresh = True
+        fetch_end = self.clock.now()
+        # Compute busy time elapsed during this fetch = the stall the
+        # pipeline hid; clamp against wall in case of clock coarseness.
+        overlap = min(
+            self._busy.busy_seconds() - busy_before, fetch_end - fetch_start
+        )
+        self._stats.record_prefetch_done(
+            fetch_seconds=fetch_end - fetch_start,
+            overlap_seconds=max(overlap, 0.0),
+        )
+        if task.batch_ctx is not None:
+            self.tracer.emit_under(
+                "prefetch.fetch",
+                task.batch_ctx,
+                fetch_start,
+                fetch_end,
+                batch_id=micro_batch.batch_id,
+                cache_hit=cache_hit,
+                overlap_seconds=max(overlap, 0.0),
+            )
+        if not np.array_equal(task.sorted_ids, micro_batch.node_ids):
+            bundle = bundle.with_target_order(task.rank)
+        self._submit_work(
+            micro_batch, bundle, cache_hit, bundle_is_fresh,
+            task.result_key, task.canonical_idx, task.batch_ctx,
+        )
+
+    def _prefetch_cancel(self, task: PrefetchTask, error: BaseException) -> None:
+        """Fail a prefetch task's requests (fetch error or pipeline stop)."""
+        self._fail_micro_batch(task.micro_batch, error)
 
     def _replay_micro_batch(
         self, micro_batch: MicroBatch, rank: np.ndarray, recorded: CachedResult
@@ -663,6 +810,8 @@ class InferenceServer:
                 queue_waits=list(queue_waits),
             )
         finally:
+            if self._busy is not None:
+                self._busy.exit()
             with self._inflight_lock:
                 self._inflight -= micro_batch.num_requests
                 if self._inflight <= 0:

@@ -78,6 +78,17 @@ class ServingStatsSnapshot:
     result_cache_misses: int = 0
     result_cache_hit_rate: float = 0.0
     result_cache_entries: int = 0
+    #: Prefetch-pipeline accounting (``ServingConfig.prefetch_depth > 0``).
+    #: ``prefetch_hits`` counts completed prefetches whose fetch overlapped
+    #: nonzero compute busy time — the stalls the pipeline actually hid;
+    #: ``prefetch_overlap_seconds`` is that overlap integrated over all
+    #: fetches, against ``prefetch_fetch_seconds`` of total fetch wall time.
+    prefetch_issued: int = 0
+    prefetch_completed: int = 0
+    prefetch_cancelled: int = 0
+    prefetch_hits: int = 0
+    prefetch_fetch_seconds: float = 0.0
+    prefetch_overlap_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         """JSON-ready dictionary (used by the serving benchmark report)."""
@@ -114,6 +125,12 @@ class ServingStatsSnapshot:
             "result_cache_misses": self.result_cache_misses,
             "result_cache_hit_rate": self.result_cache_hit_rate,
             "result_cache_entries": self.result_cache_entries,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_completed": self.prefetch_completed,
+            "prefetch_cancelled": self.prefetch_cancelled,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_fetch_seconds": self.prefetch_fetch_seconds,
+            "prefetch_overlap_seconds": self.prefetch_overlap_seconds,
             "per_worker": {
                 str(worker): {"batches": stats.batches, "nodes": stats.nodes}
                 for worker, stats in sorted(self.per_worker.items())
@@ -144,6 +161,12 @@ class ServingStats:
         self.nodes_replayed = 0
         self.batches_replayed = 0
         self._replayed_macs = MACBreakdown()
+        self.prefetch_issued = 0
+        self.prefetch_completed = 0
+        self.prefetch_cancelled = 0
+        self.prefetch_hits = 0
+        self._prefetch_fetch_seconds = 0.0
+        self._prefetch_overlap_seconds = 0.0
         self._first_activity: float | None = None
         self._last_activity: float | None = None
         self._reset_window_locked(self.clock.now())
@@ -264,6 +287,31 @@ class ServingStats:
             if self._first_activity is None:
                 self._first_activity = now
             self._last_activity = now
+
+    def record_prefetch_issued(self) -> None:
+        """Count one micro-batch handed to the prefetch pipeline."""
+        with self._lock:
+            self.prefetch_issued += 1
+
+    def record_prefetch_done(
+        self, *, fetch_seconds: float, overlap_seconds: float
+    ) -> None:
+        """Fold one completed prefetch in; positive overlap is a hit.
+
+        Prefetch accounting is cumulative only (it has no interval window):
+        the pipeline is an execution detail, not a per-tick load signal.
+        """
+        with self._lock:
+            self.prefetch_completed += 1
+            self._prefetch_fetch_seconds += fetch_seconds
+            self._prefetch_overlap_seconds += overlap_seconds
+            if overlap_seconds > 0:
+                self.prefetch_hits += 1
+
+    def record_prefetch_cancelled(self, count: int) -> None:
+        """Count prefetches cancelled by pipeline shutdown."""
+        with self._lock:
+            self.prefetch_cancelled += count
 
     def record_failure(self, num_requests: int) -> None:
         with self._lock:
@@ -434,4 +482,10 @@ class ServingStats:
                     else 0.0
                 ),
                 result_cache_entries=result_cache_entries,
+                prefetch_issued=self.prefetch_issued,
+                prefetch_completed=self.prefetch_completed,
+                prefetch_cancelled=self.prefetch_cancelled,
+                prefetch_hits=self.prefetch_hits,
+                prefetch_fetch_seconds=self._prefetch_fetch_seconds,
+                prefetch_overlap_seconds=self._prefetch_overlap_seconds,
             )

@@ -33,6 +33,7 @@ from .stationary import (
     compute_sharded_stationary,
 )
 from .stats import ShardedStatsSnapshot, merge_latency_summaries, merge_serving_snapshots
+from .feature_store import TieredFeatureRows, TieredFeatureStore
 from .store import GraphShard, ShardTraffic, ShardedGraphStore
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "RoutedRequest",
     "RoutedResponse",
     "ShardEngine",
+    "TieredFeatureRows",
+    "TieredFeatureStore",
     "ShardPlan",
     "plan_replicas_for_load",
     "ShardRouter",

@@ -1,0 +1,260 @@
+"""Tiered feature storage: hot rows in RAM, cold rows memory-mapped on disk.
+
+The feature matrix dominates a shard's resident footprint — for wide
+embeddings it dwarfs the CSR blocks — and it is exactly the part of the
+state whose access pattern the paper's premise makes skewed: node-adaptive
+propagation concentrates supporting subgraphs on hub nodes, so a small set
+of high-degree rows is fetched over and over while the long tail is
+touched rarely.  :class:`TieredFeatureStore` exploits that skew to serve
+graphs whose feature matrix exceeds the configured memory budget:
+
+* the full matrix is spilled once to an ``np.memmap`` file (the cold tier;
+  the OS page cache does what it will, but the *process* keeps no
+  full-size array);
+* a byte-budgeted hot cache holds copies of the most valuable rows.
+  Admission is TinyLFU-flavored: each row carries an aged access-frequency
+  count plus a degree bias (``degree_weight · log1p(degree)``), and a
+  candidate only displaces the least-recently-used resident row when its
+  score wins — one noisy scan cannot flush the hub rows a skewed workload
+  lives on.  Frequencies are halved periodically so the cache tracks the
+  *current* workload, not history.
+
+Row reads are bit-identical to the in-RAM array by construction (rows are
+copied verbatim through the spill and back), so every serving output is
+unchanged; only residency and latency move.  ``peak_resident_nbytes`` can
+never exceed the budget: capacity is enforced in rows of
+``budget_bytes // row_nbytes``.
+
+:class:`TieredFeatureRows` is the drop-in facade: it implements the two
+things the serving stack does with ``GraphShard.features`` — fancy-index
+rows (:func:`~repro.transport.base.answer_from_shard`'s ``feature_rows``
+path) and report ``.nbytes`` (the shard footprint) — so
+:meth:`~repro.shard.store.ShardedGraphStore.use_tiered_features` swaps it
+in without touching any transport or engine code.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import weakref
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+def _cleanup(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+class TieredFeatureStore:
+    """Admission-controlled RAM cache over a memory-mapped feature matrix."""
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        *,
+        budget_bytes: int,
+        degrees: np.ndarray | None = None,
+        degree_weight: float = 4.0,
+        storage_dir: str | None = None,
+        age_period: int | None = None,
+    ) -> None:
+        features = np.ascontiguousarray(features)
+        if features.ndim != 2:
+            raise ConfigurationError(
+                f"features must be a 2-D matrix, got shape {features.shape}"
+            )
+        self.num_rows, self.num_cols = map(int, features.shape)
+        self.dtype = features.dtype
+        self.row_nbytes = int(features.itemsize * max(self.num_cols, 1))
+        if budget_bytes < self.row_nbytes:
+            raise ConfigurationError(
+                f"budget_bytes ({budget_bytes}) must hold at least one "
+                f"feature row ({self.row_nbytes} bytes)"
+            )
+        if degree_weight < 0:
+            raise ConfigurationError(
+                f"degree_weight must be non-negative, got {degree_weight}"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.capacity_rows = max(1, self.budget_bytes // self.row_nbytes)
+
+        # Spill once, then reopen read-only: the writable map (and the
+        # original array) go out of scope, so the process-resident feature
+        # state is the hot cache plus whatever pages the OS keeps warm.
+        fd, path = tempfile.mkstemp(
+            prefix="repro-features-", suffix=".bin", dir=storage_dir
+        )
+        os.close(fd)
+        spill = np.memmap(
+            path, dtype=self.dtype, mode="w+", shape=(self.num_rows, self.num_cols)
+        )
+        spill[:] = features
+        spill.flush()
+        del spill
+        self._path = path
+        self._cold = np.memmap(
+            path, dtype=self.dtype, mode="r", shape=(self.num_rows, self.num_cols)
+        )
+        self._finalizer = weakref.finalize(self, _cleanup, path)
+
+        # Admission score = aged frequency + degree bias (both float64).
+        self._freq = np.zeros(self.num_rows, dtype=np.float64)
+        if degrees is not None:
+            degrees = np.asarray(degrees, dtype=np.float64)
+            if degrees.shape[0] != self.num_rows:
+                raise ConfigurationError(
+                    f"degrees has {degrees.shape[0]} entries for "
+                    f"{self.num_rows} feature rows"
+                )
+            self._bias = degree_weight * np.log1p(np.maximum(degrees, 0.0))
+        else:
+            self._bias = np.zeros(self.num_rows, dtype=np.float64)
+        # Halve the frequencies every ~2 cache-capacities of row accesses
+        # (the TinyLFU reset) so old popularity decays.
+        self._age_period = (
+            int(age_period) if age_period else max(2 * self.capacity_rows, 1024)
+        )
+        self._accesses_until_age = self._age_period
+
+        self._lock = threading.Lock()
+        self._hot: dict[int, np.ndarray] = {}
+        self._order: dict[int, None] = {}  # insertion-ordered recency queue
+        self.hits = 0
+        self.misses = 0
+        self.admissions = 0
+        self.evictions = 0
+        self.peak_resident_nbytes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_nbytes(self) -> int:
+        """Bytes currently held by the hot cache (always <= the budget)."""
+        return len(self._hot) * self.row_nbytes
+
+    @property
+    def hot_rows(self) -> int:
+        return len(self._hot)
+
+    def get_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Gather feature rows, bit-identical to ``features[rows]``."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        out = np.empty((rows.shape[0], self.num_cols), dtype=self.dtype)
+        with self._lock:
+            for position, row in enumerate(rows):
+                row = int(row)
+                self._freq[row] += 1.0
+                cached = self._hot.get(row)
+                if cached is not None:
+                    self.hits += 1
+                    # Refresh recency: move to the back of the queue.
+                    self._order.pop(row, None)
+                    self._order[row] = None
+                    out[position] = cached
+                else:
+                    self.misses += 1
+                    value = np.array(self._cold[row])
+                    out[position] = value
+                    self._admit_locked(row, value)
+            self._accesses_until_age -= rows.shape[0]
+            if self._accesses_until_age <= 0:
+                self._freq *= 0.5
+                self._accesses_until_age = self._age_period
+        return out
+
+    def _admit_locked(self, row: int, value: np.ndarray) -> None:
+        if len(self._hot) < self.capacity_rows:
+            self._hot[row] = value
+            self._order[row] = None
+            self.admissions += 1
+            self.peak_resident_nbytes = max(
+                self.peak_resident_nbytes, self.resident_nbytes
+            )
+            return
+        victim = next(iter(self._order))
+        score = self._freq[row] + self._bias[row]
+        victim_score = self._freq[victim] + self._bias[victim]
+        if score <= victim_score:
+            return  # the LRU resident is still more valuable: no admission
+        del self._hot[victim]
+        del self._order[victim]
+        self.evictions += 1
+        self._hot[row] = value
+        self._order[row] = None
+        self.admissions += 1
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> dict:
+        """Counters and residency for the memory report / benchmark."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "num_rows": self.num_rows,
+                "num_cols": self.num_cols,
+                "row_nbytes": self.row_nbytes,
+                "budget_bytes": self.budget_bytes,
+                "capacity_rows": self.capacity_rows,
+                "hot_rows": len(self._hot),
+                "resident_nbytes": self.resident_nbytes,
+                "peak_resident_nbytes": self.peak_resident_nbytes,
+                "cold_nbytes": self.num_rows * self.row_nbytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "admissions": self.admissions,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    def close(self) -> None:
+        """Release the memmap and delete the spill file."""
+        with self._lock:
+            self._hot.clear()
+            self._order.clear()
+        self._cold = None
+        self._finalizer()
+
+
+class TieredFeatureRows:
+    """Drop-in stand-in for a ``GraphShard.features`` ndarray.
+
+    Supports exactly the surface the serving stack uses: row gathers via
+    ``features[rows]`` and the ``nbytes``/``shape``/``dtype`` accounting
+    attributes.  ``nbytes`` reports *resident* (hot cache) bytes — the
+    whole point of tiering is that the cold matrix no longer counts
+    against the shard's footprint.
+    """
+
+    def __init__(self, store: TieredFeatureStore) -> None:
+        self.store = store
+
+    def __getitem__(self, rows) -> np.ndarray:
+        return self.store.get_rows(rows)
+
+    def __len__(self) -> int:
+        return self.store.num_rows
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.store.num_rows, self.store.num_cols)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.store.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.store.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.store.resident_nbytes

@@ -207,6 +207,8 @@ class ShardedGraphStore:
         # calling thread has an active trace context, every transport round
         # becomes a ``fetch.round`` span (see repro.obs).
         self._tracer = None
+        # Populated by use_tiered_features: one TieredFeatureStore per shard.
+        self._feature_tiers: list = []
 
     # ------------------------------------------------------------------ #
     # Transport plumbing
@@ -289,6 +291,62 @@ class ShardedGraphStore:
                 latency_window_seconds=latency_window_seconds,
             )
         )
+
+    def use_tiered_features(
+        self,
+        budget_bytes: int,
+        *,
+        storage_dir: str | None = None,
+        degree_weight: float = 4.0,
+    ) -> "ShardedGraphStore":
+        """Swap every shard's feature matrix for a tiered hot/cold store.
+
+        ``budget_bytes`` is the fleet-wide RAM budget for resident feature
+        rows, split across shards proportionally to their owned-row counts
+        (each shard gets at least one row).  Hot rows live in an
+        admission-controlled cache (aged access frequency plus
+        ``degree_weight``-scaled log-degree bias — hub rows, the ones
+        node-adaptive propagation hits constantly, win admission); cold
+        rows are served from an ``np.memmap`` spill file under
+        ``storage_dir`` (default: the system temp dir).  Feature fetches
+        remain bit-identical; ``memory_report()`` gains per-shard tier
+        residency.  Every transport backend picks the tier up for free:
+        :func:`~repro.transport.base.answer_from_shard` indexes
+        ``shard.features`` the same way it indexed the ndarray.
+        """
+        from .feature_store import TieredFeatureRows, TieredFeatureStore
+
+        if self._feature_tiers:
+            raise GraphConstructionError("features are already tiered")
+        if budget_bytes < 1:
+            raise GraphConstructionError(
+                f"budget_bytes must be positive, got {budget_bytes}"
+            )
+        total_rows = sum(shard.num_owned for shard in self.shards)
+        tiers = []
+        for shard in self.shards:
+            matrix = np.asarray(shard.features)
+            share = (
+                int(budget_bytes * shard.num_owned / total_rows)
+                if total_rows
+                else budget_bytes
+            )
+            store = TieredFeatureStore(
+                matrix,
+                budget_bytes=max(share, int(matrix.itemsize * matrix.shape[1])),
+                degrees=shard.degrees_with_loops,
+                degree_weight=degree_weight,
+                storage_dir=storage_dir,
+            )
+            shard.features = TieredFeatureRows(store)
+            tiers.append(store)
+        self._feature_tiers = tiers
+        return self
+
+    @property
+    def feature_tiers(self) -> list:
+        """The per-shard tiered feature stores (empty when not tiered)."""
+        return list(self._feature_tiers)
 
     def _requests_by_owner(
         self, node_ids: np.ndarray
@@ -733,7 +791,7 @@ class ShardedGraphStore:
     # ------------------------------------------------------------------ #
     def memory_report(self) -> dict:
         """Per-shard resident bytes and halo sizes (benchmark surface)."""
-        return {
+        report = {
             "num_shards": self.num_shards,
             "strategy": self.plan.strategy,
             "cut_edges": self.plan.cut_edges,
@@ -752,3 +810,19 @@ class ShardedGraphStore:
             "max_shard_nbytes": max(shard.nbytes for shard in self.shards),
             "total_halo_nodes": sum(shard.num_halo for shard in self.shards),
         }
+        if self._feature_tiers:
+            tiers = [store.report() for store in self._feature_tiers]
+            report["feature_tiers"] = tiers
+            report["feature_budget_bytes"] = sum(
+                tier["budget_bytes"] for tier in tiers
+            )
+            report["feature_resident_nbytes"] = sum(
+                tier["resident_nbytes"] for tier in tiers
+            )
+            report["feature_peak_resident_nbytes"] = sum(
+                tier["peak_resident_nbytes"] for tier in tiers
+            )
+            report["feature_cold_nbytes"] = sum(
+                tier["cold_nbytes"] for tier in tiers
+            )
+        return report

@@ -127,7 +127,9 @@ class ShardServer:
         try:
             while True:
                 try:
-                    payload = wire.read_frame(conn)
+                    payload = wire.read_frame(
+                        conn, shard_id=self.shard.shard_id
+                    )
                 except TransportError:
                     return
                 if payload is None:
@@ -385,13 +387,17 @@ class SocketTransport(ShardTransport):
                 shard_id=shard_id,
             )
         try:
-            payload = wire.read_frame(conn)
+            # op/shard context rides into wire.read_frame so even the raw
+            # mid-frame-EOF error is attributable on its own (the re-wrap
+            # below adds the same context for this call site's raises).
+            payload = wire.read_frame(conn, op=op, shard_id=shard_id)
         except TransportError as error:
             self._drop_connection(shard_id)
             raise TransportError(
                 f"receive from shard {shard_id} failed: {error}",
                 op=op,
                 shard_id=shard_id,
+                retryable=error.retryable,
             ) from error
         if payload is None:
             self._drop_connection(shard_id)

@@ -225,13 +225,19 @@ def frame(payload: bytes) -> bytes:
     return _LEN.pack(len(payload)) + payload
 
 
-def read_frame(sock) -> bytes | None:
+def read_frame(
+    sock, *, op: str | None = None, shard_id: int | None = None
+) -> bytes | None:
     """Read one frame from ``sock``; ``None`` on clean EOF at a boundary.
 
     Raises :class:`~repro.exceptions.TransportError` on a mid-frame
     disconnect (short read) — the caller must treat the connection as dead.
+    Callers that know the in-flight operation pass ``op``/``shard_id`` so
+    every raised error carries them: replica failover attributes a culprit
+    endpoint from ``error.shard_id``, and an anonymous error forces it to
+    implicate the whole sub-round instead of exactly the dead replica.
     """
-    header = _read_exact(sock, _LEN.size, eof_ok=True)
+    header = _read_exact(sock, _LEN.size, eof_ok=True, op=op, shard_id=shard_id)
     if header is None:
         return None
     (length,) = _LEN.unpack(header)
@@ -239,25 +245,38 @@ def read_frame(sock) -> bytes | None:
         raise TransportError(
             f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap",
             retryable=False,
+            op=op,
+            shard_id=shard_id,
         )
-    payload = _read_exact(sock, length, eof_ok=False)
+    payload = _read_exact(sock, length, eof_ok=False, op=op, shard_id=shard_id)
     assert payload is not None
     return payload
 
 
-def _read_exact(sock, count: int, *, eof_ok: bool) -> bytes | None:
+def _read_exact(
+    sock,
+    count: int,
+    *,
+    eof_ok: bool,
+    op: str | None = None,
+    shard_id: int | None = None,
+) -> bytes | None:
     chunks = []
     got = 0
     while got < count:
         try:
             chunk = sock.recv(min(count - got, 1 << 20))
         except OSError as error:
-            raise TransportError(f"socket read failed: {error}") from error
+            raise TransportError(
+                f"socket read failed: {error}", op=op, shard_id=shard_id
+            ) from error
         if not chunk:
             if eof_ok and got == 0:
                 return None
             raise TransportError(
-                f"connection closed mid-frame ({got}/{count} bytes read)"
+                f"connection closed mid-frame ({got}/{count} bytes read)",
+                op=op,
+                shard_id=shard_id,
             )
         chunks.append(chunk)
         got += len(chunk)

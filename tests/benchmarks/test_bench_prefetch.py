@@ -1,0 +1,83 @@
+"""Smoke test for the prefetch benchmark.
+
+Runs ``benchmarks/bench_prefetch.py --quick`` end to end so tier-1 catches
+regressions in the overlap bit-equivalence assertions and the tiered-store
+residency cap.  Serving threads and injected latency are involved, so the
+run is guarded by the same watchdog style the transport bench uses.  The
+real numbers come from the full run, which writes ``BENCH_prefetch.json``.
+"""
+
+import faulthandler
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+WATCHDOG_SECONDS = 300.0 * max(
+    1.0, float(os.environ.get("REPRO_WATCHDOG_SECONDS", "90")) / 90.0
+)
+
+
+def _dump_and_abort() -> None:  # pragma: no cover - only fires on a hang
+    sys.stderr.write(
+        f"\n*** prefetch-bench watchdog fired after {WATCHDOG_SECONDS}s ***\n"
+    )
+    faulthandler.dump_traceback(all_threads=True)
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def bench_watchdog():
+    timer = threading.Timer(WATCHDOG_SECONDS, _dump_and_abort)
+    timer.daemon = True
+    timer.start()
+    yield
+    timer.cancel()
+
+
+@pytest.mark.prefetch_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_prefetch
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    assert bench_prefetch.main(["--quick", "--output", str(output)]) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    suites = {record["suite"]: record for record in report["suites"]}
+    assert set(suites) == {"prefetch_overlap", "tiered_memory"}
+
+    overlap = suites["prefetch_overlap"]
+    assert overlap["predictions_equal"]
+    assert overlap["depths_equal"]
+    assert overlap["macs_equal"]
+    assert overlap["injected_rtt_seconds"] == pytest.approx(0.005)
+    assert overlap["prefetched"]["stats"]["prefetch_issued"] == (
+        overlap["num_batches"]
+    )
+    assert overlap["prefetched"]["stats"]["prefetch_overlap_seconds"] > 0
+    # The full-run acceptance floor is 1.3x; the quick run is small enough
+    # for scheduling noise, so gate it defensively lower — a pipeline that
+    # stopped overlapping at all lands near (or below) 1.0.
+    assert overlap["throughput_speedup"] >= 1.15
+
+    tiered = suites["tiered_memory"]
+    assert tiered["matrix_exceeds_budget"]
+    assert tiered["peak_resident_within_slo"]
+    assert tiered["tiered_predictions_identical"]
+    assert tiered["tiered_depths_identical"]
+    assert tiered["tiered_macs_equal"]
+    assert tiered["peak_resident_nbytes"] <= tiered["budget_bytes"]
+
+    aggregate = report["aggregate"]
+    assert aggregate["all_predictions_equal"]
+    assert aggregate["all_macs_equal"]
+    assert aggregate["peak_resident_within_slo"]

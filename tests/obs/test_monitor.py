@@ -27,7 +27,47 @@ class TestSlidingWindow:
         # Before any time passes one bucket span (5s) is the floor.
         assert window.covered_seconds() == 5.0
         clock.advance(600.0)
-        assert window.covered_seconds() == 60.0
+        # At an exact bucket boundary the live ring spans 11 full buckets
+        # plus the just-opened (empty) current one: 55s, not the window.
+        assert window.covered_seconds() == 55.0
+        clock.advance(2.5)
+        assert window.covered_seconds() == 57.5
+
+    def test_rate_not_overdivided_right_after_bucket_rollover(self):
+        """Events landing late in the ring must divide by the live span.
+
+        Regression: covered_seconds used elapsed-since-start clamped to the
+        window, so immediately after a rollover a 6-event burst divided by
+        60s instead of the 55s the live buckets actually cover.
+        """
+        clock = FakeClock()
+        window = SlidingWindow(60.0, num_buckets=12, clock=clock)
+        clock.advance(57.0)
+        window.add(6.0)
+        clock.advance(3.0)  # lands exactly on the t=60 bucket boundary
+        assert window.total() == 6.0
+        assert window.covered_seconds() == 55.0
+        assert window.rate() == pytest.approx(6.0 / 55.0)
+
+    def test_covered_seconds_floor_spans_partial_first_bucket(self):
+        clock = FakeClock()
+        window = SlidingWindow(60.0, num_buckets=12, clock=clock)
+        window.add(10.0)
+        clock.advance(2.0)  # inside the first bucket span
+        assert window.covered_seconds() == 5.0  # floored at one span
+        assert window.rate() == pytest.approx(2.0)
+
+    def test_rate_uses_one_consistent_reading(self):
+        """rate() must pair total and covered span from the same instant."""
+        clock = FakeClock()
+        window = SlidingWindow(60.0, num_buckets=12, clock=clock)
+        clock.advance(10.0)
+        window.add(4.0)
+        assert window.rate() == pytest.approx(4.0 / 10.0)
+        # Crossing many boundaries expires the events and grows the span.
+        clock.advance(100.0)
+        assert window.total() == 0.0
+        assert window.rate() == 0.0
 
     def test_old_buckets_expire_by_epoch(self):
         clock = FakeClock()

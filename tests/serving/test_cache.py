@@ -188,3 +188,74 @@ class TestBundleReuse:
         bundle = bundle_for(predictor, batch)
         with pytest.raises(ConfigurationError):
             predictor.make_engine().run_batch(batch, bundle=bundle)
+
+
+class TestPeek:
+    def test_peek_refreshes_recency_without_counting(self):
+        cache = SubgraphCache(2)
+        keys = [support_cache_key(np.array([i]), 1) for i in range(3)]
+        cache.put(keys[0], "a")
+        cache.put(keys[1], "b")
+        assert cache.peek(keys[0]) == "a"      # no hit recorded...
+        assert cache.peek(keys[2]) is None     # ...and no miss either
+        assert (cache.hits, cache.misses) == (0, 0)
+        cache.put(keys[2], "c")                # ...but recency did refresh:
+        assert cache.peek(keys[1]) is None     # key 1 was the LRU victim
+        assert cache.peek(keys[0]) == "a"
+
+
+class TestConsistentCounters:
+    def test_counters_snapshot_is_internally_consistent(self):
+        cache = SubgraphCache(4)
+        keys = [support_cache_key(np.array([i]), 1) for i in range(8)]
+        for key in keys:
+            cache.get(key)
+            cache.put(key, "x")
+        snapshot = cache.counters()
+        assert snapshot.lookups == snapshot.hits + snapshot.misses
+        assert snapshot.misses == 8
+        assert snapshot.evictions == 4
+        assert snapshot.entries == 4
+        assert snapshot.hit_rate == 0.0
+
+    def test_counters_stay_consistent_under_concurrent_access(self):
+        """Regression: stats() used to read hits/misses/entries one field at
+        a time, so a lookup landing between the reads produced snapshots
+        where hits + misses != lookups. counters() reads under one lock."""
+        import threading
+
+        cache = SubgraphCache(8)
+        keys = [support_cache_key(np.array([i]), 1) for i in range(32)]
+        stop = threading.Event()
+        torn = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            while not stop.is_set():
+                key = keys[int(rng.integers(len(keys)))]
+                if cache.get(key) is None:
+                    cache.put(key, seed)
+
+        def snapshot_reader():
+            while not stop.is_set():
+                counters = cache.counters()
+                if counters.lookups != counters.hits + counters.misses:
+                    torn.append(counters)
+                if counters.entries > 8:
+                    torn.append(counters)
+
+        workers = [
+            threading.Thread(target=hammer, args=(seed,), daemon=True)
+            for seed in range(4)
+        ] + [threading.Thread(target=snapshot_reader, daemon=True)]
+        for worker in workers:
+            worker.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=5.0)
+        assert torn == []
+        final = cache.counters()
+        assert final.lookups == final.hits + final.misses > 0
