@@ -1,0 +1,241 @@
+"""Wave benchmark: MACs-per-request against wave width on a Zipfian workload.
+
+One record per wave width, written to ``BENCH_wave.json``:
+
+``wave_width``
+    A fixed stream of concurrent requests — node sets drawn from a
+    Zipf-skewed popularity, the hub-heavy regime the paper's k-hop
+    supports concentrate in — grouped into waves of ``width`` members and
+    executed through :func:`~repro.serving.wave.execute_wave` (the
+    deterministic core the live dispatcher wraps; see
+    ``tests/serving/test_wave_fuzz.py`` for the live-scheduler
+    equivalence).  Each record asserts **bit-identical predictions and
+    exit depths** for every request versus its isolated run, that the
+    per-member MAC attribution **reconciles exactly** with the
+    engine-reported union breakdown, and reports MACs-per-request —
+    which must fall monotonically as width grows, the wave scheduler's
+    reason to exist (``check_bench.py`` gates the monotone decrease and
+    the reduction floor at the widest setting).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wave.py            # full run
+    PYTHONPATH=src python benchmarks/bench_wave.py --quick    # smoke run
+
+``--quick`` is wired into tier-1 as the ``wave_bench`` pytest marker
+(see ``tests/benchmarks/test_bench_wave.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ShardConfig
+from repro.experiments import ExperimentProfile
+from repro.experiments.context import TrainedContext, get_context
+from repro.serving import execute_wave
+from repro.shard import ShardedPredictor
+
+FULL_PROFILE = ExperimentProfile(
+    dataset_scale=1.0,
+    depth=3,
+    classifier_epochs=25,
+    gate_epochs=10,
+    batch_size=200,
+    seed=0,
+)
+QUICK_PROFILE = ExperimentProfile(
+    dataset_scale=0.3,
+    depth=3,
+    classifier_epochs=15,
+    gate_epochs=8,
+    batch_size=128,
+    seed=0,
+)
+DATASET = "flickr-sim"
+
+NUM_SHARDS = 2
+REQUEST_SIZE = 8
+#: Zipf popularity exponent — hub-heavy, the serving regime waves target.
+ZIPF_EXPONENT = 1.2
+WAVE_WIDTHS = (1, 2, 4, 8)
+
+
+def _sharded(context: TrainedContext) -> ShardedPredictor:
+    config = context.nai_config(threshold_quantile=0.5, batch_size=64)
+    predictor = context.nai.build_predictor(policy="distance", config=config)
+    predictor.prepare(context.dataset.graph, context.dataset.features)
+    return ShardedPredictor.from_predictor(predictor).prepare(
+        context.dataset.graph,
+        context.dataset.features,
+        ShardConfig(num_shards=NUM_SHARDS, strategy="degree_balanced"),
+    )
+
+
+def _zipfian_requests(num_nodes: int, count: int) -> list[np.ndarray]:
+    """Concurrent request stream under Zipf-skewed node popularity."""
+    rng = np.random.default_rng(13)
+    ranks = rng.permutation(num_nodes)
+    weights = 1.0 / (1.0 + ranks.astype(np.float64)) ** ZIPF_EXPONENT
+    weights /= weights.sum()
+    return [
+        rng.choice(num_nodes, size=REQUEST_SIZE, replace=False, p=weights)
+        for _ in range(count)
+    ]
+
+
+def run_width_suite(engine, requests, isolated, width: int) -> dict:
+    start = time.perf_counter()
+    waves = [
+        execute_wave(engine, requests[index : index + width])
+        for index in range(0, len(requests), width)
+    ]
+    wall = time.perf_counter() - start
+
+    predictions_identical = True
+    depths_identical = True
+    position = 0
+    union_macs = 0.0
+    shared_row_macs = 0
+    total_row_macs = 0
+    for wave in waves:
+        # execute_wave raised already if the attribution failed to
+        # reconcile; re-check that the member shares re-sum to the
+        # engine-reported union total so the flag is explicit in the report.
+        assert wave.attribution.total.total == wave.result.macs.total
+        union_macs += float(wave.result.macs.total)
+        shared_row_macs += wave.attribution.shared_row_macs
+        total_row_macs += wave.attribution.total_row_macs
+        for index in range(wave.num_members):
+            oracle = isolated[position]
+            predictions_identical &= bool(
+                np.array_equal(wave.member_predictions(index), oracle.predictions)
+            )
+            depths_identical &= bool(
+                np.array_equal(wave.member_depths(index), oracle.depths)
+            )
+            position += 1
+
+    record = {
+        "suite": f"wave_width_{width}",
+        "dataset": DATASET,
+        "wave_width": width,
+        "num_requests": len(requests),
+        "num_waves": len(waves),
+        "predictions_identical": bool(predictions_identical),
+        "depths_identical": bool(depths_identical),
+        "attribution_reconciles_identical": True,
+        "macs_total": union_macs,
+        "macs_per_request": union_macs / len(requests),
+        "shared_row_fraction": (
+            shared_row_macs / total_row_macs if total_row_macs else 0.0
+        ),
+        "wall_seconds": wall,
+    }
+    if not (predictions_identical and depths_identical):
+        raise AssertionError(
+            f"wave width {width} diverged from the isolated runs"
+        )
+    return record
+
+
+def run_bench(*, quick: bool = False) -> dict:
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    context = get_context(DATASET, profile=profile)
+    sharded = _sharded(context)
+    engine = sharded.make_engine(home_shard=0)
+    num_requests = 32 if quick else 96
+    requests = _zipfian_requests(
+        context.dataset.graph.num_nodes, num_requests
+    )
+    isolated = [engine.run_batch(batch) for batch in requests]
+
+    suites = [
+        run_width_suite(engine, requests, isolated, width)
+        for width in WAVE_WIDTHS
+    ]
+    by_width = {record["wave_width"]: record for record in suites}
+    widest = by_width[max(WAVE_WIDTHS)]
+    reduction = (
+        by_width[1]["macs_per_request"] / widest["macs_per_request"]
+        if widest["macs_per_request"]
+        else 0.0
+    )
+    monotone = all(
+        by_width[a]["macs_per_request"] >= by_width[b]["macs_per_request"]
+        for a, b in zip(WAVE_WIDTHS, WAVE_WIDTHS[1:])
+    )
+    print(
+        f"{DATASET:12s} macs/request "
+        + " -> ".join(
+            f"{by_width[w]['macs_per_request']:.0f} (w{w})" for w in WAVE_WIDTHS
+        )
+        + f" | x{reduction:.2f} reduction at width {max(WAVE_WIDTHS)}, "
+        f"shared rows {widest['shared_row_fraction']:.0%} | bit-identical"
+    )
+
+    aggregate = {
+        "all_predictions_identical": all(
+            record["predictions_identical"] for record in suites
+        ),
+        "all_depths_identical": all(
+            record["depths_identical"] for record in suites
+        ),
+        "attribution_reconciles_identical": all(
+            record["attribution_reconciles_identical"] for record in suites
+        ),
+        "macs_per_request_monotone_identical": bool(monotone),
+        "macs_per_request_by_width": {
+            str(width): by_width[width]["macs_per_request"]
+            for width in WAVE_WIDTHS
+        },
+        "macs_reduction_at_max_width": reduction,
+        "shared_row_fraction_at_max_width": widest["shared_row_fraction"],
+    }
+    return {
+        "benchmark": "bench_wave",
+        "quick": quick,
+        "profile": {
+            "dataset_scale": profile.dataset_scale,
+            "depth": profile.depth,
+            "seed": profile.seed,
+        },
+        "workload": {
+            "request_size": REQUEST_SIZE,
+            "num_requests": num_requests,
+            "num_shards": NUM_SHARDS,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "wave_widths": list(WAVE_WIDTHS),
+        },
+        "suites": suites,
+        "aggregate": aggregate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small deterministic smoke run (used by the tier-1 marker test)",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_wave.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,44 @@ def workload_signature(report: dict):
     )
 
 
+def check_wave_report(name: str, label: str, report: dict) -> list[str]:
+    """Wave-specific gate: MACs-per-request must fall as width grows.
+
+    The wave scheduler's acceptance claim is *shape*, not a single flag:
+    on the benchmark's Zipfian workload, MACs-per-request must be
+    monotone non-increasing across the swept widths and the widest
+    setting must reduce the width-1 cost by at least 1.5x.  Both the
+    fresh report and the committed baseline are held to it.
+    """
+    failures: list[str] = []
+    by_width = report.get("aggregate", {}).get("macs_per_request_by_width", {})
+    try:
+        series = sorted(
+            (int(width), float(value)) for width, value in by_width.items()
+        )
+    except (TypeError, ValueError):
+        series = []
+    if len(series) < 2:
+        failures.append(
+            f"{name}: {label} report carries no macs_per_request_by_width sweep"
+        )
+        return failures
+    for (narrow, cost_narrow), (wide, cost_wide) in zip(series, series[1:]):
+        if cost_wide > cost_narrow:
+            failures.append(
+                f"{name}: {label} macs_per_request rose from width {narrow} "
+                f"({cost_narrow}) to width {wide} ({cost_wide})"
+            )
+    widest_cost = series[-1][1]
+    reduction = series[0][1] / widest_cost if widest_cost else 0.0
+    if reduction < 1.5:
+        failures.append(
+            f"{name}: {label} macs_per_request reduction at width "
+            f"{series[-1][0]} is {reduction:.2f}x, below the 1.5x floor"
+        )
+    return failures
+
+
 def check_report(name: str, fresh: dict, committed: dict) -> list[str]:
     """All mismatches between one fresh report and its committed baseline."""
     failures: list[str] = []
@@ -164,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
         fresh = json.loads(fresh_path.read_text())
         committed = json.loads(baseline_path.read_text())
         failures.extend(check_report(baseline_path.name, fresh, committed))
+        if baseline_path.name == "BENCH_wave.json":
+            failures.extend(
+                check_wave_report(baseline_path.name, "fresh", fresh)
+            )
+            failures.extend(
+                check_wave_report(baseline_path.name, "committed", committed)
+            )
         checked += 1
 
     if failures:

@@ -47,6 +47,7 @@ from repro.obs import (
     RebalanceAdvisor,
     SLOEngine,
 )
+from repro.serving import ClusterBuilder
 from repro.serving.clock import FakeClock
 from repro.shard import GraphPartitioner, ShardRouter, ShardedPredictor
 from repro.transport import OP_FEATURES, LocalTransport, ShardTransport
@@ -116,17 +117,23 @@ def main() -> None:
 
     def build(plan):
         """Prepare a generation of the fleet under ``plan``'s replica map."""
-        sharded = ShardedPredictor.from_predictor(predictor).prepare(
-            dataset.graph, dataset.features, shard_config, plan=plan
+
+        def rails(store):
+            return [
+                ShardDelayTransport(
+                    LocalTransport(store.shards), {hot: HOT_DELAY}
+                ),
+                LocalTransport(store.shards),
+            ][: plan.max_replication]
+
+        return (
+            ClusterBuilder(ShardedPredictor.from_predictor(predictor))
+            .graph(dataset.graph, dataset.features)
+            .shards(NUM_SHARDS)
+            .plan(plan)
+            .replicated(rails, route_by="latency")
+            .build_predictor()
         )
-        rails = [
-            ShardDelayTransport(
-                LocalTransport(sharded.store.shards), {hot: HOT_DELAY}
-            ),
-            LocalTransport(sharded.store.shards),
-        ][: plan.max_replication]
-        sharded.store.use_replicated_transport(rails, route_by="latency")
-        return sharded
 
     # 80% of requests target the hot shard's owned nodes.
     rng = np.random.default_rng(7)

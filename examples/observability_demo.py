@@ -31,12 +31,12 @@ from repro import NAI, SGC, load_dataset
 from repro.core import (
     DistillationConfig,
     ServingConfig,
-    ShardConfig,
     TrainingConfig,
 )
 from repro.graph.sampling import batch_iterator
 from repro.obs import CriticalPathAnalyzer, Tracer, write_chrome_trace
-from repro.shard import ShardRouter, ShardedPredictor
+from repro.serving import ClusterBuilder
+from repro.shard import ShardedPredictor
 
 
 def main() -> None:
@@ -60,10 +60,15 @@ def main() -> None:
     )
     predictor.prepare(dataset.graph, dataset.features)
 
-    sharded = ShardedPredictor.from_predictor(predictor).prepare(
-        dataset.graph,
-        dataset.features,
-        ShardConfig(num_shards=3, strategy="degree_balanced"),
+    tracer = Tracer()  # own recorder, sample every request
+    serving = ServingConfig(num_workers=1, max_batch_size=16, max_wait_ms=1.0)
+    cluster = (
+        ClusterBuilder(ShardedPredictor.from_predictor(predictor))
+        .graph(dataset.graph, dataset.features)
+        .shards(3, strategy="degree_balanced")
+        .serving(serving)
+        .traced(tracer)
+        .build()
     )
 
     # ------------------------------------------------------------------ #
@@ -71,7 +76,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     rng = np.random.default_rng(7)
     test_idx = rng.permutation(np.asarray(dataset.split.test_idx))
-    owners = sharded.store.owner_of(test_idx)
+    owners = cluster.store.owner_of(test_idx)
     hot = test_idx[owners == 0]
     rest = test_idx[owners != 0]
     requests = []
@@ -80,12 +85,10 @@ def main() -> None:
     for i in range(min(24, len(hot_batches), len(rest_batches) * 3)):
         requests.append(hot_batches[i] if i % 4 else rest_batches[i // 4])
 
-    tracer = Tracer()  # own recorder, sample every request
-    serving = ServingConfig(num_workers=1, max_batch_size=16, max_wait_ms=1.0)
-    with ShardRouter(sharded, serving, tracer=tracer) as router:
-        responses = router.predict_many(requests, timeout=120.0)
-        stats = router.stats()
-        metrics = router.metrics_text()
+    with cluster:
+        responses = cluster.predict_many(requests, timeout=120.0)
+        stats = cluster.stats()
+        metrics = cluster.metrics_text()
     print(
         f"\nserved {len(responses)} requests "
         f"({sum(r.node_ids.shape[0] for r in responses)} nodes) with tracing on"

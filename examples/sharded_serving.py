@@ -29,11 +29,11 @@ from repro import NAI, SGC, load_dataset
 from repro.core import (
     DistillationConfig,
     ServingConfig,
-    ShardConfig,
     TrainingConfig,
 )
 from repro.graph.sampling import batch_iterator
-from repro.shard import ShardRouter, ShardedPredictor
+from repro.serving import ClusterBuilder
+from repro.shard import ShardedPredictor
 
 
 def main() -> None:
@@ -63,10 +63,11 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # Partition into 4 shards and verify nothing moved.
     # ------------------------------------------------------------------ #
-    sharded = ShardedPredictor.from_predictor(predictor).prepare(
-        dataset.graph,
-        dataset.features,
-        ShardConfig(num_shards=4, strategy="degree_balanced"),
+    sharded = (
+        ClusterBuilder(ShardedPredictor.from_predictor(predictor))
+        .graph(dataset.graph, dataset.features)
+        .shards(4, strategy="degree_balanced")
+        .build_predictor()
     )
     result = sharded.predict(test_idx)
     assert np.array_equal(result.predictions, baseline.predictions)
@@ -90,9 +91,9 @@ def main() -> None:
         np.random.default_rng(0).permutation(test_idx), 25
     )
     serving = ServingConfig(num_workers=2, max_batch_size=100, max_wait_ms=2.0)
-    with ShardRouter(sharded, serving) as router:
-        responses = router.predict_many(requests, timeout=120.0)
-        stats = router.stats()
+    with ClusterBuilder(sharded).serving(serving).build() as cluster:
+        responses = cluster.predict_many(requests, timeout=120.0)
+        stats = cluster.stats()
 
     routed = np.concatenate([r.predictions for r in responses])
     ordered = np.concatenate(requests)

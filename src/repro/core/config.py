@@ -256,6 +256,26 @@ class ServingConfig:
         (bundles are canonical-key interchangeable and sampling executes no
         MACs).  Requires the supporting-subgraph cache, i.e. the
         ``"thread"`` backend, the fused engine and ``cache_capacity > 0``.
+    wave_width:
+        Maximum number of ready micro-batches the dispatcher may fuse into
+        one cross-request **wave** (:mod:`repro.serving.wave`).  ``1``
+        (default) keeps the pre-wave dispatch path byte-for-byte.  Values
+        above 1 make the dispatcher drain up to that many already-coalesced
+        batches, union their node sets, run a single propagation sweep over
+        the union support and scatter per-request results back —
+        bit-identical to isolated execution, with shared propagation MACs
+        attributed pro-rata to the member batches.  Requires the
+        ``"thread"`` backend and the fused engine, and is mutually
+        exclusive with ``prefetch_depth > 0`` (waves subsume the prefetch
+        pipeline's miss handling).
+    cache_subset_lookups:
+        When ``True``, a :class:`~repro.serving.SubgraphCache` miss on a
+        wave's union key falls back to scanning for a cached **superset**
+        bundle and slicing the requested support out of it (bit-identical
+        to a fresh build).  Subset hits refresh recency through the
+        ``peek()`` path and are counted separately from exact hits, so the
+        serving hit/miss ledger stays torn-free.  Only consulted by the
+        wave dispatcher; the default ``False`` keeps lookup costs O(1).
     """
 
     num_workers: int = 4
@@ -276,6 +296,8 @@ class ServingConfig:
     result_cache_capacity: int = 0
     latency_sample_cap: int = 100_000
     prefetch_depth: int = 0
+    wave_width: int = 1
+    cache_subset_lookups: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -361,6 +383,20 @@ class ServingConfig:
         if self.prefetch_depth < 0:
             raise ConfigurationError(
                 f"prefetch_depth must be non-negative, got {self.prefetch_depth}"
+            )
+        if self.wave_width < 1:
+            raise ConfigurationError(
+                f"wave_width must be positive, got {self.wave_width}"
+            )
+        if self.wave_width > 1 and self.backend != "thread":
+            raise ConfigurationError(
+                "wave_width > 1 requires the 'thread' backend (the wave "
+                "dispatcher ships pre-built union bundles to the workers)"
+            )
+        if self.wave_width > 1 and self.prefetch_depth > 0:
+            raise ConfigurationError(
+                "wave_width > 1 is mutually exclusive with prefetch_depth > 0 "
+                "(the wave dispatcher owns miss handling for its members)"
             )
 
     def with_updates(self, **kwargs) -> "ServingConfig":

@@ -39,8 +39,16 @@ from .controller import (
     StaticPolicy,
     build_controller,
 )
-from .queue import InferenceRequest, RequestQueue, ServingResponse
+from .queue import (
+    NEW_TRACE,
+    InferenceRequest,
+    RequestQueue,
+    ServingResponse,
+    SubmitOptions,
+)
 from .server import InferenceServer
+from .cluster import Cluster, ClusterBuilder
+from .wave import WaveAttribution, WaveResult, attribute_wave_macs, execute_wave
 from .simulator import (
     LinearServiceModel,
     SimulationReport,
@@ -52,12 +60,15 @@ from .worker import WorkerPool, WorkItem, WorkOutput
 
 __all__ = [
     "MONOTONIC_CLOCK",
+    "NEW_TRACE",
     "BatchController",
     "BatchLimits",
     "BusyTracker",
     "CacheCounters",
     "CachedResult",
     "Clock",
+    "Cluster",
+    "ClusterBuilder",
     "FakeClock",
     "InferenceRequest",
     "InferenceServer",
@@ -77,11 +88,16 @@ __all__ = [
     "SimulationReport",
     "StaticPolicy",
     "SubgraphCache",
+    "SubmitOptions",
+    "WaveAttribution",
+    "WaveResult",
     "WorkItem",
     "WorkOutput",
     "WorkerPool",
     "WorkerStats",
+    "attribute_wave_macs",
     "build_controller",
+    "execute_wave",
     "ramp_arrivals",
     "simulate_policy",
 ]

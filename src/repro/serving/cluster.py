@@ -1,0 +1,331 @@
+"""One fluent entry point for standing up a sharded serving fleet.
+
+Configuring a fleet used to mean walking three layers by hand — prepare
+the :class:`~repro.shard.ShardedPredictor`, mutate its store
+(``use_transport`` / ``use_replicated_transport`` / ``use_tiered_features``
+/ ``use_tracer``), then wrap a :class:`~repro.shard.ShardRouter` around it.
+:class:`ClusterBuilder` subsumes all of that behind one declarative chain::
+
+    cluster = (
+        ClusterBuilder(predictor)
+        .graph(graph, features)
+        .shards(4)
+        .replicated(rails=2)
+        .tiered_features(budget_bytes=1 << 20)
+        .traced(tracer)
+        .wave(width=4)
+        .build()
+    )
+    with cluster:
+        responses = cluster.predict_many(request_stream)
+
+Every step records intent; nothing touches the predictor until
+:meth:`ClusterBuilder.build`, which applies the steps in dependency order
+(prepare → transport → feature tiers → router) and returns a
+:class:`Cluster` — a thin lifecycle wrapper over the router.  The old
+store mutators remain as :class:`DeprecationWarning` shims that delegate
+to the same internal setters the builder uses, so existing deployments
+keep working while migrating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..core.config import ServingConfig, ShardConfig
+from ..exceptions import ConfigurationError
+from ..obs.registry import MetricsRegistry
+from .queue import SubmitOptions
+
+if TYPE_CHECKING:  # runtime imports are lazy — repro.shard imports this package
+    from ..shard.predictor import ShardedPredictor
+    from ..shard.router import RoutedRequest, RoutedResponse, ShardRouter
+    from ..shard.stats import ShardedStatsSnapshot
+
+__all__ = ["Cluster", "ClusterBuilder"]
+
+
+class ClusterBuilder:
+    """Fluent facade over predictor preparation, store wiring and routing.
+
+    Each chained call stores a declaration and returns ``self``;
+    :meth:`build` materializes the fleet.  A builder is single-shot —
+    reusing it after ``build()`` raises, because the predictor it
+    configured is now owned by the returned :class:`Cluster`.
+    """
+
+    def __init__(
+        self,
+        predictor: ShardedPredictor,
+        serving_config: ServingConfig | None = None,
+    ) -> None:
+        self._predictor = predictor
+        self._serving_config = serving_config
+        self._graph = None
+        self._features = None
+        self._shard_config: ShardConfig | None = None
+        self._plan = None
+        self._transport = None
+        self._replicated: dict | None = None
+        self._tiered: dict | None = None
+        self._tracer = None
+        self._wave_width: int | None = None
+        self._clock = None
+        self._registry: MetricsRegistry | None = None
+        self._built = False
+
+    # -- declarations ---------------------------------------------------- #
+    def graph(self, graph, features) -> "ClusterBuilder":
+        """Deploy onto ``graph``/``features`` (required unless prepared)."""
+        self._graph = graph
+        self._features = features
+        return self
+
+    def shards(
+        self, num_shards: int, *, strategy: str = "degree_balanced", **kwargs
+    ) -> "ClusterBuilder":
+        """Partition into ``num_shards`` shards (``ShardConfig`` knobs pass through)."""
+        self._shard_config = ShardConfig(
+            num_shards=num_shards, strategy=strategy, **kwargs
+        )
+        return self
+
+    def plan(self, plan) -> "ClusterBuilder":
+        """Deploy onto a pre-built :class:`~repro.shard.partitioner.ShardPlan`.
+
+        The versioned-rollout path: prepare the successor deployment onto
+        ``plan`` (typically ``active_plan.with_version(...)``) and hand the
+        built cluster's predictor to :meth:`Cluster.install_plan`.
+        """
+        self._plan = plan
+        return self
+
+    def transport(self, transport) -> "ClusterBuilder":
+        """Fetch through ``transport`` — an instance, or a callable of the store.
+
+        Subsumes ``prepare(transport=...)`` and ``use_transport``.
+        Mutually exclusive with :meth:`replicated`, which builds its own
+        transport.
+        """
+        self._transport = transport
+        return self
+
+    def replicated(self, rails=None, **kwargs) -> "ClusterBuilder":
+        """Fetch through replica rails (``use_replicated_transport`` knobs).
+
+        ``rails`` is an int (build that many in-process rails), a list of
+        :class:`~repro.transport.ShardTransport` rails, a callable taking
+        the prepared store and returning such a list (for rails that wrap
+        the store's own shard blocks), or ``None`` (one rail per
+        ``plan.max_replication``).
+        """
+        self._replicated = {"rails": rails, **kwargs}
+        return self
+
+    def tiered_features(self, budget_bytes: int, **kwargs) -> "ClusterBuilder":
+        """Cap resident feature rows fleet-wide (``use_tiered_features`` knobs)."""
+        self._tiered = {"budget_bytes": budget_bytes, **kwargs}
+        return self
+
+    def traced(self, tracer) -> "ClusterBuilder":
+        """Attach one tracer to the router, servers, store and transport."""
+        self._tracer = tracer
+        return self
+
+    def wave(self, width: int) -> "ClusterBuilder":
+        """Fuse up to ``width`` ready micro-batches per engine sweep.
+
+        Sets ``ServingConfig.wave_width`` on every per-shard server (see
+        :mod:`repro.serving.wave` for the equivalence and MAC-attribution
+        contract).
+        """
+        self._wave_width = width
+        return self
+
+    def serving(self, config: ServingConfig) -> "ClusterBuilder":
+        """Use ``config`` for every per-shard server (else the default)."""
+        self._serving_config = config
+        return self
+
+    def clock(self, clock) -> "ClusterBuilder":
+        """Drive every server off ``clock`` (tests use a FakeClock)."""
+        self._clock = clock
+        return self
+
+    def registry(self, registry: MetricsRegistry) -> "ClusterBuilder":
+        """Publish fleet metrics into an existing registry."""
+        self._registry = registry
+        return self
+
+    # -- materialization ------------------------------------------------- #
+    def build_predictor(self) -> "ShardedPredictor":
+        """Apply every declaration except routing; returns the predictor.
+
+        The generation-build entry point: a versioned rollout (or an
+        :class:`~repro.obs.AutoRebalancer` build callable) needs a fully
+        wired successor predictor to hand to
+        :meth:`~repro.shard.router.ShardRouter.install_plan`, while the
+        *existing* router keeps serving.  Consumes the builder like
+        :meth:`build`; serving-only declarations (``serving``, ``wave``,
+        ``clock``, ``registry``) are ignored here — they belong to the
+        router the predictor will join.
+        """
+        predictor = self._configure_predictor()
+        self._built = True
+        return predictor
+
+    def build(self) -> "Cluster":
+        """Apply the declarations in dependency order; returns the fleet."""
+        predictor = self._configure_predictor()
+        serving_config = (
+            self._serving_config
+            if self._serving_config is not None
+            else ServingConfig()
+        )
+        if self._wave_width is not None:
+            serving_config = replace(serving_config, wave_width=self._wave_width)
+        from ..shard.router import ShardRouter
+
+        router = ShardRouter(
+            predictor,
+            serving_config,
+            clock=self._clock,
+            tracer=self._tracer,
+            registry=self._registry,
+        )
+        self._built = True
+        return Cluster(router)
+
+    def _configure_predictor(self) -> "ShardedPredictor":
+        """Prepare the predictor and wire its store per the declarations."""
+        if self._built:
+            raise ConfigurationError(
+                "this ClusterBuilder already built a Cluster; create a new "
+                "builder per fleet"
+            )
+        if self._transport is not None and self._replicated is not None:
+            raise ConfigurationError(
+                "transport(...) and replicated(...) are mutually exclusive: "
+                "the replicated rails *are* the transport"
+            )
+        predictor = self._predictor
+        if not predictor.prepared:
+            if self._graph is None or self._features is None:
+                raise ConfigurationError(
+                    "the predictor is not prepared: give the builder "
+                    ".graph(graph, features) (and .shards(k))"
+                )
+            if self._shard_config is None:
+                raise ConfigurationError(
+                    "the predictor is not prepared: give the builder "
+                    ".shards(num_shards)"
+                )
+            predictor.prepare(
+                self._graph,
+                self._features,
+                self._shard_config,
+                plan=self._plan,
+            )
+        elif self._graph is not None or self._shard_config is not None:
+            raise ConfigurationError(
+                "the predictor is already prepared; drop .graph()/.shards() "
+                "or pass an unprepared predictor"
+            )
+        store = predictor.store
+        if self._transport is not None:
+            transport = self._transport
+            if callable(transport) and not hasattr(transport, "fetch"):
+                transport = transport(store)
+            store._set_transport(transport)
+        elif self._replicated is not None:
+            spec = dict(self._replicated)
+            rails = spec.pop("rails", None)
+            if callable(rails):
+                rails = rails(store)
+            elif isinstance(rails, int):
+                from ..transport import LocalTransport
+
+                rails = [LocalTransport(store.shards) for _ in range(rails)]
+            store._set_replicated_transport(rails, **spec)
+        if self._tiered is not None:
+            store._set_tiered_features(**self._tiered)
+        return predictor
+
+
+class Cluster:
+    """A built serving fleet: lifecycle wrapper over a :class:`ShardRouter`.
+
+    Everything request-shaped delegates to the router; the wrapper adds
+    nothing but a stable handle that a ``with`` block can own.  Reach the
+    underlying layers through :attr:`router`, :attr:`predictor` and
+    :attr:`store` when a test or an operator tool needs them.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+
+    # -- composition roots ---------------------------------------------- #
+    @property
+    def predictor(self) -> ShardedPredictor:
+        return self.router.predictor
+
+    @property
+    def store(self):
+        return self.router.predictor.store
+
+    @property
+    def servers(self) -> dict:
+        return self.router.servers
+
+    @property
+    def plan_version(self) -> int:
+        return self.router.plan_version
+
+    # -- request surface ------------------------------------------------- #
+    def submit(
+        self, node_ids, options: SubmitOptions | None = None, **kwargs
+    ) -> RoutedRequest:
+        return self.router.submit(node_ids, options, **kwargs)
+
+    def predict_many(self, batches, *, timeout=None) -> "list[RoutedResponse]":
+        return self.router.predict_many(batches, timeout=timeout)
+
+    def drain(self, timeout=None) -> None:
+        self.router.drain(timeout=timeout)
+
+    # -- observability ---------------------------------------------------- #
+    def stats(self) -> ShardedStatsSnapshot:
+        return self.router.stats()
+
+    def interval_stats(self, *, reset: bool = True) -> dict:
+        return self.router.interval_stats(reset=reset)
+
+    def traffic(self) -> dict:
+        return self.router.traffic()
+
+    def metrics_text(self) -> str:
+        return self.router.metrics_text()
+
+    def controller_state(self) -> dict:
+        return self.router.controller_state()
+
+    # -- rollout ---------------------------------------------------------- #
+    def install_plan(self, predictor: ShardedPredictor) -> int:
+        return self.router.install_plan(predictor)
+
+    def finish_rollout(self, timeout=None) -> int:
+        return self.router.finish_rollout(timeout=timeout)
+
+    def rollout_state(self) -> "list[dict]":
+        return self.router.rollout_state()
+
+    # -- lifecycle --------------------------------------------------------- #
+    def close(self) -> None:
+        self.router.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -29,6 +29,39 @@ from ..core.inference import MACBreakdown, TimingBreakdown
 from ..exceptions import BackpressureError, ConfigurationError, ServingError
 from .clock import MONOTONIC_CLOCK, Clock
 
+#: Sentinel for "start a fresh trace" — distinct from ``None`` (explicitly
+#: untraced), so callers can still opt a request out of tracing entirely.
+NEW_TRACE = object()
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Uniform per-request options of every ``submit`` surface.
+
+    Accepted identically by :meth:`repro.serving.InferenceServer.submit`
+    and :meth:`repro.shard.ShardRouter.submit`, so a caller can swap a
+    single server for a routed fleet (or back) without touching call
+    sites.
+
+    Attributes
+    ----------
+    timeout:
+        Bound on the submitter's wait for queue admission under the
+        ``"block"`` overflow policy (not on serving itself).
+    trace_parent:
+        ``NEW_TRACE`` (default) starts a fresh trace per request when the
+        target is traced; ``None`` opts the request out of tracing; any
+        :class:`~repro.obs.TraceContext` makes the request a child span of
+        it (the router threads its route context through this).
+    tenant:
+        Opaque tenant tag echoed on the request and its response —
+        the hook for per-tenant accounting and QoS layers.
+    """
+
+    timeout: float | None = None
+    trace_parent: object = NEW_TRACE
+    tenant: str | None = None
+
 
 @dataclass(frozen=True)
 class ServingResponse:
@@ -58,6 +91,13 @@ class ServingResponse:
     #: then describes the *recorded* execution being replayed, not work done
     #: for this response (``worker_id`` is -1 — no worker ran).
     result_cache_hit: bool = False
+    #: Tenant tag of the originating request (see :class:`SubmitOptions`).
+    tenant: str | None = None
+    #: Number of micro-batches fused into the wave this response's batch
+    #: rode in (1 = no wave; ``batch_macs`` is then the full batch cost,
+    #: otherwise it is this batch's exact attributed share of the union
+    #: sweep — distinct batch ids still sum to the executed total).
+    wave_width: int = 1
 
 
 class InferenceRequest:
@@ -70,6 +110,7 @@ class InferenceRequest:
         *,
         enqueued_at: float | None = None,
         trace=None,
+        tenant: str | None = None,
     ) -> None:
         node_ids = np.asarray(node_ids, dtype=np.int64)
         if node_ids.ndim != 1 or node_ids.size == 0:
@@ -81,6 +122,8 @@ class InferenceRequest:
         #: Root :class:`~repro.obs.TraceContext` of this request, or ``None``
         #: when untraced (tracing off, or the sampler skipped it).
         self.trace = trace
+        #: Tenant tag from :class:`SubmitOptions`, echoed on the response.
+        self.tenant = tenant
         # The server stamps requests with its clock; standalone construction
         # falls back to real time so batcher deadlines still make sense.
         self.enqueued_at = (

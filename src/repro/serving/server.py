@@ -32,20 +32,24 @@ import numpy as np
 from ..core.config import ServingConfig
 from ..core.inference import NAIPredictor
 from ..exceptions import ConfigurationError, ServingError
-from ..graph.sampling import canonical_order
+from ..graph.sampling import canonical_order, slice_support_bundle
 from .batcher import MicroBatch, MicroBatcher
 from .cache import CachedResult, ResultCache, SubgraphCache
 from .clock import MONOTONIC_CLOCK, Clock
 from .controller import BatchController, build_controller
 from .prefetch import BusyTracker, PrefetchPipeline, PrefetchTask
-from .queue import InferenceRequest, RequestQueue, ServingResponse
+from .queue import NEW_TRACE, InferenceRequest, RequestQueue, ServingResponse, SubmitOptions
 from .stats import ServingStats, ServingStatsSnapshot
+from .wave import attribute_wave_macs, split_timings
 from .worker import WorkerPool, WorkItem, WorkOutput
 
 #: Default ``trace_parent``: "no parent given — start a sampled root trace".
 #: Distinct from an *explicit* ``None``, which means "this request was
 #: sampled out upstream (the shard router); do not trace it here either".
-_NEW_TRACE = object()
+#: Alias of :data:`repro.serving.queue.NEW_TRACE` (the canonical sentinel,
+#: shared with :class:`~repro.serving.queue.SubmitOptions`); kept under the
+#: old private name for existing imports.
+_NEW_TRACE = NEW_TRACE
 
 
 class InferenceServer:
@@ -102,6 +106,21 @@ class InferenceServer:
                 "prefetch_depth > 0 requires the supporting-subgraph cache: "
                 "backend='thread', the fused engine and cache_capacity > 0"
             )
+        # Wave fusion runs one union sweep for several in-flight
+        # micro-batches.  The MAC-attribution replay walks the executed
+        # bundle, so waves need the fused engine (the reference engine
+        # resamples per depth — there is no single union bundle to replay).
+        self._wave_width = self.config.wave_width
+        if self._wave_width > 1 and predictor.config.engine != "fused":
+            raise ConfigurationError(
+                "wave_width > 1 requires the fused engine "
+                "(NAIConfig.engine='fused')"
+            )
+        if self.config.cache_subset_lookups and self.cache is None:
+            raise ConfigurationError(
+                "cache_subset_lookups requires the supporting-subgraph cache: "
+                "backend='thread', the fused engine and cache_capacity > 0"
+            )
         # The opt-in result cache replays recorded per-node outputs for exact
         # canonical node-set repeats; it exchanges plain arrays only, so it
         # works with every backend and engine.
@@ -114,9 +133,15 @@ class InferenceServer:
             backend=self.config.backend,
             tracer=tracer if self.config.backend == "thread" else None,
         )
-        # Dispatcher-owned engine, used only for bundle building on cache
-        # misses (build_support touches no propagation buffers).
-        self._sampler = predictor.make_engine() if self.cache is not None else None
+        # Dispatcher-owned engine, used for bundle building on cache misses
+        # (build_support touches no propagation buffers) and, in wave mode,
+        # as the source of the policy/classifier state the attribution
+        # replay reads.
+        self._sampler = (
+            predictor.make_engine()
+            if self.cache is not None or self._wave_width > 1
+            else None
+        )
         self._stats = ServingStats(self.config.latency_sample_cap, clock=self.clock)
         # Asynchronous prefetch: cache misses are fetched by background
         # fetcher threads so batch N+1's transport rounds overlap batch N's
@@ -149,39 +174,62 @@ class InferenceServer:
     def submit(
         self,
         node_ids: np.ndarray,
+        options: SubmitOptions | None = None,
         *,
         timeout: float | None = None,
-        trace_parent=_NEW_TRACE,
+        trace_parent=NEW_TRACE,
+        tenant: str | None = None,
     ) -> InferenceRequest:
         """Enqueue one request; returns its handle immediately.
 
+        Per-request options travel in one :class:`~repro.serving.queue.
+        SubmitOptions` — the same object :meth:`repro.shard.ShardRouter.
+        submit` accepts, so call sites survive a single-server-to-fleet
+        swap unchanged.  The legacy ``timeout=``/``trace_parent=`` (and
+        ``tenant=``) keywords still work when no ``options`` is given;
+        mixing both surfaces raises.
+
         Raises :class:`~repro.exceptions.BackpressureError` under the
-        ``"reject"`` overflow policy (or after ``timeout`` under
+        ``"reject"`` overflow policy (or after ``options.timeout`` under
         ``"block"``) when the queue is full.  ``trace_parent`` nests the
         request's trace under an existing context (the shard router's
         ``route`` span) instead of starting a fresh sampled trace; pass an
         explicit ``None`` to mark the request as sampled out upstream.
         """
+        if options is None:
+            options = SubmitOptions(
+                timeout=timeout, trace_parent=trace_parent, tenant=tenant
+            )
+        elif (
+            timeout is not None
+            or trace_parent is not NEW_TRACE
+            or tenant is not None
+        ):
+            raise ConfigurationError(
+                "pass either a SubmitOptions or the legacy "
+                "timeout/trace_parent/tenant keywords, not both"
+            )
         if not self._accepting:
             raise ServingError("the server is closed to new requests")
         trace = None
         if self.tracer is not None:
             trace = (
                 self.tracer.new_trace()
-                if trace_parent is _NEW_TRACE
-                else self.tracer.child(trace_parent)
+                if options.trace_parent is NEW_TRACE
+                else self.tracer.child(options.trace_parent)
             )
         request = InferenceRequest(
             next(self._request_ids),
             node_ids,
             enqueued_at=self.clock.now(),
             trace=trace,
+            tenant=options.tenant,
         )
         self._stats.mark_submission()
         with self._inflight_lock:
             self._inflight += 1
         try:
-            self.queue.put(request, timeout=timeout)
+            self.queue.put(request, timeout=options.timeout)
         except BaseException:
             with self._inflight_lock:
                 self._inflight -= 1
@@ -229,6 +277,7 @@ class InferenceServer:
             cache_hits=cache.hits if cache else 0,
             cache_misses=cache.misses if cache else 0,
             cache_entries=cache.entries if cache else 0,
+            cache_subset_hits=cache.subset_hits if cache else 0,
             result_cache_hits=results.hits if results else 0,
             result_cache_misses=results.misses if results else 0,
             result_cache_entries=results.entries if results else 0,
@@ -330,107 +379,430 @@ class InferenceServer:
     # Dispatcher
     # ------------------------------------------------------------------ #
     def _dispatch_loop(self) -> None:
-        depth = self.predictor.config.t_max
         while not (self._closed and self.queue.depth == 0):
             micro_batch = self.batcher.next_batch(poll_timeout=0.02)
             if micro_batch is None:
                 if self.queue.is_closed:
                     break
                 continue
-            # Resolve the sampling products here, in the dispatcher: a miss
-            # is built and inserted *before* dispatch, so identical batches
-            # already in flight behind this one hit deterministically, and
-            # sampling pipelines with the workers' propagation compute.
-            # Any failure (e.g. out-of-range node ids surfacing in the BFS)
-            # fails this micro-batch's requests only — the dispatcher must
-            # outlive every malformed request.
-            try:
-                # Tracing: batch-level spans hang off the first traced
-                # member (the "primary") — one batch tree per micro-batch,
-                # not one per request.  ``primary is None`` (tracing off or
-                # nothing sampled) keeps every site below dormant.
-                primary = None
-                if self.tracer is not None:
-                    primary = next(
-                        (r.trace for r in micro_batch.requests if r.trace is not None),
-                        None,
-                    )
-                    if primary is not None and micro_batch.started_at is not None:
-                        self.tracer.emit_under(
-                            "batch.coalesce",
-                            primary,
-                            micro_batch.started_at,
-                            micro_batch.formed_at,
-                            batch_id=micro_batch.batch_id,
-                            num_requests=micro_batch.num_requests,
-                            num_nodes=micro_batch.num_nodes,
-                        )
-                # Both caches key on the canonical (sorted) node multiset, so
-                # permuted repeats of a node-set share one entry; ``rank``
-                # rebases canonical-order artefacts back to batch order.
-                sorted_ids = rank = None
-                if self.cache is not None or self.result_cache is not None:
-                    sorted_ids, rank = canonical_order(micro_batch.node_ids)
+            if self._wave_width <= 1:
+                self._dispatch_one(micro_batch)
+                continue
+            # Wave gate: fuse up to wave_width micro-batches that are
+            # *already ready* — the zero poll never delays the first
+            # member, so an idle server behaves exactly like wave_width=1;
+            # only genuine concurrency (a backed-up queue) widens waves.
+            members = [micro_batch]
+            while len(members) < self._wave_width:
+                extra = self.batcher.next_batch(poll_timeout=0.0)
+                if extra is None:
+                    break
+                members.append(extra)
+            if len(members) == 1:
+                self._dispatch_one(micro_batch)
+            else:
+                self._dispatch_wave(members)
 
-                result_key = canonical_idx = None
-                if self.result_cache is not None:
-                    assert sorted_ids is not None and rank is not None
-                    result_key = self.result_cache.key_for(sorted_ids, depth)
-                    recorded = self.result_cache.get(result_key)
-                    if recorded is not None:
-                        self._replay_micro_batch(micro_batch, rank, recorded)
-                        continue
-                    # Inverse of ``rank`` by scatter (no second sort): the
-                    # completion path stores the result in canonical order.
-                    canonical_idx = np.empty_like(rank)
-                    canonical_idx[rank] = np.arange(rank.shape[0], dtype=np.int64)
+    def _dispatch_one(self, micro_batch: MicroBatch) -> None:
+        """Resolve and dispatch a single micro-batch (the non-wave path).
 
-                batch_ctx = None
-                if primary is not None:
-                    batch_ctx = self.tracer.child(primary)
-
-                bundle = None
-                cache_hit = False
-                bundle_is_fresh = False
-                if self.cache is not None:
-                    assert sorted_ids is not None and rank is not None
-                    key = self.cache.key_for(sorted_ids, depth)
-                    bundle = self.cache.get(key)
-                    cache_hit = bundle is not None
-                    if bundle is None and self._prefetch is not None:
-                        # Hand the fetch to the pipeline and move straight on
-                        # to coalescing the next micro-batch: its transport
-                        # rounds overlap the pool's compute (and each other,
-                        # at depth > 1).  The fetcher finishes the batch.
-                        self._stats.record_prefetch_issued()
-                        self._prefetch.submit(
-                            PrefetchTask(
-                                micro_batch=micro_batch,
-                                sorted_ids=sorted_ids,
-                                rank=rank,
-                                cache_key=key,
-                                result_key=result_key,
-                                canonical_idx=canonical_idx,
-                                batch_ctx=batch_ctx,
-                            )
-                        )
-                        continue
-                    if bundle is None:
-                        # Build (and insert) the canonical-order bundle; the
-                        # actual batch order is restored by rebasing below.
-                        bundle = self._build_bundle(
-                            micro_batch, sorted_ids, batch_ctx, self._sampler
-                        )
-                        self.cache.put(key, bundle)
-                        bundle_is_fresh = True
-                    if not np.array_equal(sorted_ids, micro_batch.node_ids):
-                        bundle = bundle.with_target_order(rank)
-                self._submit_work(
-                    micro_batch, bundle, cache_hit, bundle_is_fresh,
-                    result_key, canonical_idx, batch_ctx,
+        Resolve the sampling products here, in the dispatcher: a miss
+        is built and inserted *before* dispatch, so identical batches
+        already in flight behind this one hit deterministically, and
+        sampling pipelines with the workers' propagation compute.
+        Any failure (e.g. out-of-range node ids surfacing in the BFS)
+        fails this micro-batch's requests only — the dispatcher must
+        outlive every malformed request.
+        """
+        depth = self.predictor.config.t_max
+        try:
+            # Tracing: batch-level spans hang off the first traced
+            # member (the "primary") — one batch tree per micro-batch,
+            # not one per request.  ``primary is None`` (tracing off or
+            # nothing sampled) keeps every site below dormant.
+            primary = None
+            if self.tracer is not None:
+                primary = next(
+                    (r.trace for r in micro_batch.requests if r.trace is not None),
+                    None,
                 )
-            except BaseException as error:  # noqa: BLE001 - forwarded per request
-                self._fail_micro_batch(micro_batch, error)
+                if primary is not None and micro_batch.started_at is not None:
+                    self.tracer.emit_under(
+                        "batch.coalesce",
+                        primary,
+                        micro_batch.started_at,
+                        micro_batch.formed_at,
+                        batch_id=micro_batch.batch_id,
+                        num_requests=micro_batch.num_requests,
+                        num_nodes=micro_batch.num_nodes,
+                    )
+            # Both caches key on the canonical (sorted) node multiset, so
+            # permuted repeats of a node-set share one entry; ``rank``
+            # rebases canonical-order artefacts back to batch order.
+            sorted_ids = rank = None
+            if self.cache is not None or self.result_cache is not None:
+                sorted_ids, rank = canonical_order(micro_batch.node_ids)
+
+            result_key = canonical_idx = None
+            if self.result_cache is not None:
+                assert sorted_ids is not None and rank is not None
+                result_key = self.result_cache.key_for(sorted_ids, depth)
+                recorded = self.result_cache.get(result_key)
+                if recorded is not None:
+                    self._replay_micro_batch(micro_batch, rank, recorded)
+                    return
+                # Inverse of ``rank`` by scatter (no second sort): the
+                # completion path stores the result in canonical order.
+                canonical_idx = np.empty_like(rank)
+                canonical_idx[rank] = np.arange(rank.shape[0], dtype=np.int64)
+
+            batch_ctx = None
+            if primary is not None:
+                batch_ctx = self.tracer.child(primary)
+
+            bundle = None
+            cache_hit = False
+            bundle_is_fresh = False
+            if self.cache is not None:
+                assert sorted_ids is not None and rank is not None
+                key = self.cache.key_for(sorted_ids, depth)
+                bundle = self.cache.get(key)
+                cache_hit = bundle is not None
+                if bundle is None and self._prefetch is not None:
+                    # Hand the fetch to the pipeline and move straight on
+                    # to coalescing the next micro-batch: its transport
+                    # rounds overlap the pool's compute (and each other,
+                    # at depth > 1).  The fetcher finishes the batch.
+                    self._stats.record_prefetch_issued()
+                    self._prefetch.submit(
+                        PrefetchTask(
+                            micro_batch=micro_batch,
+                            sorted_ids=sorted_ids,
+                            rank=rank,
+                            cache_key=key,
+                            result_key=result_key,
+                            canonical_idx=canonical_idx,
+                            batch_ctx=batch_ctx,
+                        )
+                    )
+                    return
+                if bundle is None:
+                    # Build (and insert) the canonical-order bundle; the
+                    # actual batch order is restored by rebasing below.
+                    bundle = self._build_bundle(
+                        micro_batch, sorted_ids, batch_ctx, self._sampler
+                    )
+                    self.cache.put(key, bundle)
+                    bundle_is_fresh = True
+                if not np.array_equal(sorted_ids, micro_batch.node_ids):
+                    bundle = bundle.with_target_order(rank)
+            self._submit_work(
+                micro_batch, bundle, cache_hit, bundle_is_fresh,
+                result_key, canonical_idx, batch_ctx,
+            )
+        except BaseException as error:  # noqa: BLE001 - forwarded per request
+            self._fail_micro_batch(micro_batch, error)
+
+    def _dispatch_wave(self, members: "list[MicroBatch]") -> None:
+        """Fuse ready micro-batches into one union sweep (the wave path).
+
+        The union batch is the members' node ids concatenated in member
+        order; one bundle build plus one engine sweep serve every member,
+        and the completion path scatters per-member result slices back
+        and splits the sweep's MACs exactly
+        (:func:`~repro.serving.wave.attribute_wave_macs`).  A failure
+        before dispatch fails every member — the :meth:`_dispatch_one`
+        contract, wave-wide.
+        """
+        depth = self.predictor.config.t_max
+        try:
+            union_ids = np.concatenate([mb.node_ids for mb in members])
+            sizes = np.asarray([mb.num_nodes for mb in members], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            union_start = self.clock.now()
+            primary = None
+            if self.tracer is not None:
+                # The wave's batch tree hangs off the first traced request
+                # of any member; per-member coalesce spans keep the trace
+                # comparable to the non-wave path.
+                primary = next(
+                    (
+                        r.trace
+                        for mb in members
+                        for r in mb.requests
+                        if r.trace is not None
+                    ),
+                    None,
+                )
+                if primary is not None:
+                    for mb in members:
+                        if mb.started_at is not None:
+                            self.tracer.emit_under(
+                                "batch.coalesce",
+                                primary,
+                                mb.started_at,
+                                mb.formed_at,
+                                batch_id=mb.batch_id,
+                                num_requests=mb.num_requests,
+                                num_nodes=mb.num_nodes,
+                            )
+            batch_ctx = None
+            if primary is not None:
+                batch_ctx = self.tracer.child(primary)
+
+            sorted_ids, rank = canonical_order(union_ids)
+            bundle = None
+            cache_hit = False
+            bundle_is_fresh = False
+            if self.cache is not None:
+                key = self.cache.key_for(sorted_ids, depth)
+                bundle = self.cache.get(key)
+                cache_hit = bundle is not None
+                if bundle is None and self.config.cache_subset_lookups:
+                    match = self.cache.find_superset(sorted_ids, depth)
+                    if match is not None:
+                        # Slice this union's bundle out of a cached
+                        # superset bundle: bit-identical to a fresh build
+                        # (a subset's k-hop support lies inside the
+                        # superset's) at a fraction of the cost.  Costed —
+                        # and cached under the exact key — as a build.
+                        bundle = slice_support_bundle(
+                            match[1], sorted_ids, depth
+                        )
+                if bundle is None:
+                    bundle = self._build_bundle(
+                        members[0], sorted_ids, batch_ctx, self._sampler
+                    )
+                if not cache_hit:
+                    self.cache.put(key, bundle)
+                    bundle_is_fresh = True
+            else:
+                bundle = self._build_bundle(
+                    members[0], sorted_ids, batch_ctx, self._sampler
+                )
+                bundle_is_fresh = True
+            if not np.array_equal(sorted_ids, union_ids):
+                bundle = bundle.with_target_order(rank)
+            if batch_ctx is not None:
+                self.tracer.emit_under(
+                    "wave.union",
+                    batch_ctx,
+                    union_start,
+                    self.clock.now(),
+                    batch_id=members[0].batch_id,
+                    wave_width=len(members),
+                    num_nodes=int(union_ids.shape[0]),
+                    cache_hit=cache_hit,
+                )
+            self._submit_wave(
+                members, offsets, union_ids, bundle, cache_hit,
+                bundle_is_fresh, batch_ctx,
+            )
+        except BaseException as error:  # noqa: BLE001 - forwarded per request
+            for mb in members:
+                self._fail_micro_batch(mb, error)
+
+    def _submit_wave(
+        self,
+        members: "list[MicroBatch]",
+        offsets: np.ndarray,
+        union_ids: np.ndarray,
+        bundle,
+        cache_hit: bool,
+        bundle_is_fresh: bool,
+        batch_ctx,
+    ) -> None:
+        """Dispatch a resolved wave to the pool as one union work item."""
+        compute_ctx = None
+        if batch_ctx is not None:
+            compute_ctx = self.tracer.child(batch_ctx)
+        dispatched_at = self.clock.now()
+        queue_waits = [
+            [dispatched_at - request.enqueued_at for request in mb.requests]
+            for mb in members
+        ]
+        if self.tracer is not None:
+            for mb in members:
+                for request in mb.requests:
+                    if request.trace is not None:
+                        self.tracer.emit_under(
+                            "queue.wait",
+                            request.trace,
+                            request.enqueued_at,
+                            dispatched_at,
+                            batch_id=mb.batch_id,
+                        )
+        self.pool.submit(
+            WorkItem(
+                batch_id=members[0].batch_id,
+                node_ids=union_ids,
+                bundle=bundle,
+                bundle_is_fresh=bundle_is_fresh,
+                callback=lambda output, ms=members, offs=offsets,
+                waits=queue_waits, hit=cache_hit, b=bundle,
+                sent=dispatched_at, bctx=batch_ctx:
+                self._on_wave_done(ms, offs, waits, hit, output, b, sent, bctx),
+                trace=compute_ctx,
+            )
+        )
+
+    def _on_wave_done(
+        self,
+        members: "list[MicroBatch]",
+        offsets: np.ndarray,
+        queue_waits: "list[list[float]]",
+        cache_hit: bool,
+        output: WorkOutput,
+        bundle,
+        dispatched_at: float,
+        batch_ctx,
+    ) -> None:
+        """Scatter a union sweep back into per-member, per-request responses."""
+        num_requests = sum(mb.num_requests for mb in members)
+        try:
+            result = output.result
+            error = output.error
+            attribution = None
+            if error is None and result is not None:
+                try:
+                    # Replay the union sweep's control flow and split its
+                    # engine-reported MACs exactly across the members.
+                    # ``bundle`` is the executed (batch-order) bundle the
+                    # replay walks; a reconciliation mismatch raises and
+                    # fails the wave rather than shipping wrong accounting.
+                    sampler = self._sampler
+                    attribution = attribute_wave_macs(
+                        bundle,
+                        offsets,
+                        result,
+                        policy=sampler.policy,
+                        classifiers=sampler.classifiers,
+                        config=sampler.config,
+                        stationary_num_nodes=sampler.stationary.num_nodes,
+                    )
+                except BaseException as attribution_error:  # noqa: BLE001
+                    error = attribution_error
+            if error is not None or result is None or attribution is None:
+                if error is None:
+                    error = ServingError(
+                        f"wave of {len(members)} micro-batches produced "
+                        "no result"
+                    )
+                failed_at = self.clock.now()
+                for mb in members:
+                    for request in mb.requests:
+                        request._fail(error)
+                    if self.tracer is not None:
+                        for request in mb.requests:
+                            if request.trace is not None:
+                                self.tracer.emit(
+                                    "request",
+                                    request.trace,
+                                    request.enqueued_at,
+                                    failed_at,
+                                    request_id=request.request_id,
+                                    batch_id=mb.batch_id,
+                                    status="failed",
+                                    error=str(error),
+                                )
+                self._stats.record_failure(num_requests)
+                return
+            completed_at = self.clock.now()
+            # One controller cost sample for the union — the service time
+            # the pool actually spent, not wave_width copies of it.
+            self.controller.observe_batch(
+                num_nodes=int(offsets[-1]),
+                num_requests=num_requests,
+                service_seconds=completed_at - dispatched_at,
+                queue_depth=self.queue.depth,
+            )
+            member_timings = split_timings(
+                result.timings,
+                [macs.total for macs in attribution.member_macs],
+            )
+            wave_width = len(members)
+            for k, mb in enumerate(members):
+                base = int(offsets[k])
+                member_macs = attribution.member_macs[k]
+                latencies = []
+                for index, request in enumerate(mb.requests):
+                    inner = mb.request_slice(index)
+                    rows = slice(base + inner.start, base + inner.stop)
+                    latency = completed_at - request.enqueued_at
+                    latencies.append(latency)
+                    request._fulfill(
+                        ServingResponse(
+                            request_id=request.request_id,
+                            node_ids=request.node_ids,
+                            predictions=result.predictions[rows],
+                            depths=result.depths[rows],
+                            latency_seconds=latency,
+                            queue_seconds=queue_waits[k][index],
+                            cache_hit=cache_hit,
+                            worker_id=output.worker_id,
+                            batch_id=mb.batch_id,
+                            batch_num_nodes=mb.num_nodes,
+                            batch_num_requests=mb.num_requests,
+                            batch_macs=member_macs,
+                            batch_timings=member_timings[k],
+                            tenant=request.tenant,
+                            wave_width=wave_width,
+                        )
+                    )
+                self._stats.record_batch(
+                    worker_id=output.worker_id,
+                    num_nodes=mb.num_nodes,
+                    num_requests=mb.num_requests,
+                    macs=member_macs,
+                    timings=member_timings[k],
+                    latencies=latencies,
+                    queue_waits=queue_waits[k],
+                )
+            self._stats.record_wave(
+                width=wave_width,
+                shared_row_macs=attribution.shared_row_macs,
+                total_row_macs=attribution.total_row_macs,
+            )
+            if self.tracer is not None and batch_ctx is not None:
+                self.tracer.emit_under(
+                    "wave.scatter",
+                    batch_ctx,
+                    completed_at,
+                    self.clock.now(),
+                    batch_id=members[0].batch_id,
+                    wave_width=wave_width,
+                    num_requests=num_requests,
+                )
+                self.tracer.emit(
+                    "batch.execute",
+                    batch_ctx,
+                    dispatched_at,
+                    completed_at,
+                    batch_id=members[0].batch_id,
+                    num_requests=num_requests,
+                    num_nodes=int(offsets[-1]),
+                    worker_id=output.worker_id,
+                    cache_hit=cache_hit,
+                    wave_width=wave_width,
+                    macs=int(result.macs.total),
+                )
+                for mb in members:
+                    for request in mb.requests:
+                        if request.trace is not None:
+                            self.tracer.emit(
+                                "request",
+                                request.trace,
+                                request.enqueued_at,
+                                completed_at,
+                                request_id=request.request_id,
+                                num_nodes=request.num_nodes,
+                                batch_id=mb.batch_id,
+                            )
+        finally:
+            with self._inflight_lock:
+                self._inflight -= num_requests
+                if self._inflight <= 0:
+                    self._idle.notify_all()
 
     def _build_bundle(
         self, micro_batch: MicroBatch, sorted_ids: np.ndarray, batch_ctx, sampler
@@ -597,6 +969,7 @@ class InferenceServer:
                     batch_macs=recorded.macs,
                     batch_timings=recorded.timings,
                     result_cache_hit=True,
+                    tenant=request.tenant,
                 )
             )
         if self.tracer is not None:
@@ -762,6 +1135,7 @@ class InferenceServer:
                         batch_num_requests=micro_batch.num_requests,
                         batch_macs=result.macs,
                         batch_timings=result.timings,
+                        tenant=request.tenant,
                     )
                 )
             if self.tracer is not None and batch_ctx is not None:

@@ -89,6 +89,23 @@ class ServingStatsSnapshot:
     prefetch_hits: int = 0
     prefetch_fetch_seconds: float = 0.0
     prefetch_overlap_seconds: float = 0.0
+    #: Wave-scheduler accounting (``ServingConfig.wave_width > 1``).  A wave
+    #: fuses ``wave_width_p50``-ish micro-batches into one union sweep;
+    #: ``shared_row_fraction`` is the MAC-weighted fraction of propagation
+    #: row work that two or more members needed (the deduplicated share),
+    #: and ``macs_per_request`` divides the computed MAC total over the
+    #: computed (non-replayed) requests — the wave bench's headline number.
+    waves_dispatched: int = 0
+    wave_members: int = 0
+    wave_width_p50: float = 0.0
+    wave_width_p95: float = 0.0
+    shared_row_fraction: float = 0.0
+    cache_subset_hits: int = 0
+    macs_per_request: float = 0.0
+    #: Raw numerator/denominator behind ``shared_row_fraction`` — the fleet
+    #: merge needs them to recompute the ratio exactly across shards.
+    wave_shared_row_macs: float = 0.0
+    wave_total_row_macs: float = 0.0
 
     def as_dict(self) -> dict:
         """JSON-ready dictionary (used by the serving benchmark report)."""
@@ -131,6 +148,15 @@ class ServingStatsSnapshot:
             "prefetch_hits": self.prefetch_hits,
             "prefetch_fetch_seconds": self.prefetch_fetch_seconds,
             "prefetch_overlap_seconds": self.prefetch_overlap_seconds,
+            "waves_dispatched": self.waves_dispatched,
+            "wave_members": self.wave_members,
+            "wave_width_p50": self.wave_width_p50,
+            "wave_width_p95": self.wave_width_p95,
+            "shared_row_fraction": self.shared_row_fraction,
+            "cache_subset_hits": self.cache_subset_hits,
+            "macs_per_request": self.macs_per_request,
+            "wave_shared_row_macs": self.wave_shared_row_macs,
+            "wave_total_row_macs": self.wave_total_row_macs,
             "per_worker": {
                 str(worker): {"batches": stats.batches, "nodes": stats.nodes}
                 for worker, stats in sorted(self.per_worker.items())
@@ -167,6 +193,11 @@ class ServingStats:
         self.prefetch_hits = 0
         self._prefetch_fetch_seconds = 0.0
         self._prefetch_overlap_seconds = 0.0
+        self.waves_dispatched = 0
+        self.wave_members = 0
+        self._wave_widths: deque[int] = deque(maxlen=latency_sample_cap)
+        self._wave_shared_row_macs = 0.0
+        self._wave_total_row_macs = 0.0
         self._first_activity: float | None = None
         self._last_activity: float | None = None
         self._reset_window_locked(self.clock.now())
@@ -313,6 +344,24 @@ class ServingStats:
         with self._lock:
             self.prefetch_cancelled += count
 
+    def record_wave(
+        self, *, width: int, shared_row_macs: float, total_row_macs: float
+    ) -> None:
+        """Fold one dispatched wave into the accumulators.
+
+        Like prefetch accounting this is cumulative only: the member
+        micro-batches themselves still flow through :meth:`record_batch`
+        (with their attributed MAC shares), so every interval-window number
+        keeps its meaning; the wave counters describe how the members were
+        *grouped*.
+        """
+        with self._lock:
+            self.waves_dispatched += 1
+            self.wave_members += width
+            self._wave_widths.append(width)
+            self._wave_shared_row_macs += shared_row_macs
+            self._wave_total_row_macs += total_row_macs
+
     def record_failure(self, num_requests: int) -> None:
         with self._lock:
             self.requests_failed += num_requests
@@ -423,6 +472,7 @@ class ServingStats:
         result_cache_entries: int = 0,
         batch_policy: str = "static",
         controller_adjustments: int = 0,
+        cache_subset_hits: int = 0,
     ) -> ServingStatsSnapshot:
         """Render the current counters (plus queue/cache gauges) immutably."""
         with self._lock:
@@ -433,6 +483,8 @@ class ServingStats:
             throughput = self.nodes_completed / window if window > 0 else 0.0
             batches = self.batches_dispatched
             width_summary = latency_summary(self._batch_widths)
+            wave_width_summary = latency_summary(self._wave_widths)
+            computed_requests = self.requests_completed - self.requests_replayed
             lookups = cache_hits + cache_misses
             per_worker = {
                 worker: WorkerStats(
@@ -488,4 +540,21 @@ class ServingStats:
                 prefetch_hits=self.prefetch_hits,
                 prefetch_fetch_seconds=self._prefetch_fetch_seconds,
                 prefetch_overlap_seconds=self._prefetch_overlap_seconds,
+                waves_dispatched=self.waves_dispatched,
+                wave_members=self.wave_members,
+                wave_width_p50=wave_width_summary.p50,
+                wave_width_p95=wave_width_summary.p95,
+                shared_row_fraction=(
+                    self._wave_shared_row_macs / self._wave_total_row_macs
+                    if self._wave_total_row_macs
+                    else 0.0
+                ),
+                cache_subset_hits=cache_subset_hits,
+                macs_per_request=(
+                    self._macs.total / computed_requests
+                    if computed_requests > 0
+                    else 0.0
+                ),
+                wave_shared_row_macs=self._wave_shared_row_macs,
+                wave_total_row_macs=self._wave_total_row_macs,
             )

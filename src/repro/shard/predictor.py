@@ -185,7 +185,7 @@ class ShardedPredictor:
         if transport is not None:
             if callable(transport) and not hasattr(transport, "fetch"):
                 transport = transport(self._store)
-            self._store.use_transport(transport)
+            self._store._set_transport(transport)
         self._stationary = compute_sharded_stationary(self._store)
         self._engines = [
             self.make_engine(home_shard=shard_id)
@@ -198,9 +198,13 @@ class ShardedPredictor:
 
         Engines hold the store, not the backend, so predictions before and
         after a swap are bit-identical — the equivalence suite sweeps one
-        prepared predictor across all three backends this way.
+        prepared predictor across all three backends this way.  Prefer
+        :class:`~repro.serving.cluster.ClusterBuilder` for fleet
+        configuration; this remains the supported hook for swapping the
+        backend of an already-prepared predictor (tests and the
+        equivalence suites lean on it).
         """
-        self.store.use_transport(transport)
+        self.store._set_transport(transport)
         return self
 
     @property

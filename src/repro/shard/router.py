@@ -50,7 +50,12 @@ from ..obs.registry import (
 )
 from ..serving.clock import Clock
 from ..serving.controller import build_controller
-from ..serving.queue import InferenceRequest, ServingResponse
+from ..serving.queue import (
+    NEW_TRACE,
+    InferenceRequest,
+    ServingResponse,
+    SubmitOptions,
+)
 from ..serving.server import InferenceServer
 from ..serving.stats import ServingStatsSnapshot
 from .predictor import ShardedPredictor
@@ -234,7 +239,7 @@ class ShardRouter:
             # One tracer for the whole generation: per-shard servers, the
             # store's fetch rounds and the transport's wire frames all stamp
             # spans into the same recorder under the same clock.
-            predictor.store.use_tracer(self.tracer)
+            predictor.store._set_tracer(self.tracer)
         servers = {
             shard_id: InferenceServer(
                 predictor.shard_view(shard_id),
@@ -330,9 +335,30 @@ class ShardRouter:
 
     # ------------------------------------------------------------------ #
     def submit(
-        self, node_ids: np.ndarray, *, timeout: float | None = None
+        self,
+        node_ids: np.ndarray,
+        options: SubmitOptions | None = None,
+        *,
+        timeout: float | None = None,
+        tenant: str | None = None,
     ) -> RoutedRequest:
-        """Split ``node_ids`` by owner and enqueue on the owning servers."""
+        """Split ``node_ids`` by owner and enqueue on the owning servers.
+
+        Accepts the same :class:`~repro.serving.queue.SubmitOptions` as
+        :meth:`repro.serving.InferenceServer.submit` — swap a single
+        server for a routed fleet without touching call sites.  The
+        ``timeout``/``tenant`` keywords remain as a compatibility shim
+        when no ``options`` is given; ``options.trace_parent`` nests the
+        router's ``route`` span under an upstream context (``None`` opts
+        the whole fan-out out of tracing).
+        """
+        if options is None:
+            options = SubmitOptions(timeout=timeout, tenant=tenant)
+        elif timeout is not None or tenant is not None:
+            raise ConfigurationError(
+                "pass either a SubmitOptions or the legacy timeout/tenant "
+                "keywords, not both"
+            )
         with self._plan_lock:
             if self._closed:
                 raise ServingError("the shard router is closed")
@@ -349,12 +375,16 @@ class ShardRouter:
         owners = generation.predictor.store.owner_of(node_ids)
         route_ctx = None
         submitted_at = None
-        if self.tracer is not None:
+        if self.tracer is not None and options.trace_parent is not None:
             # The router-level root: per-shard server requests become its
             # children via ``trace_parent``, so one trace tree covers the
             # whole fan-out (an unsampled request stays fully untraced —
             # the servers never see a parent and allocate nothing).
-            route_ctx = self.tracer.new_trace()
+            route_ctx = (
+                self.tracer.new_trace()
+                if options.trace_parent is NEW_TRACE
+                else self.tracer.child(options.trace_parent)
+            )
             if route_ctx is not None:
                 submitted_at = self.tracer.clock.now()
         parts: list[tuple[int, np.ndarray, InferenceRequest]] = []
@@ -362,7 +392,12 @@ class ShardRouter:
             shard_id = int(shard_id)
             positions = np.flatnonzero(owners == shard_id)
             handle = generation.servers[shard_id].submit(
-                node_ids[positions], timeout=timeout, trace_parent=route_ctx
+                node_ids[positions],
+                SubmitOptions(
+                    timeout=options.timeout,
+                    trace_parent=route_ctx,
+                    tenant=options.tenant,
+                ),
             )
             parts.append((shard_id, positions, handle))
         return RoutedRequest(

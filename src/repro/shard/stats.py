@@ -75,6 +75,18 @@ class ShardedStatsSnapshot:
     transport_retries: int = 0
     transport_failovers: int = 0
     transport_health_transitions: int = 0
+    #: Wave-scheduler counters (``ServingConfig.wave_width > 1``): waves and
+    #: their members sum across shards; the width percentile is the worst
+    #: per-shard value (same convention as the batch widths above);
+    #: ``shared_row_fraction``/``macs_per_request`` are fleet-wide ratios
+    #: recomputed from the summed numerators/denominators, not averages of
+    #: per-shard ratios.
+    waves_dispatched: int = 0
+    wave_members: int = 0
+    wave_width_p50: float = 0.0
+    shared_row_fraction: float = 0.0
+    macs_per_request: float = 0.0
+    cache_subset_hits: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -112,6 +124,12 @@ class ShardedStatsSnapshot:
             "transport_retries": self.transport_retries,
             "transport_failovers": self.transport_failovers,
             "transport_health_transitions": self.transport_health_transitions,
+            "waves_dispatched": self.waves_dispatched,
+            "wave_members": self.wave_members,
+            "wave_width_p50": self.wave_width_p50,
+            "shared_row_fraction": self.shared_row_fraction,
+            "macs_per_request": self.macs_per_request,
+            "cache_subset_hits": self.cache_subset_hits,
             "per_shard": {
                 str(shard): snapshot.as_dict()
                 for shard, snapshot in sorted(self.per_shard.items())
@@ -130,6 +148,11 @@ def merge_serving_snapshots(
         macs = macs.merged_with(snapshot.macs)
         replayed = replayed.merged_with(snapshot.replayed_macs)
         timings = timings.merged_with(snapshot.timings)
+    computed_requests = sum(
+        s.requests_completed - s.requests_replayed for s in snapshots.values()
+    )
+    shared_row_macs = sum(s.wave_shared_row_macs for s in snapshots.values())
+    total_row_macs = sum(s.wave_total_row_macs for s in snapshots.values())
     return ShardedStatsSnapshot(
         per_shard=dict(snapshots),
         requests_completed=sum(s.requests_completed for s in snapshots.values()),
@@ -159,4 +182,16 @@ def merge_serving_snapshots(
         cache_misses=sum(s.cache_misses for s in snapshots.values()),
         result_cache_hits=sum(s.result_cache_hits for s in snapshots.values()),
         result_cache_misses=sum(s.result_cache_misses for s in snapshots.values()),
+        waves_dispatched=sum(s.waves_dispatched for s in snapshots.values()),
+        wave_members=sum(s.wave_members for s in snapshots.values()),
+        wave_width_p50=max(
+            (s.wave_width_p50 for s in snapshots.values()), default=0.0
+        ),
+        shared_row_fraction=(
+            shared_row_macs / total_row_macs if total_row_macs else 0.0
+        ),
+        macs_per_request=(
+            macs.total / computed_requests if computed_requests > 0 else 0.0
+        ),
+        cache_subset_hits=sum(s.cache_subset_hits for s in snapshots.values()),
     )

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -218,12 +219,13 @@ class ShardedGraphStore:
         """The backend every online fetch (BFS, rows, features) goes through."""
         return self._transport
 
-    def use_transport(self, transport: ShardTransport) -> "ShardedGraphStore":
+    def _set_transport(self, transport: ShardTransport) -> "ShardedGraphStore":
         """Swap the fetch backend (local / socket / fault-injecting).
 
         The transport must reach exactly this store's shards; bundles are
         bit-identical across backends because every backend answers with the
-        same arrays (see :mod:`repro.transport`).
+        same arrays (see :mod:`repro.transport`).  Internal: configure
+        fleets through :class:`~repro.serving.cluster.ClusterBuilder`.
         """
         if transport.num_shards != self.num_shards:
             raise GraphConstructionError(
@@ -235,7 +237,7 @@ class ShardedGraphStore:
             transport.use_tracer(self._tracer)
         return self
 
-    def use_tracer(self, tracer) -> "ShardedGraphStore":
+    def _set_tracer(self, tracer) -> "ShardedGraphStore":
         """Attach a :class:`~repro.obs.Tracer` to the fetch path.
 
         Each transport round issued while the calling thread holds an active
@@ -244,12 +246,14 @@ class ShardedGraphStore:
         per-shard row counts; the transport itself also receives the tracer
         so the socket backend can propagate ids over the wire and the
         replicated backend can mark retries and failovers.  ``None`` detaches.
+        Internal: configure fleets through
+        :class:`~repro.serving.cluster.ClusterBuilder`.
         """
         self._tracer = tracer
         self._transport.use_tracer(tracer)
         return self
 
-    def use_replicated_transport(
+    def _set_replicated_transport(
         self,
         rails=None,
         *,
@@ -280,7 +284,7 @@ class ShardedGraphStore:
                 for _ in range(self.plan.max_replication)
             ]
         # An unreplicated plan places every shard on every provided rail.
-        return self.use_transport(
+        return self._set_transport(
             ReplicatedTransport(
                 rails,
                 self.plan.replicas,
@@ -292,7 +296,7 @@ class ShardedGraphStore:
             )
         )
 
-    def use_tiered_features(
+    def _set_tiered_features(
         self,
         budget_bytes: int,
         *,
@@ -342,6 +346,67 @@ class ShardedGraphStore:
             tiers.append(store)
         self._feature_tiers = tiers
         return self
+
+    # ------------------------------------------------------------------ #
+    # Deprecated mutator shims (pre-ClusterBuilder configuration surface)
+    # ------------------------------------------------------------------ #
+    def use_transport(self, transport: ShardTransport) -> "ShardedGraphStore":
+        """Deprecated: use :class:`~repro.serving.cluster.ClusterBuilder`.
+
+        Equivalent to ``ClusterBuilder(...).transport(transport)``; kept as
+        a thin shim over the internal setter for existing call sites.
+        """
+        warnings.warn(
+            "ShardedGraphStore.use_transport is deprecated; configure the "
+            "fleet through repro.serving.cluster.ClusterBuilder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._set_transport(transport)
+
+    def use_tracer(self, tracer) -> "ShardedGraphStore":
+        """Deprecated: use :class:`~repro.serving.cluster.ClusterBuilder`.
+
+        Equivalent to ``ClusterBuilder(...).traced(tracer)``; kept as a
+        thin shim over the internal setter for existing call sites.
+        """
+        warnings.warn(
+            "ShardedGraphStore.use_tracer is deprecated; configure the "
+            "fleet through repro.serving.cluster.ClusterBuilder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._set_tracer(tracer)
+
+    def use_replicated_transport(self, rails=None, **kwargs) -> "ShardedGraphStore":
+        """Deprecated: use :class:`~repro.serving.cluster.ClusterBuilder`.
+
+        Equivalent to ``ClusterBuilder(...).replicated(...)``; kept as a
+        thin shim over the internal setter for existing call sites.
+        """
+        warnings.warn(
+            "ShardedGraphStore.use_replicated_transport is deprecated; "
+            "configure the fleet through repro.serving.cluster.ClusterBuilder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._set_replicated_transport(rails, **kwargs)
+
+    def use_tiered_features(
+        self, budget_bytes: int, **kwargs
+    ) -> "ShardedGraphStore":
+        """Deprecated: use :class:`~repro.serving.cluster.ClusterBuilder`.
+
+        Equivalent to ``ClusterBuilder(...).tiered_features(...)``; kept as
+        a thin shim over the internal setter for existing call sites.
+        """
+        warnings.warn(
+            "ShardedGraphStore.use_tiered_features is deprecated; configure "
+            "the fleet through repro.serving.cluster.ClusterBuilder",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._set_tiered_features(budget_bytes, **kwargs)
 
     @property
     def feature_tiers(self) -> list:

@@ -1,0 +1,86 @@
+"""Smoke test for the wave benchmark.
+
+Runs ``benchmarks/bench_wave.py --quick`` end to end so tier-1 catches
+regressions in the wave bit-equivalence assertions and the
+MACs-per-request shape.  The run is deterministic (no serving threads —
+the bench drives ``execute_wave`` directly), but training the quick
+context takes real time, so the watchdog guard stays.  The real numbers
+come from the full run, which writes ``BENCH_wave.json``.
+"""
+
+import faulthandler
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+WATCHDOG_SECONDS = 300.0 * max(
+    1.0, float(os.environ.get("REPRO_WATCHDOG_SECONDS", "90")) / 90.0
+)
+
+
+def _dump_and_abort() -> None:  # pragma: no cover - only fires on a hang
+    sys.stderr.write(
+        f"\n*** wave-bench watchdog fired after {WATCHDOG_SECONDS}s ***\n"
+    )
+    faulthandler.dump_traceback(all_threads=True)
+    os._exit(3)
+
+
+@pytest.fixture(autouse=True)
+def bench_watchdog():
+    timer = threading.Timer(WATCHDOG_SECONDS, _dump_and_abort)
+    timer.daemon = True
+    timer.start()
+    yield
+    timer.cancel()
+
+
+@pytest.mark.wave_bench
+def test_quick_bench_runs_and_reports(tmp_path):
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_wave
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+    output = tmp_path / "bench.json"
+    assert bench_wave.main(["--quick", "--output", str(output)]) == 0
+
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    suites = {record["suite"]: record for record in report["suites"]}
+    assert set(suites) == {
+        f"wave_width_{width}" for width in (1, 2, 4, 8)
+    }
+    for record in suites.values():
+        assert record["predictions_identical"]
+        assert record["depths_identical"]
+        assert record["attribution_reconciles_identical"]
+        assert record["macs_per_request"] > 0
+    # Width 1 is a degenerate wave: nothing fuses, nothing is shared.
+    assert suites["wave_width_1"]["shared_row_fraction"] == 0.0
+    assert suites["wave_width_8"]["shared_row_fraction"] > 0.0
+
+    aggregate = report["aggregate"]
+    assert aggregate["all_predictions_identical"]
+    assert aggregate["all_depths_identical"]
+    assert aggregate["attribution_reconciles_identical"]
+    assert aggregate["macs_per_request_monotone_identical"]
+    # The full-run acceptance floor is 1.5x at width 8; the quick context
+    # is smaller but the Zipfian overlap dominates either way, so the
+    # same floor holds with margin.
+    assert aggregate["macs_reduction_at_max_width"] >= 1.5
+
+    # The committed full-run artifact must satisfy the same gate
+    # (check_bench.py enforces this in CI; assert here too so a stale
+    # artifact fails fast in tier-1).
+    committed = json.loads(
+        (BENCH_DIR.parent / "BENCH_wave.json").read_text()
+    )
+    assert committed["aggregate"]["macs_per_request_monotone_identical"]
+    assert committed["aggregate"]["macs_reduction_at_max_width"] >= 1.5

@@ -1,0 +1,155 @@
+"""Subset-hit lookups on the subgraph cache: ledger and recency semantics.
+
+``SubgraphCache.find_superset`` serves a wave whose union key missed by
+slicing a previously cached superset bundle.  The regression surface:
+
+* the match must go through the **peek** path — the caller already
+  counted the exact-key miss, so a subset hit must not touch the
+  hit/miss ledger (the torn-accounting bug this file pins down);
+* it must still refresh the matched entry's recency, or hot supersets
+  get evicted under their own subset traffic;
+* matches are tallied in the separate ``subset_hits`` counter, which the
+  serving stats surface as ``cache_subset_hits``;
+* the sliced bundle is bit-identical to a fresh build for the subset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NAIConfig, ServingConfig, ShardConfig
+from repro.core.distance_nap import DistanceNAP
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import SyntheticGraphSpec, generate_community_graph
+from repro.graph.sampling import slice_support_bundle, support_cache_key
+from repro.models import SGC
+from repro.serving import InferenceServer, SubgraphCache
+from repro.shard import ShardedPredictor
+
+DEPTH = 3
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    spec = SyntheticGraphSpec(
+        num_nodes=210, num_classes=4, avg_degree=6.0, degree_exponent=2.2
+    )
+    graph, _ = generate_community_graph(spec, rng=5)
+    rng = np.random.default_rng(55)
+    features = rng.normal(size=(graph.num_nodes, 6)).astype(np.float32)
+    classifiers = SGC(6, 4, depth=DEPTH, rng=5).make_all_classifiers()
+    predictor = ShardedPredictor(
+        classifiers,
+        policy=DistanceNAP(0.15),
+        config=NAIConfig(t_min=1, t_max=DEPTH, batch_size=32),
+    )
+    return predictor.prepare(
+        graph,
+        features,
+        ShardConfig(num_shards=2, strategy="degree_balanced"),
+    )
+
+
+@pytest.fixture()
+def engine(sharded):
+    return sharded.make_engine(home_shard=0)
+
+
+def bundle_for(engine, targets):
+    return engine.build_support(np.sort(np.asarray(targets, dtype=np.int64)))
+
+
+class TestFindSuperset:
+    def test_miss_on_empty_cache(self):
+        cache = SubgraphCache(capacity=4)
+        assert cache.find_superset(np.arange(4, dtype=np.int64), DEPTH) is None
+        counters = cache.counters()
+        assert counters.subset_hits == 0
+        assert counters.hits == 0 and counters.misses == 0
+
+    def test_subset_hit_leaves_hit_miss_ledger_untouched(self, engine):
+        cache = SubgraphCache(capacity=4)
+        superset = np.arange(0, 24, dtype=np.int64)
+        cache.put(support_cache_key(superset, DEPTH), bundle_for(engine, superset))
+        before = cache.counters()
+
+        subset = np.arange(4, 12, dtype=np.int64)
+        match = cache.find_superset(subset, DEPTH)
+        assert match is not None
+        matched_targets, bundle = match
+        np.testing.assert_array_equal(matched_targets, superset)
+
+        after = cache.counters()
+        # The torn-accounting regression: a subset hit follows a miss the
+        # dispatcher already recorded, so it must not count again.
+        assert after.hits == before.hits
+        assert after.misses == before.misses
+        assert after.subset_hits == before.subset_hits + 1
+
+    def test_equal_size_and_depth_mismatch_do_not_match(self, engine):
+        cache = SubgraphCache(capacity=4)
+        targets = np.arange(0, 16, dtype=np.int64)
+        cache.put(support_cache_key(targets, DEPTH), bundle_for(engine, targets))
+        # Exact-size candidates are exact keys: get() already ruled them out.
+        assert cache.find_superset(targets, DEPTH) is None
+        # A different depth is a different supporting subgraph entirely.
+        assert cache.find_superset(targets[:8], DEPTH - 1) is None
+        # A non-subset shares no entry.
+        assert cache.find_superset(np.array([200, 205], dtype=np.int64), DEPTH) is None
+
+    def test_subset_hit_refreshes_recency(self, engine):
+        cache = SubgraphCache(capacity=2)
+        superset = np.arange(0, 24, dtype=np.int64)
+        other = np.arange(100, 116, dtype=np.int64)
+        superset_key = support_cache_key(superset, DEPTH)
+        cache.put(superset_key, bundle_for(engine, superset))
+        cache.put(support_cache_key(other, DEPTH), bundle_for(engine, other))
+
+        # The subset hit must move the superset to MRU: the next insert
+        # then evicts `other`, not the superset.
+        assert cache.find_superset(np.arange(2, 10, dtype=np.int64), DEPTH)
+        third = np.arange(150, 166, dtype=np.int64)
+        cache.put(support_cache_key(third, DEPTH), bundle_for(engine, third))
+        assert cache.peek(superset_key) is not None
+        assert cache.peek(support_cache_key(other, DEPTH)) is None
+
+    def test_sliced_bundle_is_bit_identical_to_fresh_build(self, engine):
+        rng = np.random.default_rng(17)
+        superset = np.sort(rng.permutation(210)[:32].astype(np.int64))
+        subset = np.sort(rng.choice(superset, size=10, replace=False))
+
+        sliced = slice_support_bundle(bundle_for(engine, superset), subset, DEPTH)
+        fresh = bundle_for(engine, subset)
+        via_slice = engine.run_batch(subset, bundle=sliced)
+        via_fresh = engine.run_batch(subset, bundle=fresh)
+        np.testing.assert_array_equal(via_slice.predictions, via_fresh.predictions)
+        np.testing.assert_array_equal(via_slice.depths, via_fresh.depths)
+        assert via_slice.macs.total == via_fresh.macs.total
+
+
+class TestServerSurface:
+    def test_subset_hits_surface_in_serving_stats(self, sharded, engine):
+        config = ServingConfig(
+            num_workers=1,
+            max_batch_size=8,
+            max_wait_ms=0.5,
+            cache_capacity=16,
+            wave_width=2,
+            cache_subset_lookups=True,
+        )
+        with InferenceServer(sharded.shard_view(0), config) as server:
+            superset = np.arange(0, 24, dtype=np.int64)
+            server.cache.put(
+                support_cache_key(superset, DEPTH), bundle_for(engine, superset)
+            )
+            assert server.cache.find_superset(
+                np.arange(4, 12, dtype=np.int64), DEPTH
+            )
+            stats = server.stats()
+        assert stats.cache_subset_hits == 1
+
+    def test_subset_lookups_require_a_cache(self, sharded):
+        with pytest.raises(ConfigurationError):
+            InferenceServer(
+                sharded.shard_view(0),
+                ServingConfig(cache_capacity=0, cache_subset_lookups=True),
+            )

@@ -1,0 +1,59 @@
+"""Source lint: no new calls to the deprecated store mutators.
+
+``ShardedGraphStore.use_transport`` / ``use_replicated_transport`` /
+``use_tiered_features`` / ``use_tracer`` are :class:`DeprecationWarning`
+shims kept for external callers — fleet configuration goes through
+:class:`repro.serving.ClusterBuilder` (or the internal ``_set_*``
+setters).  This lint walks ``src/`` and ``examples/`` so a new direct
+call cannot land silently; tests and benchmarks are exempt, since the
+shims themselves need exercising.
+
+``ShardTransport.use_tracer`` is a different, fully supported surface —
+the patterns below anchor on a ``store`` receiver (or the two methods
+that exist only on the store) to leave it alone.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCANNED_DIRS = ("src", "examples")
+
+#: Each pattern matches a *call* through the deprecated store surface.
+#: ``use_replicated_transport``/``use_tiered_features`` exist only on the
+#: store, so any attribute call is deprecated; ``use_transport``/
+#: ``use_tracer`` also live on other types (the predictor's supported
+#: backend-swap hook, the transport tracer hook), so those anchor on a
+#: ``store`` receiver.
+DEPRECATED_CALLS = (
+    re.compile(r"\.use_replicated_transport\s*\("),
+    re.compile(r"\.use_tiered_features\s*\("),
+    re.compile(r"store\s*\.\s*use_transport\s*\("),
+    re.compile(r"store\s*\.\s*use_tracer\s*\("),
+)
+
+#: The shims themselves delegate internally; their defining module is the
+#: one place the names may appear in call position.
+ALLOWED_FILES = frozenset({"src/repro/shard/store.py"})
+
+
+def deprecated_call_sites() -> list[str]:
+    findings = []
+    for directory in SCANNED_DIRS:
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT).as_posix()
+            if relative in ALLOWED_FILES:
+                continue
+            for number, line in enumerate(path.read_text().splitlines(), 1):
+                stripped = line.split("#", 1)[0]
+                if any(pattern.search(stripped) for pattern in DEPRECATED_CALLS):
+                    findings.append(f"{relative}:{number}: {line.strip()}")
+    return findings
+
+
+def test_no_new_calls_to_deprecated_store_mutators():
+    findings = deprecated_call_sites()
+    assert not findings, (
+        "direct calls to deprecated ShardedGraphStore mutators (migrate to "
+        "repro.serving.ClusterBuilder):\n" + "\n".join(findings)
+    )
